@@ -1,0 +1,39 @@
+# Convenience targets for the repro repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-quick report examples clean help
+
+help:
+	@echo "install      editable install (offline-friendly)"
+	@echo "test         run the full test suite"
+	@echo "bench        regenerate every figure + ablation (1-512 nodes)"
+	@echo "bench-quick  same sweep capped at 64 nodes"
+	@echo "report       assemble benchmarks/results into markdown"
+	@echo "examples     run every example script"
+	@echo "clean        remove build/caches/results"
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-quick:
+	REPRO_BENCH_MAX_NODES=64 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro report --output benchmarks/results/REPORT.md
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "== $$ex"; $(PYTHON) $$ex || exit 1; \
+	done
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis \
+		benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,78 @@
+"""Shared sweep infrastructure for the figure benchmarks.
+
+One sweep per application feeds both its initialization figure and its
+weak-scaling figure, so the sweeps are cached per session.  Environment
+knobs:
+
+* ``REPRO_BENCH_MAX_NODES`` — largest simulated machine (default 512, the
+  paper's scale).  Set to 64 for a quick pass.
+* ``REPRO_BENCH_ITERATIONS`` — steady-state iterations per run (default 3).
+
+Rendered tables are printed and also written under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.figures import FIGURES, PAPER_NODE_COUNTS
+from repro.bench.harness import run_sweep
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def node_counts() -> tuple[int, ...]:
+    max_nodes = int(os.environ.get("REPRO_BENCH_MAX_NODES", "512"))
+    return tuple(n for n in PAPER_NODE_COUNTS if n <= max_nodes)
+
+
+def steady_iterations() -> int:
+    return int(os.environ.get("REPRO_BENCH_ITERATIONS", "3"))
+
+
+_SWEEPS: dict[str, dict] = {}
+
+
+def get_sweep(app_name: str) -> dict:
+    """The (cached) full sweep for one application."""
+    if app_name not in _SWEEPS:
+        spec = next(s for s in FIGURES.values() if s.app == app_name)
+        _SWEEPS[app_name] = run_sweep(
+            spec.app_factory, node_counts(),
+            steady_iterations=steady_iterations())
+    return _SWEEPS[app_name]
+
+
+def write_result(name: str, text: str) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture
+def figure_runner(benchmark):
+    """Run one figure: compute (cached) sweep, render, shape-check."""
+    from repro.bench.figures import check_shape, figure_series, render_series
+
+    def run(figure_id: str):
+        spec = FIGURES[figure_id]
+
+        def once():
+            return get_sweep(spec.app)
+
+        sweep = benchmark.pedantic(once, rounds=1, iterations=1)
+        series = figure_series(spec, sweep)
+        text = render_series(spec, series)
+        print("\n" + text)
+        write_result(f"{figure_id}.tsv", text)
+        from repro.bench.plots import plot_figure
+        write_result(f"{figure_id}.txt", plot_figure(spec, series))
+        problems = check_shape(spec, sweep)
+        assert not problems, f"{figure_id} shape violations: {problems}"
+        return series
+
+    return run

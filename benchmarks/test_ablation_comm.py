@@ -1,0 +1,60 @@
+"""Ablation: the implicit communication the coherence analysis manages.
+
+Section 2: "it is one of the strengths of the implicitly parallel model
+that the programmer only needs to identify the desired partitions of the
+data and not to explicitly manage the communication".  The executable
+control-replication model (:mod:`repro.distributed`) makes that
+communication observable: every cross-shard data dependence becomes a
+counted point-to-point message.  This ablation reports steady-state bytes
+per piece per iteration for all three applications — under weak scaling
+the ghost structure per piece is constant, so the communication per piece
+must stay (near) flat while the total grows with the machine.
+"""
+
+import os
+
+from repro import TaskStream
+from repro.apps import APPS
+from repro.distributed import ShardedRuntime
+
+from benchmarks.conftest import write_result
+
+
+def bytes_per_piece(app_name: str, pieces: int) -> float:
+    app = APPS[app_name](pieces=pieces)
+    srt = ShardedRuntime(app.tree, app.initial, shards=pieces,
+                         replicate_analysis=False)
+    srt.execute(app.init_stream())
+    srt.execute(app.iteration_stream())   # settle ownership
+    srt.log.reset()
+    srt.execute(app.iteration_stream())
+    return srt.log.bytes / pieces
+
+
+def test_communication_ablation(benchmark):
+    max_nodes = min(64, int(os.environ.get("REPRO_BENCH_MAX_NODES", "512")))
+    scales = [n for n in (4, 16, 64) if n <= max_nodes]
+
+    def once():
+        return {name: [(pieces, bytes_per_piece(name, pieces))
+                       for pieces in scales]
+                for name in ("stencil", "circuit", "pennant")}
+
+    results = benchmark.pedantic(once, rounds=1, iterations=1)
+    lines = ["# ablation: cross-shard bytes per piece per steady iteration",
+             "pieces\t" + "\t".join(results)]
+    for k, pieces in enumerate(scales):
+        lines.append(f"{pieces}\t" + "\t".join(
+            f"{results[name][k][1]:.0f}" for name in results))
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_result("ablation_comm.tsv", text)
+
+    for name, rows in results.items():
+        values = [v for _, v in rows]
+        assert all(v > 0 for v in values), \
+            f"{name}: ghost exchange produced no communication"
+        # weak scaling: per-piece communication bounded (interior pieces
+        # have more neighbours than edge pieces, so allow a small rise)
+        assert max(values) <= 3.0 * max(values[0], 1.0), \
+            f"{name}: per-piece communication grows with machine size"

@@ -1,0 +1,59 @@
+"""Ablation: painter composite-view scan growth.
+
+Section 8.2 explains the painter's weak-scaling collapse: "the number of
+children to examine for interference in each composite view grows with the
+size of the machine".  This ablation measures entries scanned per task in
+the steady state as machine size grows: roughly flat for ray casting,
+linear in machine size for the painter.
+"""
+
+import os
+
+from repro import Runtime
+from repro.apps import StencilApp
+
+from benchmarks.conftest import write_result
+
+
+def entries_per_task(algorithm: str, pieces: int) -> float:
+    app = StencilApp(pieces=pieces, tile=4)
+    rt = Runtime(app.tree, app.initial, algorithm=algorithm)
+    rt.replay(app.init_stream())
+    rt.replay(app.iteration_stream())  # warm up the structures
+    before = rt.meter.counters["entries_scanned"]
+    tasks_before = len(rt.tasks)
+    rt.replay(app.iteration_stream())
+    scanned = rt.meter.counters["entries_scanned"] - before
+    return scanned / (len(rt.tasks) - tasks_before)
+
+
+def test_paint_scan_growth(benchmark):
+    max_nodes = min(128, int(os.environ.get("REPRO_BENCH_MAX_NODES", "512")))
+    scales = [n for n in (4, 16, 64, 128) if n <= max_nodes]
+
+    def once():
+        return [(pieces,
+                 entries_per_task("tree_painter", pieces),
+                 entries_per_task("raycast", pieces))
+                for pieces in scales]
+
+    rows = benchmark.pedantic(once, rounds=1, iterations=1)
+    lines = ["# ablation: history entries scanned per task (steady state)",
+             "pieces\ttree_painter\traycast"]
+    for pieces, p, r in rows:
+        lines.append(f"{pieces}\t{p:.1f}\t{r:.1f}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_result("ablation_paint_scan.tsv", text)
+
+    # ray casting's per-task scan stays (near) flat; the painter's grows
+    # with the machine
+    first, last = rows[0], rows[-1]
+    scale_factor = last[0] / first[0]
+    painter_growth = last[1] / max(first[1], 1.0)
+    raycast_growth = last[2] / max(first[2], 1.0)
+    assert painter_growth > 3.0, \
+        f"painter scan should grow with machine size ({painter_growth=})"
+    assert raycast_growth < painter_growth / 2, \
+        "ray casting scan should grow far slower than the painter's"
+    assert painter_growth > scale_factor / 4  # roughly linear growth

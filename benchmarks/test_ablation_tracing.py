@@ -1,0 +1,84 @@
+"""Ablation: dynamic tracing on/off (the extension section 8 disabled).
+
+The paper's experiments run *without* Legion's tracing so the figures
+measure the coherence algorithms themselves; tracing (Lee et al., SC 2018)
+would memoize the dependence analysis of the repetitive loop.  We
+implement tracing as an extension (``repro.runtime.tracing``) and measure
+here how much analysis work a traced replay removes per steady iteration —
+both in metered operations and in real wall-clock time.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro import Runtime
+from repro.apps import CircuitApp
+
+from benchmarks.conftest import write_result
+
+PIECES = 32
+ALGOS = ("tree_painter", "warnock", "raycast")
+
+
+def _metered_iteration(algorithm: str, traced: bool) -> int:
+    app = CircuitApp(pieces=PIECES, nodes_per_piece=16, wires_per_piece=24)
+    rt = Runtime(app.tree, app.initial, algorithm=algorithm)
+    rt.replay(app.init_stream())
+    for _ in range(3):  # arm, capture, first replay (or plain warm-up)
+        if traced:
+            rt.execute_trace("loop", app.iteration_stream())
+        else:
+            rt.replay(app.iteration_stream())
+    before = Counter(rt.meter.counters)
+    if traced:
+        rt.execute_trace("loop", app.iteration_stream())
+    else:
+        rt.replay(app.iteration_stream())
+    delta = Counter(rt.meter.counters)
+    delta.subtract(before)
+    analysis_events = ("entries_scanned", "intersection_tests",
+                      "eqsets_visited", "views_traversed",
+                      "bvh_nodes_visited")
+    return sum(max(0, delta[e]) for e in analysis_events)
+
+
+def test_tracing_removes_analysis_work(benchmark):
+    def once():
+        return {algo: (_metered_iteration(algo, traced=False),
+                       _metered_iteration(algo, traced=True))
+                for algo in ALGOS}
+
+    results = benchmark.pedantic(once, rounds=1, iterations=1)
+    lines = ["# ablation: analysis ops per steady iteration, tracing off/on",
+             "algorithm\tuntraced\ttraced\tsaving"]
+    for algo, (plain, traced) in results.items():
+        saving = 1.0 - traced / max(1, plain)
+        lines.append(f"{algo}\t{plain}\t{traced}\t{saving:.0%}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_result("ablation_tracing.tsv", text)
+
+    for algo, (plain, traced) in results.items():
+        assert traced <= plain, f"tracing increased analysis work for {algo}"
+    # the dependence scan must be a substantial part of at least one
+    # algorithm's steady-state work
+    assert any(traced < 0.9 * plain for plain, traced in results.values())
+
+
+@pytest.mark.parametrize("traced", [False, True],
+                         ids=["untraced", "traced"])
+def test_tracing_wallclock(benchmark, traced):
+    app = CircuitApp(pieces=PIECES, nodes_per_piece=16, wires_per_piece=24)
+    rt = Runtime(app.tree, app.initial, algorithm="raycast")
+    rt.replay(app.init_stream())
+    for _ in range(3):
+        if traced:
+            rt.execute_trace("loop", app.iteration_stream())
+        else:
+            rt.replay(app.iteration_stream())
+
+    if traced:
+        benchmark(rt.execute_trace, "loop", app.iteration_stream())
+    else:
+        benchmark(rt.replay, app.iteration_stream())

@@ -1,0 +1,53 @@
+"""Ablation: the z-buffer extension's precision/distribution trade.
+
+The z-buffer (the fourth classic visibility algorithm, implemented beyond
+the paper in ``repro/visibility/zbuffer.py``) computes maximally precise
+dependences from per-element records — but its canonical table is one
+mutable, unreplicable object.  On the simulated machine every analysis
+must touch it, so the control node serializes the whole machine *even
+under DCR*: the cleanest demonstration of why the paper's algorithms
+track coherence with distributable structures (composite views,
+equivalence sets) instead of per-element state.
+"""
+
+import os
+
+from repro.apps import CircuitApp
+from repro.machine import simulate_app
+
+from benchmarks.conftest import write_result
+
+
+def test_zbuffer_scaling_ablation(benchmark):
+    max_nodes = min(64, int(os.environ.get("REPRO_BENCH_MAX_NODES", "512")))
+    scales = [n for n in (4, 16, 64) if n <= max_nodes]
+
+    def once():
+        rows = []
+        for nodes in scales:
+            cells = {}
+            for algo, dcr in (("raycast", True), ("zbuffer", True),
+                              ("zbuffer", False)):
+                app = CircuitApp(pieces=nodes, nodes_per_piece=16,
+                                 wires_per_piece=24)
+                r = simulate_app(app, algo, dcr=dcr, steady_iterations=2)
+                cells[r.system] = r.throughput_per_node
+            rows.append((nodes, cells))
+        return rows
+
+    rows = benchmark.pedantic(once, rounds=1, iterations=1)
+    systems = list(rows[0][1])
+    lines = ["# ablation: z-buffer weak scaling (wires/s per node)",
+             "nodes\t" + "\t".join(systems)]
+    for nodes, cells in rows:
+        lines.append(f"{nodes}\t" + "\t".join(f"{cells[s]:.4g}"
+                                              for s in systems))
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_result("ablation_zbuffer.tsv", text)
+
+    largest = rows[-1][1]
+    # the centralized table caps the z-buffer regardless of DCR
+    assert largest["raycast_dcr"] > 2.0 * largest["zbuffer_dcr"]
+    # and DCR barely helps it (the bottleneck is the table, not the origin)
+    assert largest["zbuffer_dcr"] < 3.0 * largest["zbuffer_nodcr"]

@@ -1,0 +1,10 @@
+"""Regenerate Figure 12: Stencil initialization time.
+
+Replays the stencil task stream through each algorithm at 1..N simulated
+nodes and reports the paper's "init" metric; the shape claims of
+section 8 are asserted by check_shape.
+"""
+
+
+def test_fig12_stencil_init(figure_runner):
+    figure_runner("fig12")

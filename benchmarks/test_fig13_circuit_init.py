@@ -1,0 +1,10 @@
+"""Regenerate Figure 13: Circuit initialization time.
+
+Replays the circuit task stream through each algorithm at 1..N simulated
+nodes and reports the paper's "init" metric; the shape claims of
+section 8 are asserted by check_shape.
+"""
+
+
+def test_fig13_circuit_init(figure_runner):
+    figure_runner("fig13")

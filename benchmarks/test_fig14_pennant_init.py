@@ -1,0 +1,10 @@
+"""Regenerate Figure 14: Pennant initialization time.
+
+Replays the pennant task stream through each algorithm at 1..N simulated
+nodes and reports the paper's "init" metric; the shape claims of
+section 8 are asserted by check_shape.
+"""
+
+
+def test_fig14_pennant_init(figure_runner):
+    figure_runner("fig14")

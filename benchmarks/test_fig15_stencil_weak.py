@@ -1,0 +1,10 @@
+"""Regenerate Figure 15: Stencil weak.
+
+Replays the stencil task stream through each algorithm at 1..N simulated
+nodes and reports the paper's "weak" metric; the shape claims of
+section 8 are asserted by check_shape.
+"""
+
+
+def test_fig15_stencil_weak(figure_runner):
+    figure_runner("fig15")

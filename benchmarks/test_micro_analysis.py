@@ -1,0 +1,45 @@
+"""Microbenchmarks: real wall-clock analysis throughput per algorithm.
+
+Unlike the figure benchmarks (which replay metered costs onto simulated
+clocks), these measure the actual Python execution time of one steady
+iteration of analysis per algorithm — an honest like-for-like comparison
+of this implementation's constants.  At this single-process scale the
+painter is clearly slowest; Warnock and ray casting are within a small
+factor of each other (Warnock's domain-aligned histories have lower
+per-entry constants, ray casting's sub-domain entries pay for index
+arithmetic).  The *distributed* advantages of ray casting — fewer sets,
+no centralized structures, stable steady state — are what the figure
+benchmarks measure.
+"""
+
+import pytest
+
+from repro import Runtime
+from repro.apps import CircuitApp
+
+PIECES = 32
+ALGOS = ("tree_painter", "warnock", "raycast", "painter")
+
+
+@pytest.mark.parametrize("algorithm", ALGOS)
+def test_steady_iteration_analysis(benchmark, algorithm):
+    app = CircuitApp(pieces=PIECES, nodes_per_piece=16, wires_per_piece=24)
+    rt = Runtime(app.tree, app.initial, algorithm=algorithm)
+    rt.replay(app.init_stream())
+    rt.replay(app.iteration_stream())  # warm up structures and memos
+
+    benchmark(rt.replay, app.iteration_stream())
+
+
+@pytest.mark.parametrize("algorithm", ("warnock", "raycast"))
+def test_cold_start_analysis(benchmark, algorithm):
+    """First-iteration (structure-building) cost: the initialization
+    figures' microscopic counterpart."""
+    app = CircuitApp(pieces=PIECES, nodes_per_piece=16, wires_per_piece=24)
+
+    def cold():
+        rt = Runtime(app.tree, app.initial, algorithm=algorithm)
+        rt.replay(app.init_stream())
+        rt.replay(app.iteration_stream())
+
+    benchmark.pedantic(cold, rounds=5, iterations=1)

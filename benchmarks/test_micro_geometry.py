@@ -1,0 +1,67 @@
+"""Microbenchmarks for the geometric substrate.
+
+The set algebra of :class:`IndexSpace` is the inner loop of every
+coherence algorithm (the `X/Y`, `X\\Y`, `X ⊕ Y` operators of Figure 7 and
+the interference overlap tests), so its constants are tracked here —
+standard performance-regression targets, not figure reproductions.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Extent, IndexSpace, Rect
+from repro.apps.meshes import star_halo
+
+N = 1 << 14
+
+
+@pytest.fixture(scope="module")
+def spaces():
+    rng = np.random.default_rng(7)
+    dense = IndexSpace.from_range(0, N)
+    even = IndexSpace.from_indices(np.arange(0, N, 2))
+    sparse = IndexSpace.from_indices(rng.choice(N, size=N // 8,
+                                                replace=False))
+    block = IndexSpace.from_range(N // 4, N // 2)
+    return {"dense": dense, "even": even, "sparse": sparse, "block": block}
+
+
+def test_intersection_sparse_dense(benchmark, spaces):
+    benchmark(lambda: spaces["sparse"] & spaces["even"])
+
+
+def test_difference_block(benchmark, spaces):
+    benchmark(lambda: spaces["dense"] - spaces["block"])
+
+
+def test_union_sparse(benchmark, spaces):
+    benchmark(lambda: spaces["sparse"] | spaces["even"])
+
+
+def test_overlaps_hit(benchmark, spaces):
+    benchmark(spaces["sparse"].overlaps, spaces["block"])
+
+
+def test_overlaps_bbox_miss(benchmark, spaces):
+    far = IndexSpace.from_range(2 * N, 2 * N + 100)
+    benchmark(spaces["sparse"].overlaps, far)
+
+
+def test_positions_of_subset(benchmark, spaces):
+    benchmark(spaces["dense"].positions_of, spaces["block"])
+
+
+def test_positions_of_identity_fast_path(benchmark, spaces):
+    """The equal-domain fast path found by profiling the blending kernel."""
+    clone = IndexSpace.from_indices(spaces["sparse"].indices.copy())
+    benchmark(spaces["sparse"].positions_of, clone)
+
+
+def test_star_halo_construction(benchmark):
+    extent = Extent((128, 128))
+    tile = Rect((32, 32), (63, 63))
+    benchmark(star_halo, tile, 2, extent)
+
+
+def test_membership_mask(benchmark, spaces):
+    benchmark(spaces["even"].membership_mask, spaces["sparse"])

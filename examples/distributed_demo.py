@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Control replication, executably: replicated analysis + sharded execution.
+
+Runs the circuit benchmark under the executable DCR model
+(`repro.distributed`): every shard re-runs the full coherence analysis
+(and the runtime *verifies* the replicas agree — DCR's determinism
+contract), each task executes on its own shard's memory, and every
+cross-shard data dependence moves as a counted point-to-point message —
+the "implicit communication" of the paper's section 2, made visible.
+
+Run:  python examples/distributed_demo.py [pieces]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps import CircuitApp
+from repro.distributed import ShardedRuntime
+from repro.runtime.executor import SequentialExecutor
+from repro.runtime.task import TaskStream
+
+pieces = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+ITERATIONS = 3
+
+app = CircuitApp(pieces=pieces, nodes_per_piece=16, wires_per_piece=24,
+                 pct_external=0.3, seed=11)
+print(f"circuit: {pieces} pieces / shards, 30% of wires cross pieces")
+
+srt = ShardedRuntime(app.tree, app.initial, shards=pieces,
+                     algorithm="raycast")
+srt.execute(app.init_stream())
+print(f"analysis replicated on {pieces} shards — replicas agree ✓")
+
+for it in range(ITERATIONS):
+    srt.log.reset()
+    srt.execute(app.iteration_stream())
+    print(f"iteration {it}: {srt.log.messages} messages, "
+          f"{srt.log.bytes} bytes moved between shards")
+
+# the heaviest communication pairs (ring topology → neighbours)
+pairs = sorted(srt.log.by_pair.items(), key=lambda kv: -kv[1])[:4]
+print("\nbusiest shard pairs (src → dst: bytes):")
+for (src, dst), volume in pairs:
+    print(f"  shard {src} → shard {dst}: {volume}")
+
+# validate the distributed state against sequential execution
+stream = TaskStream()
+stream.extend_from(app.init_stream())
+for _ in range(ITERATIONS):
+    stream.extend_from(app.iteration_stream())
+reference = SequentialExecutor(app.tree, app.initial)
+reference.run_stream(stream)
+for field in app.tree.field_space.names:
+    np.testing.assert_allclose(srt.gather_field(field),
+                               reference.field(field))
+print("\ndistributed state gathered by owner == sequential reference ✓")
+print("(nobody wrote a single line of communication code — the analysis")
+print(" derived every message from the partitions and privileges alone)")

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Figure 1 program, end to end.
+
+Builds the graph-computation skeleton from the paper's running example —
+a region of nodes with ``up``/``down`` fields, a disjoint primary
+partition P and an aliased ghost partition G — runs two loop iterations
+through the ray-casting runtime, and shows the dependence structure the
+analysis discovered (the parallel waves of section 3.2).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (READ_WRITE, Extent, IndexSpace, RegionRequirement,
+                   RegionTree, Runtime, reduce)
+from repro.analysis import profile_graph
+from repro.runtime.dependence import schedule_levels
+
+# --- the region tree of Figure 2(c) -----------------------------------
+# 12 graph nodes; P splits them into 3 disjoint pieces; G names each
+# piece's ghost nodes (aliased, incomplete — some nodes in two subregions)
+tree = RegionTree(Extent((12,)), {"up": np.float64, "down": np.float64},
+                  name="N")
+P = tree.root.create_partition(
+    "P", [IndexSpace.from_range(i * 4, (i + 1) * 4) for i in range(3)],
+    disjoint=True, complete=True)
+G = tree.root.create_partition(
+    "G", [IndexSpace.from_indices([3, 4]),
+          IndexSpace.from_indices([0, 7, 8]),
+          IndexSpace.from_indices([0, 4, 11])])
+print(f"region tree: {tree}")
+print(f"  primary partition: {P}")
+print(f"  ghost partition:   {G}")
+
+# --- the runtime, using the paper's production algorithm ----------------
+rt = Runtime(tree, {"up": np.arange(12.0), "down": np.zeros(12)},
+             algorithm="raycast")
+
+
+def t1(p_up, g_down):
+    """read-write p.up, reduce+ g.down (Figure 1, line 7)."""
+    p_up += 1.0
+    g_down += 2.0
+
+
+def t2(p_down, g_up):
+    """read-write p.down, reduce+ g.up (Figure 1, line 9)."""
+    p_down *= 0.5
+    g_up += 3.0
+
+
+# --- the main loop of Figure 1 ------------------------------------------
+for iteration in range(2):
+    for i in range(3):
+        rt.launch(f"t1[{i}]",
+                  [RegionRequirement(P[i], "up", READ_WRITE),
+                   RegionRequirement(G[i], "down", reduce("sum"))],
+                  t1, point=i)
+    for i in range(3):
+        rt.launch(f"t2[{i}]",
+                  [RegionRequirement(P[i], "down", READ_WRITE),
+                   RegionRequirement(G[i], "up", reduce("sum"))],
+                  t2, point=i)
+
+# --- coherent results ----------------------------------------------------
+print("\nfinal field values (coherent, all partitions blended):")
+print(f"  up   = {rt.read_field('up')}")
+print(f"  down = {rt.read_field('down')}")
+
+# --- the discovered parallelism ------------------------------------------
+print(f"\ndependence analysis: {profile_graph(rt.graph)}")
+print("parallel waves (tasks that may run concurrently):")
+for level, wave in enumerate(schedule_levels(rt.graph)):
+    names = ", ".join(rt.tasks[t].name for t in wave)
+    print(f"  wave {level}: {names}")

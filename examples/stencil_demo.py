@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Run the 2-D stencil application and validate it against plain NumPy.
+
+The stencil reads each tile's star-shaped halo through an aliased
+partition while neighbours write the same data through the primary
+partition — implicit halo exchange with no application-level communication
+code, the headline productivity win of content-based coherence (section 2).
+
+Run:  python examples/stencil_demo.py [pieces] [tile]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import Runtime
+from repro.analysis import profile_graph
+from repro.apps import StencilApp
+
+pieces = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+tile = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+ITERATIONS = 4
+
+app = StencilApp(pieces=pieces, tile=tile)
+print(f"stencil: grid {app.extent.shape}, {pieces} tiles of "
+      f"{tile}×{tile} points")
+print(f"  primary partition: {app.P}")
+print(f"  halo partition:    {app.H}")
+
+rt = Runtime(app.tree, app.initial, algorithm="raycast")
+rt.replay(app.init_stream())
+for _ in range(ITERATIONS):
+    rt.replay(app.iteration_stream())
+
+# validate against a direct whole-grid NumPy evaluation (no runtime, no
+# partitions — an independent oracle)
+want = app.reference_result(ITERATIONS)
+got_out = rt.read_field("out")
+np.testing.assert_allclose(got_out, want["out"], rtol=1e-12)
+np.testing.assert_allclose(rt.read_field("in"), want["in"], rtol=1e-12)
+print(f"\nvalidated {ITERATIONS} iterations against direct NumPy "
+      f"evaluation ✓")
+print(f"  out[grid centre] = "
+      f"{got_out.reshape(app.extent.shape)[tile // 2, tile // 2]:.4f}")
+
+profile = profile_graph(rt.graph)
+print(f"\ndependence analysis: {profile}")
+print("every stencil wave ran its tiles in parallel; halo coherence was")
+print("discovered dynamically from the overlap of the H and P partitions.")

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""The full stack on a 2-D heat-diffusion loop: dependent partitioning,
+dynamic tracing, and genuinely parallel execution.
+
+Builds a Jacobi-style heat iteration with partitions computed by the
+dependent-partitioning operators (equal blocks + halo images), runs the
+analysis under tracing (iteration 1 untraced, iteration 2 captured,
+the rest replayed from the memoized dependence template), and finally
+re-executes the analyzed stream on a thread pool, verifying that the
+parallel result matches plain NumPy.
+
+Run:  python examples/traced_parallel_heat.py [pieces] [tile]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (READ, READ_WRITE, ExecutionLog, Extent, IndexSpace,
+                   ParallelExecutor, RegionRequirement, RegionTree, Runtime,
+                   TaskStream, equal_partition)
+from repro.apps.meshes import factor_grid, star_halo, tile_rects
+
+pieces = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+tile = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+ITERATIONS = 6
+ALPHA = 0.1
+
+px, py = factor_grid(pieces)
+extent = Extent((px * tile, py * tile))
+tree = RegionTree(extent, {"t_old": np.float64, "t_new": np.float64},
+                  name="plate")
+rects = tile_rects(extent, px, py)
+P = tree.root.create_partition(
+    "P", [IndexSpace.from_rect(r, extent) for r in rects],
+    disjoint=True, complete=True)
+H = tree.root.create_partition(
+    "H", [star_halo(r, 1, extent) for r in rects])
+print(f"plate {extent.shape}, {pieces} tiles, halo partition "
+      f"{'aliased' if H.is_aliased else 'disjoint'}")
+
+# --- per-tile vectorized 5-point kernels ---------------------------------
+shape = np.asarray(extent.shape, dtype=np.int64)
+kernels = []
+for i, rect in enumerate(rects):
+    tile_space, halo_space = P[i].space, H[i].space
+    coords = tile_space.to_rect_coords(extent)
+    maps = []
+    for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+        nc = coords + np.asarray([dx, dy], dtype=np.int64)
+        valid = ((nc >= 0) & (nc < shape)).all(axis=1)
+        src = halo_space.positions_of(
+            IndexSpace(extent.linearize(nc[valid]), trusted=True))
+        maps.append((np.flatnonzero(valid), src))
+    self_pos = halo_space.positions_of(tile_space)
+    kernels.append((maps, self_pos))
+
+
+def make_diffuse(i):
+    maps, self_pos = kernels[i]
+
+    def diffuse(halo_old, tile_new):
+        lap = -4.0 * halo_old[self_pos]
+        for tgt, src in maps:
+            lap[tgt] += halo_old[src]
+        tile_new[:] = halo_old[self_pos] + ALPHA * lap
+    return diffuse
+
+
+def make_copy_back(i):
+    def copy_back(tile_old, tile_new):
+        tile_old[:] = tile_new
+    return copy_back
+
+
+iteration = TaskStream()
+for i in range(pieces):
+    iteration.append(f"diffuse[{i}]",
+                     [RegionRequirement(H[i], "t_old", READ),
+                      RegionRequirement(P[i], "t_new", READ_WRITE)],
+                     make_diffuse(i), point=i)
+for i in range(pieces):
+    iteration.append(f"copy[{i}]",
+                     [RegionRequirement(P[i], "t_old", READ_WRITE),
+                      RegionRequirement(P[i], "t_new", READ)],
+                     make_copy_back(i), point=i)
+
+# hot spot in the middle of the plate
+initial_t = np.zeros(extent.volume)
+mid = extent.linearize(np.array([extent.shape[0] // 2,
+                                 extent.shape[1] // 2]))[0]
+initial_t[mid] = 100.0
+initial = {"t_old": initial_t.copy(), "t_new": np.zeros(extent.volume)}
+
+# --- analyze under tracing -----------------------------------------------
+rt = Runtime(tree, initial, algorithm="raycast")
+for _ in range(ITERATIONS):
+    rt.execute_trace("heat_loop", iteration)
+captured = rt.meter.counters.get("traces_captured", 0)
+replayed = rt.meter.counters.get("traces_replayed", 0)
+print(f"tracing: {captured} capture, {replayed} replays "
+      f"(dependence analysis skipped on replays)")
+
+# --- re-execute the analyzed stream in parallel --------------------------
+px_exec = ParallelExecutor(tree, initial, max_workers=4)
+log = ExecutionLog()
+px_exec.run(rt.tasks, rt.graph, log)
+print(f"parallel execution: max {log.max_in_flight} tasks in flight, "
+      f"{'re' if log.reordered else 'not re'}ordered vs program order")
+
+# --- validate against plain NumPy ----------------------------------------
+grid = initial_t.reshape(extent.shape).copy()
+for _ in range(ITERATIONS):
+    lap = -4.0 * grid
+    lap[1:, :] += grid[:-1, :]
+    lap[:-1, :] += grid[1:, :]
+    lap[:, 1:] += grid[:, :-1]
+    lap[:, :-1] += grid[:, 1:]
+    grid = grid + ALPHA * lap
+np.testing.assert_allclose(px_exec.field("t_old"), grid.ravel(),
+                           rtol=1e-12)
+np.testing.assert_allclose(rt.read_field("t_old"), grid.ravel(),
+                           rtol=1e-12)
+print(f"validated {ITERATIONS} diffusion steps against plain NumPy ✓")
+print(f"peak temperature now {px_exec.field('t_old').max():.3f} "
+      f"(started at 100.0)")

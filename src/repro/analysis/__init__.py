@@ -1,0 +1,15 @@
+"""Validation and parallelism-analysis helpers.
+
+* :mod:`repro.analysis.validate` — replay one task stream through the
+  sequential reference executor and every coherence algorithm, asserting
+  value equivalence and dependence soundness (the obligations listed in
+  DESIGN.md).
+* :mod:`repro.analysis.metrics` — parallelism profiles of dependence
+  graphs: critical path, width, average parallelism.
+"""
+
+from repro.analysis.metrics import ParallelismProfile, profile_graph
+from repro.analysis.validate import AlgorithmRun, compare_algorithms
+
+__all__ = ["AlgorithmRun", "ParallelismProfile", "compare_algorithms",
+           "profile_graph"]

@@ -1,0 +1,57 @@
+"""Parallelism metrics over dependence graphs.
+
+Dependence analysis exists to relax program order into a parallel partial
+order (section 3.2); these metrics quantify how much parallelism a
+computed graph exposes, and how sharp one algorithm's graph is relative to
+another's (fewer direct edges with the same soundness = less conservative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.dependence import DependenceGraph
+
+
+@dataclass(frozen=True)
+class ParallelismProfile:
+    """Summary of the parallelism a dependence graph exposes.
+
+    Attributes
+    ----------
+    tasks:
+        Number of tasks analyzed.
+    edges:
+        Direct dependence edges recorded.
+    critical_path:
+        Length of the longest chain (number of sequential waves).
+    max_width:
+        Largest parallel wave.
+    avg_parallelism:
+        ``tasks / critical_path`` — mean tasks runnable per wave.
+    """
+
+    tasks: int
+    edges: int
+    critical_path: int
+    max_width: int
+    avg_parallelism: float
+
+    def __str__(self) -> str:
+        return (f"{self.tasks} tasks, {self.edges} edges, "
+                f"critical path {self.critical_path}, "
+                f"width {self.max_width}, "
+                f"avg parallelism {self.avg_parallelism:.2f}")
+
+
+def profile_graph(graph: DependenceGraph) -> ParallelismProfile:
+    """Compute the :class:`ParallelismProfile` of a dependence graph."""
+    tasks = len(graph)
+    cp = graph.critical_path_length()
+    return ParallelismProfile(
+        tasks=tasks,
+        edges=graph.edge_count(),
+        critical_path=cp,
+        max_width=graph.max_width(),
+        avg_parallelism=(tasks / cp) if cp else 0.0,
+    )

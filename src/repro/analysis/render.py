@@ -1,0 +1,126 @@
+"""Human-readable renderings of the analysis structures.
+
+Debugging a coherence algorithm means looking at its structures; this
+module renders them:
+
+* :func:`render_region_tree` — the Figure 2(c) picture as ASCII art;
+* :func:`render_waves` — the parallel schedule as wave lines;
+* :func:`dependence_dot` — the dependence graph in Graphviz DOT (levels as
+  ranks), viewable with any DOT tool;
+* :func:`render_eqset_map` — the equivalence-set decomposition of a field
+  as a per-element map (the Figure 10 refinement, flattened);
+* :func:`render_machine_timeline` — per-node busy time bars from the
+  simulator.
+
+Everything returns plain strings; nothing here imports plotting libraries.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.regions.region import Region
+from repro.regions.tree import RegionTree
+from repro.runtime.dependence import DependenceGraph, schedule_levels
+from repro.runtime.task import Task
+
+
+def render_region_tree(tree: RegionTree) -> str:
+    """ASCII rendering of a region tree with partition properties."""
+    lines: list[str] = []
+
+    def visit(region: Region, prefix: str, is_last: bool) -> None:
+        connector = "" if region.is_root else ("└─ " if is_last else "├─ ")
+        lines.append(f"{prefix}{connector}{region.name} "
+                     f"[{region.space.size} elems]")
+        child_prefix = prefix if region.is_root else \
+            prefix + ("   " if is_last else "│  ")
+        parts = list(region.partitions.values())
+        for p, part in enumerate(parts):
+            last_part = p == len(parts) - 1
+            props = ("disjoint" if part.disjoint else "aliased") + "+" + \
+                ("complete" if part.complete else "incomplete")
+            lines.append(f"{child_prefix}{'└─' if last_part else '├─'}"
+                         f"◬ {part.name} ({props})")
+            part_prefix = child_prefix + ("  " if last_part else "│ ")
+            for s, sub in enumerate(part.subregions):
+                visit(sub, part_prefix, s == len(part.subregions) - 1)
+
+    visit(tree.root, "", True)
+    return "\n".join(lines)
+
+
+def render_waves(tasks: Sequence[Task], graph: DependenceGraph) -> str:
+    """The parallel schedule, one line per dependence level."""
+    names = {t.task_id: t.name for t in tasks}
+    lines = []
+    for level, wave in enumerate(schedule_levels(graph)):
+        pretty = ", ".join(names.get(t, f"t{t}") for t in wave)
+        lines.append(f"wave {level:>3}: {pretty}")
+    return "\n".join(lines)
+
+
+def dependence_dot(tasks: Sequence[Task], graph: DependenceGraph,
+                   title: str = "dependences") -> str:
+    """Graphviz DOT of the dependence graph, ranked by level."""
+    names = {t.task_id: t.name for t in tasks}
+    out = [f'digraph "{title}" {{', "  rankdir=TB;",
+           '  node [shape=box, fontname="monospace"];']
+    for level, wave in enumerate(schedule_levels(graph)):
+        members = "; ".join(f'"t{t}"' for t in wave)
+        out.append(f"  {{ rank=same; {members} }}")
+    for tid in graph.task_ids:
+        label = names.get(tid, f"t{tid}").replace('"', "'")
+        out.append(f'  "t{tid}" [label="{label}"];')
+    for tid in graph.task_ids:
+        for dep in sorted(graph.dependences_of(tid)):
+            out.append(f'  "t{dep}" -> "t{tid}";')
+    out.append("}")
+    return "\n".join(out)
+
+
+_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def render_eqset_map(algorithm, width: Optional[int] = None) -> str:
+    """Per-element map of which equivalence set owns each element.
+
+    Works for the Warnock and ray-casting algorithms (anything exposing a
+    ``store`` with ``all_sets()``).  Elements of the same set share a
+    glyph; ``width`` wraps the map into rows (e.g. the grid width for a
+    2-D stencil field).
+    """
+    sets = algorithm.store.all_sets()
+    root = algorithm.tree.root.space
+    glyph_of = np.full(root.size, "?", dtype="<U1")
+    for k, eqset in enumerate(sorted(sets, key=lambda s: s.space.bounds)):
+        glyph = _GLYPHS[k % len(_GLYPHS)]
+        glyph_of[root.positions_of(eqset.space)] = glyph
+    flat = "".join(glyph_of)
+    if not width or width <= 0:
+        return flat
+    return "\n".join(flat[i:i + width] for i in range(0, len(flat), width))
+
+
+def render_machine_timeline(clocks: np.ndarray, scale: int = 50,
+                            unit: str = "s") -> str:
+    """Per-node busy-time bars (from ``MachineSimulator.clocks``)."""
+    clocks = np.asarray(clocks, dtype=float)
+    peak = float(clocks.max()) if clocks.size else 0.0
+    lines = []
+    for node, t in enumerate(clocks):
+        bar = "#" * (0 if peak <= 0 else int(round(t / peak * scale)))
+        lines.append(f"node {node:>4} |{bar:<{scale}}| {t:.6f}{unit}")
+    return "\n".join(lines)
+
+
+def summarize_costs(counters: Mapping[str, int]) -> str:
+    """One-line-per-event summary of a cost meter's counters."""
+    if not counters:
+        return "(no metered operations)"
+    width = max(len(k) for k in counters)
+    return "\n".join(f"{k:<{width}} {v:>12,}"
+                     for k, v in sorted(counters.items(),
+                                        key=lambda kv: -kv[1]))

@@ -1,0 +1,34 @@
+"""The paper's three benchmark applications (section 8).
+
+Each application reproduces the *access pattern* of its Regent original —
+which partitions exist, which regions each task names, with which
+privileges — because that stream is all the coherence algorithms ever see.
+Task bodies perform real (small) numerical work so the applications are
+also end-to-end correctness tests against the sequential reference
+executor.
+
+* :class:`~repro.apps.stencil.StencilApp` — 2-D 9-point star stencil
+  (radius 2, no corners) on a regular grid, PRK-style, intermixed with
+  data-parallel updates.
+* :class:`~repro.apps.circuit.CircuitApp` — irregular graph circuit
+  simulation with aliased ghost subregions and ``+`` reductions (the
+  program Figure 1 is derived from).
+* :class:`~repro.apps.pennant.PennantApp` — unstructured-mesh Lagrangian
+  hydrodynamics skeleton with several distinct reduction operators.
+
+All are built with ``pieces == nodes`` for weak scaling; the per-piece
+problem size stays constant as the machine grows.
+"""
+
+from repro.apps.base import Application
+from repro.apps.stencil import StencilApp
+from repro.apps.circuit import CircuitApp
+from repro.apps.pennant import PennantApp
+
+APPS = {
+    "stencil": StencilApp,
+    "circuit": CircuitApp,
+    "pennant": PennantApp,
+}
+
+__all__ = ["APPS", "Application", "CircuitApp", "PennantApp", "StencilApp"]

@@ -1,0 +1,58 @@
+"""The application interface consumed by the simulator and benchmarks."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping
+
+import numpy as np
+
+from repro.regions.tree import RegionTree
+from repro.runtime.task import TaskStream
+
+
+class Application(ABC):
+    """A weak-scaling benchmark application.
+
+    Concrete applications build their region tree and partitions in
+    ``__init__`` and expose task streams; the driver replays the streams
+    through a :class:`~repro.runtime.context.Runtime` (for analysis and
+    execution) and through the
+    :class:`~repro.machine.simulator.MachineSimulator` (for timing).
+
+    Attributes
+    ----------
+    tree:
+        The application's region tree.
+    initial:
+        Initial field values over the root region.
+    pieces:
+        Number of data pieces == simulated machine nodes.
+    units_per_piece:
+        Work units (points / wires / zones) per piece, the weak-scaling
+        throughput denominator.
+    """
+
+    name: str = "app"
+
+    tree: RegionTree
+    initial: Mapping[str, np.ndarray]
+    pieces: int
+    units_per_piece: int
+
+    @abstractmethod
+    def init_stream(self) -> TaskStream:
+        """Tasks that initialize the application's data (run once)."""
+
+    @abstractmethod
+    def iteration_stream(self) -> TaskStream:
+        """Tasks of one top-level loop iteration (run repeatedly)."""
+
+    def setup_objects(self) -> int:
+        """How many named objects (subregions) setup created — charged as
+        partition-construction work by the simulator."""
+        return max(0, len(self.tree) - 1)
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(pieces={self.pieces}, "
+                f"units/piece={self.units_per_piece})")

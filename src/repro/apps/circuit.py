@@ -1,0 +1,205 @@
+"""The circuit-simulation benchmark (section 8, after [22]).
+
+This is the application Figure 1's skeleton is derived from: an irregular
+graph of circuit *nodes* and *wires*.  As in the Legion original, both
+live in one collection — elements ``[0, num_nodes)`` are nodes, the rest
+are wires — with per-element fields ``voltage``/``charge`` (meaningful on
+nodes) and ``current`` (meaningful on wires).  Partitions:
+
+* ``P``   — each piece's nodes (disjoint, incomplete: nodes only);
+* ``G``   — each piece's ghost nodes, the external endpoints of its wires
+  (aliased, incomplete — Figure 2's structure);
+* ``W``   — each piece's wires (disjoint, incomplete);
+* ``ALL`` — each piece's nodes ∪ wires (disjoint **and complete** — the
+  partition ray casting buckets against).
+
+One loop iteration launches three phases per piece:
+
+1. ``currents[i]``   — read ``voltage`` on P[i] and G[i] (aliased reads
+   are allowed within a task), read-write ``current`` on W[i];
+2. ``distribute[i]`` — read ``current`` on W[i], reduce\\ :sub:`+`
+   ``charge`` on P[i] and G[i] (aliased same-operator reductions);
+3. ``update[i]``     — read-write ``voltage`` and ``charge`` on P[i].
+
+Phase 3's write through ``P`` of data phase 2 reduced through ``G`` is
+exactly the cross-partition coherence pattern sections 2–3 analyze, and
+the wire ``current`` field carries the currents *through the region tree*
+so the dependence analysis sees the full dataflow (currents[i] →
+distribute[i]) — no side channels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import Application
+from repro.apps.meshes import CircuitGraph, random_circuit
+from repro.geometry.index_space import IndexSpace
+from repro.privileges import READ, READ_WRITE, reduce
+from repro.regions.tree import RegionTree
+from repro.runtime.task import RegionRequirement, TaskStream
+
+_RESISTANCE = 10.0
+_CAPACITANCE = 2.0
+_DT = 0.1
+
+
+class CircuitApp(Application):
+    """Graph circuit simulation over ``pieces`` blocks of nodes+wires."""
+
+    name = "circuit"
+
+    def __init__(self, pieces: int, nodes_per_piece: int = 32,
+                 wires_per_piece: int = 48, pct_external: float = 0.2,
+                 seed: int = 0) -> None:
+        self.pieces = pieces
+        self.units_per_piece = wires_per_piece
+        self.graph: CircuitGraph = random_circuit(
+            pieces, nodes_per_piece, wires_per_piece, pct_external, seed)
+        num_nodes = self.graph.num_nodes
+        num_wires = pieces * wires_per_piece
+        self.num_nodes = num_nodes
+        self.tree = RegionTree(
+            num_nodes + num_wires,
+            {"voltage": np.float64, "charge": np.float64,
+             "current": np.float64},
+            name="circuit")
+
+        # layout: piece i owns one contiguous block [its nodes | its wires]
+        # so every piece's bounding interval is compact and disjoint from
+        # its neighbours' — the locality a real mapper provides.  Graph
+        # node ids (dense per piece) are remapped into the blocks.
+        block = nodes_per_piece + wires_per_piece
+        self._npp, self._block = nodes_per_piece, block
+
+        node_spaces = [IndexSpace.from_range(i * block,
+                                             i * block + nodes_per_piece)
+                       for i in range(pieces)]
+        wire_spaces = [IndexSpace.from_range(i * block + nodes_per_piece,
+                                             (i + 1) * block)
+                       for i in range(pieces)]
+        # the disjoint+complete piece partition (nodes ∪ wires per piece):
+        # created first so ray casting buckets against it
+        self.ALL = self.tree.root.create_partition(
+            "ALL", [n | w for n, w in zip(node_spaces, wire_spaces)],
+            disjoint=True, complete=True)
+        self.P = self.tree.root.create_partition(
+            "P", node_spaces, disjoint=True)
+        self.W = self.tree.root.create_partition(
+            "W", wire_spaces, disjoint=True)
+        self.G = self.tree.root.create_partition(
+            "G", [self._remap_space(g) if not g.is_empty
+                  else IndexSpace.from_indices([i * block])
+                  for i, g in enumerate(self.graph.ghosts)])
+
+        total = num_nodes + num_wires
+        self.initial = {"voltage": np.zeros(total),
+                        "charge": np.zeros(total),
+                        "current": np.zeros(total)}
+        self._maps = [self._build_maps(i) for i in range(pieces)]
+        self._init_stream = self._make_init_stream()
+        self._iter_stream = self._make_iteration_stream()
+
+    # ------------------------------------------------------------------
+    def _remap(self, node_ids: np.ndarray) -> np.ndarray:
+        """Map dense graph node ids into the blocked element layout."""
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        return (node_ids // self._npp) * self._block + node_ids % self._npp
+
+    def _remap_space(self, space: IndexSpace) -> IndexSpace:
+        return IndexSpace.from_indices(self._remap(space.indices))
+
+    def _build_maps(self, i: int):
+        """For each wire endpoint, whether it resolves into the private
+        (P[i]) buffer or the ghost (G[i]) buffer, and at which position."""
+        pspace = self.P[i].space
+        gspace = self.G[i].space
+        maps = []
+        for side in range(2):
+            ids = self._remap(self.graph.wires[i][:, side])
+            in_p = np.isin(ids, pspace.indices)
+            pos = np.empty(ids.shape[0], dtype=np.int64)
+            if in_p.any():
+                pos[in_p] = np.searchsorted(pspace.indices, ids[in_p])
+            outside = ~in_p
+            if outside.any():
+                pos[outside] = np.searchsorted(gspace.indices, ids[outside])
+            maps.append((in_p, pos))
+        return maps
+
+    @staticmethod
+    def _gather(maps_side, private: np.ndarray, ghost: np.ndarray
+                ) -> np.ndarray:
+        in_p, pos = maps_side
+        out = np.empty(pos.shape[0])
+        out[in_p] = private[pos[in_p]]
+        out[~in_p] = ghost[pos[~in_p]]
+        return out
+
+    @staticmethod
+    def _scatter_add(maps_side, private: np.ndarray, ghost: np.ndarray,
+                     values: np.ndarray) -> None:
+        in_p, pos = maps_side
+        np.add.at(private, pos[in_p], values[in_p])
+        np.add.at(ghost, pos[~in_p], values[~in_p])
+
+    # ------------------------------------------------------------------
+    def _make_init_stream(self) -> TaskStream:
+        stream = TaskStream()
+        for i in range(self.pieces):
+            lo, hi = self.graph.piece_nodes[i]
+
+            def body(voltage, charge, lo=lo, hi=hi):
+                voltage[:] = np.linspace(-1.0, 1.0, hi - lo)
+                charge[:] = 0.0
+            stream.append(
+                f"init[{i}]",
+                [RegionRequirement(self.P[i], "voltage", READ_WRITE),
+                 RegionRequirement(self.P[i], "charge", READ_WRITE)],
+                body, point=i)
+        return stream
+
+    def _make_iteration_stream(self) -> TaskStream:
+        stream = TaskStream()
+        for i in range(self.pieces):
+            maps = self._maps[i]
+
+            def currents_body(pv, gv, cur, maps=maps):
+                va = self._gather(maps[0], pv, gv)
+                vb = self._gather(maps[1], pv, gv)
+                cur[:] = (va - vb) / _RESISTANCE
+            stream.append(
+                f"currents[{i}]",
+                [RegionRequirement(self.P[i], "voltage", READ),
+                 RegionRequirement(self.G[i], "voltage", READ),
+                 RegionRequirement(self.W[i], "current", READ_WRITE)],
+                currents_body, point=i)
+        for i in range(self.pieces):
+            maps = self._maps[i]
+
+            def distribute_body(cur, pc, gc, maps=maps):
+                self._scatter_add(maps[0], pc, gc, -cur * _DT)
+                self._scatter_add(maps[1], pc, gc, cur * _DT)
+            stream.append(
+                f"distribute[{i}]",
+                [RegionRequirement(self.W[i], "current", READ),
+                 RegionRequirement(self.P[i], "charge", reduce("sum")),
+                 RegionRequirement(self.G[i], "charge", reduce("sum"))],
+                distribute_body, point=i)
+        for i in range(self.pieces):
+            def update_body(voltage, charge):
+                voltage += charge / _CAPACITANCE
+                charge[:] = 0.0
+            stream.append(
+                f"update[{i}]",
+                [RegionRequirement(self.P[i], "voltage", READ_WRITE),
+                 RegionRequirement(self.P[i], "charge", READ_WRITE)],
+                update_body, point=i)
+        return stream
+
+    # ------------------------------------------------------------------
+    def init_stream(self) -> TaskStream:
+        return self._init_stream
+
+    def iteration_stream(self) -> TaskStream:
+        return self._iter_stream

@@ -1,0 +1,186 @@
+"""Mesh, grid, and graph generators with partitioners.
+
+These build the index-space structure each benchmark partitions:
+
+* :func:`block_ranges` / :func:`factor_grid` / :func:`tile_rects` — dense
+  block decompositions for the structured Stencil grid;
+* :func:`star_halo` — the ghost region of a tile for a star-shaped stencil
+  (radius cells in each axis direction, no corners — the paper's footnote 5);
+* :func:`random_circuit` — an irregular circuit graph with per-piece node
+  blocks and cross-piece wires (the ghost-node structure of Figure 2);
+* :func:`strip_mesh` — the 1-D strip decomposition of a structured quad
+  mesh used by the Pennant skeleton (zones per piece, shared boundary
+  point columns as ghosts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.index_space import IndexSpace
+from repro.geometry.point import Extent, Rect
+
+
+def block_ranges(n: int, pieces: int) -> list[tuple[int, int]]:
+    """Split ``[0, n)`` into ``pieces`` nearly equal half-open blocks."""
+    if pieces < 1 or n < pieces:
+        raise GeometryError(f"cannot split {n} elements into {pieces} pieces")
+    bounds = np.linspace(0, n, pieces + 1).astype(np.int64)
+    return [(int(a), int(b)) for a, b in zip(bounds, bounds[1:])]
+
+
+def factor_grid(pieces: int) -> tuple[int, int]:
+    """Factor a piece count into the most square (px, py) grid."""
+    best = (pieces, 1)
+    for px in range(1, int(np.sqrt(pieces)) + 1):
+        if pieces % px == 0:
+            best = (pieces // px, px)
+    return best
+
+
+def tile_rects(extent: Extent, px: int, py: int) -> list[Rect]:
+    """Tile a 2-D extent into a ``px × py`` grid of rectangles."""
+    if extent.dim != 2:
+        raise GeometryError("tile_rects requires a 2-D extent")
+    h, w = extent.shape
+    if h % px or w % py:
+        raise GeometryError(f"extent {extent.shape} not divisible by "
+                            f"({px}, {py}) tiles")
+    th, tw = h // px, w // py
+    out = []
+    for i in range(px):
+        for j in range(py):
+            out.append(Rect((i * th, j * tw),
+                            ((i + 1) * th - 1, (j + 1) * tw - 1)))
+    return out
+
+
+def star_halo(tile: Rect, radius: int, extent: Extent) -> IndexSpace:
+    """Tile plus its star-shaped halo: ``radius`` extra cells along each
+    axis, excluding diagonal corners (a 9-point star-of-radius-2 stencil
+    reads exactly this shape)."""
+    grown_x = Rect((tile.lo[0] - radius, tile.lo[1]),
+                   (tile.hi[0] + radius, tile.hi[1])).clamp(extent)
+    grown_y = Rect((tile.lo[0], tile.lo[1] - radius),
+                   (tile.hi[0], tile.hi[1] + radius)).clamp(extent)
+    return (IndexSpace.from_rect(grown_x, extent)
+            | IndexSpace.from_rect(grown_y, extent))
+
+
+# ----------------------------------------------------------------------
+# circuit graphs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CircuitGraph:
+    """An irregular circuit: per-piece node blocks plus wires.
+
+    Attributes
+    ----------
+    num_nodes:
+        Total circuit nodes.
+    piece_nodes:
+        Half-open node-id range per piece.
+    wires:
+        Per piece, an ``(w, 2)`` array of global node-id endpoints; the
+        first endpoint is always inside the piece, the second may be a
+        ghost node in another piece.
+    ghosts:
+        Per piece, the index space of external nodes its wires touch.
+    """
+
+    num_nodes: int
+    piece_nodes: list[tuple[int, int]]
+    wires: list[np.ndarray]
+    ghosts: list[IndexSpace]
+
+
+def random_circuit(pieces: int, nodes_per_piece: int, wires_per_piece: int,
+                   pct_external: float = 0.2,
+                   seed: int = 0) -> CircuitGraph:
+    """Generate the paper's circuit workload shape.
+
+    Each piece owns a block of nodes; ``pct_external`` of its wires reach
+    into a *neighboring* piece (ring topology, like the distributions the
+    Legion circuit app uses), inducing aliased ghost subregions whose size
+    stays constant under weak scaling.
+    """
+    if pieces < 1 or nodes_per_piece < 2 or wires_per_piece < 1:
+        raise GeometryError("invalid circuit parameters")
+    rng = np.random.default_rng(seed)
+    num_nodes = pieces * nodes_per_piece
+    piece_nodes = [(i * nodes_per_piece, (i + 1) * nodes_per_piece)
+                   for i in range(pieces)]
+    wires: list[np.ndarray] = []
+    ghosts: list[IndexSpace] = []
+    for i in range(pieces):
+        lo, hi = piece_nodes[i]
+        a = rng.integers(lo, hi, size=wires_per_piece)
+        b = rng.integers(lo, hi, size=wires_per_piece)
+        if pieces > 1:
+            external = rng.random(wires_per_piece) < pct_external
+            n_ext = int(external.sum())
+            if n_ext:
+                neighbors = np.where(rng.random(n_ext) < 0.5,
+                                     (i - 1) % pieces, (i + 1) % pieces)
+                offs = rng.integers(0, nodes_per_piece, size=n_ext)
+                b[external] = neighbors * nodes_per_piece + offs
+        # avoid self-loop wires
+        loops = a == b
+        b[loops] = lo + (b[loops] - lo + 1) % nodes_per_piece
+        wires.append(np.stack([a, b], axis=1))
+        outside = (b < lo) | (b >= hi)
+        ghosts.append(IndexSpace.from_indices(np.unique(b[outside])))
+    return CircuitGraph(num_nodes, piece_nodes, wires, ghosts)
+
+
+# ----------------------------------------------------------------------
+# pennant strip meshes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StripMesh:
+    """A structured quad mesh decomposed into vertical strips of zones.
+
+    Points live on an ``(zx*pieces + 1) × (zy + 1)`` grid; piece *i* owns
+    point columns ``[i*zx, (i+1)*zx)`` (the last piece also owns the final
+    column), and its ghost points are the first column of the next piece —
+    the points its right-most zones share with its neighbor.
+    """
+
+    pieces: int
+    zones_x: int          # zones per piece along x
+    zones_y: int
+    point_extent: Extent  # (columns, rows) of points
+    owned: list[IndexSpace]
+    zone_view: list[IndexSpace]   # all points each piece's zones touch
+    ghosts: list[IndexSpace]
+
+
+def strip_mesh(pieces: int, zones_x: int, zones_y: int) -> StripMesh:
+    """Build a strip-decomposed quad mesh for the Pennant skeleton."""
+    if pieces < 1 or zones_x < 1 or zones_y < 1:
+        raise GeometryError("invalid mesh parameters")
+    cols = pieces * zones_x + 1
+    rows = zones_y + 1
+    extent = Extent((cols, rows))
+    owned: list[IndexSpace] = []
+    zone_view: list[IndexSpace] = []
+    ghosts: list[IndexSpace] = []
+    for i in range(pieces):
+        first = i * zones_x
+        last_owned = (i + 1) * zones_x - 1 if i < pieces - 1 \
+            else pieces * zones_x
+        owned.append(IndexSpace.from_rect(
+            Rect((first, 0), (last_owned, rows - 1)), extent))
+        view_last = min((i + 1) * zones_x, cols - 1)
+        zone_view.append(IndexSpace.from_rect(
+            Rect((first, 0), (view_last, rows - 1)), extent))
+        if i < pieces - 1:
+            ghosts.append(IndexSpace.from_rect(
+                Rect((view_last, 0), (view_last, rows - 1)), extent))
+        else:
+            ghosts.append(IndexSpace.empty())
+    return StripMesh(pieces, zones_x, zones_y, extent, owned, zone_view,
+                     ghosts)

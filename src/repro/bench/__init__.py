@@ -1,0 +1,16 @@
+"""Benchmark harness: regenerate the paper's figures and tables.
+
+* :mod:`repro.bench.harness` — run one application across machine scales
+  and configurations, producing rows in the artifact's TSV schema
+  (``system nodes procs_per_node rep init_time elapsed_time``).
+* :mod:`repro.bench.figures` — the six figure definitions of section 8
+  (Figures 12–17) plus shape checks that encode who-wins orderings.
+"""
+
+from repro.bench.harness import (BenchRow, render_rows, run_sweep,
+                                 sweep_to_rows)
+from repro.bench.figures import (FIGURES, FigureSpec, figure_series,
+                                 render_series)
+
+__all__ = ["BenchRow", "FIGURES", "FigureSpec", "figure_series",
+           "render_rows", "render_series", "run_sweep", "sweep_to_rows"]

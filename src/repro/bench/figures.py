@@ -1,0 +1,154 @@
+"""The six figures of section 8, as executable specifications.
+
+Each :class:`FigureSpec` records what the paper plots (which application,
+which metric, which unit scale) and the qualitative *shape claims* the
+text makes about it; :func:`check_shape` asserts those claims against a
+sweep so the benchmark suite fails loudly if a change to the algorithms
+breaks the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.apps import CircuitApp, PennantApp, StencilApp
+from repro.apps.base import Application
+from repro.machine.simulator import SimResult
+
+#: The machine scales of section 8 (Piz Daint, 1–512 nodes).
+PAPER_NODE_COUNTS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One of Figures 12–17."""
+
+    figure: str          # "fig12" ... "fig17"
+    title: str
+    app: str             # stencil / circuit / pennant
+    metric: str          # "init" or "weak"
+    unit: str            # y-axis unit label
+    unit_scale: float    # divide throughput by this for the paper's axis
+    app_factory: Callable[[int], Application]
+
+
+def _stencil(nodes: int) -> Application:
+    return StencilApp(pieces=nodes, tile=8)
+
+
+def _circuit(nodes: int) -> Application:
+    return CircuitApp(pieces=nodes, nodes_per_piece=24, wires_per_piece=32)
+
+
+def _pennant(nodes: int) -> Application:
+    return PennantApp(pieces=nodes, zones_x=6, zones_y=6)
+
+
+FIGURES: dict[str, FigureSpec] = {
+    "fig12": FigureSpec("fig12", "Stencil initialization time", "stencil",
+                        "init", "seconds", 1.0, _stencil),
+    "fig13": FigureSpec("fig13", "Circuit initialization time", "circuit",
+                        "init", "seconds", 1.0, _circuit),
+    "fig14": FigureSpec("fig14", "Pennant initialization time", "pennant",
+                        "init", "seconds", 1.0, _pennant),
+    "fig15": FigureSpec("fig15", "Stencil weak scaling", "stencil",
+                        "weak", "points/s per node", 1.0, _stencil),
+    "fig16": FigureSpec("fig16", "Circuit weak scaling", "circuit",
+                        "weak", "wires/s per node", 1.0, _circuit),
+    "fig17": FigureSpec("fig17", "Pennant weak scaling", "pennant",
+                        "weak", "zones/s per node", 1.0, _pennant),
+}
+
+#: Legend order used in the paper's plots.
+SERIES_ORDER = ("raycast_dcr", "raycast_nodcr", "warnock_dcr",
+                "warnock_nodcr", "tree_painter_nodcr")
+
+
+def figure_series(spec: FigureSpec,
+                  sweep: dict[tuple[str, int], SimResult]
+                  ) -> dict[str, list[tuple[int, float]]]:
+    """Extract one figure's plotted series from its application's sweep."""
+    series: dict[str, list[tuple[int, float]]] = {}
+    for (system, nodes), result in sorted(sweep.items()):
+        if spec.metric == "init":
+            value = result.init_time
+        else:
+            value = result.throughput_per_node / spec.unit_scale
+        series.setdefault(system, []).append((nodes, value))
+    return {name: sorted(pts) for name, pts in series.items()}
+
+
+def render_series(spec: FigureSpec,
+                  series: dict[str, list[tuple[int, float]]]) -> str:
+    """Render one figure as an aligned text table (nodes × series)."""
+    systems = [s for s in SERIES_ORDER if s in series] + \
+        sorted(set(series) - set(SERIES_ORDER))
+    nodes = sorted({n for pts in series.values() for n, _ in pts})
+    lines = [f"# {spec.figure}: {spec.title} [{spec.unit}]"]
+    lines.append("nodes\t" + "\t".join(systems))
+    for n in nodes:
+        cells = []
+        for s in systems:
+            val = dict(series[s]).get(n)
+            cells.append("-" if val is None else f"{val:.6g}")
+        lines.append(f"{n}\t" + "\t".join(cells))
+    return "\n".join(lines)
+
+
+def check_shape(spec: FigureSpec,
+                sweep: dict[tuple[str, int], SimResult]) -> list[str]:
+    """Verify the qualitative claims section 8 makes about this figure.
+
+    Returns a list of violated claims (empty = reproduction holds).
+    """
+    series = figure_series(spec, sweep)
+    problems: list[str] = []
+    largest = max(n for pts in series.values() for n, _ in pts)
+
+    def at(system: str, nodes: int) -> float:
+        return dict(series[system])[nodes]
+
+    if spec.metric == "init":
+        # ray casting "easily performs the best"
+        for other in ("warnock_dcr", "warnock_nodcr", "tree_painter_nodcr"):
+            if other in series and at("raycast_dcr", largest) > \
+                    at(other, largest) * 1.05:
+                problems.append(
+                    f"raycast_dcr init not best at {largest} nodes "
+                    f"(vs {other})")
+        # Warnock's eq-set growth: worse than raycast like-for-like
+        for suffix in ("dcr", "nodcr"):
+            w, r = f"warnock_{suffix}", f"raycast_{suffix}"
+            if w in series and r in series and at(w, largest) < at(r, largest):
+                problems.append(
+                    f"warnock_{suffix} init unexpectedly beats raycast "
+                    f"at {largest} nodes")
+        # the painter's centralized composite views: worst at scale
+        if "tree_painter_nodcr" in series and largest >= 64:
+            if at("tree_painter_nodcr", largest) < \
+                    at("warnock_nodcr", largest):
+                problems.append(
+                    f"painter init unexpectedly beats warnock at {largest}")
+    else:
+        # weak scaling: raycast ≥ warnock ≥ painter, like-for-like
+        for suffix in ("dcr", "nodcr"):
+            w, r = f"warnock_{suffix}", f"raycast_{suffix}"
+            if w in series and r in series:
+                if at(r, largest) < at(w, largest) * 0.95:
+                    problems.append(
+                        f"raycast_{suffix} throughput below warnock at "
+                        f"{largest} nodes")
+        if "tree_painter_nodcr" in series and largest >= 32:
+            if at("tree_painter_nodcr", largest) > \
+                    at("warnock_nodcr", largest):
+                problems.append(
+                    f"painter throughput unexpectedly beats warnock at "
+                    f"{largest}")
+        # DCR must help at scale
+        for algo in ("raycast", "warnock"):
+            d, n = f"{algo}_dcr", f"{algo}_nodcr"
+            if d in series and n in series and largest >= 32:
+                if at(d, largest) < at(n, largest):
+                    problems.append(f"DCR does not help {algo} at {largest}")
+    return problems

@@ -1,0 +1,102 @@
+"""Experiment runner emitting the artifact's measurement schema.
+
+The paper's artifact (appendix A.4) reports one TSV row per run:
+
+    system  nodes  procs_per_node  rep  init_time  elapsed_time
+
+``system`` is ``<algorithm>_<dcr|nodcr>`` (the artifact's ``neweqcr`` is
+our ``raycast``, ``oldeqcr`` is ``warnock``, ``paint`` is the optimized
+painter).  The simulator is deterministic, so every rep of a configuration
+produces identical times; the rep column is kept for schema compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.apps.base import Application
+from repro.machine.costmodel import CostModel
+from repro.machine.simulator import SimResult, simulate_app
+from repro.machine.topology import MachineSpec
+
+#: The five configurations of section 8's figures, in legend order.
+PAPER_CONFIGS: tuple[tuple[str, bool], ...] = (
+    ("raycast", True),
+    ("raycast", False),
+    ("warnock", True),
+    ("warnock", False),
+    ("tree_painter", False),   # "Paint, No DCR" — predates DCR
+)
+
+#: Map from our algorithm names to the artifact's directory names.
+ARTIFACT_NAMES = {
+    "raycast": "neweqcr",
+    "warnock": "oldeqcr",
+    "tree_painter": "paint",
+    "painter": "paint_naive",
+}
+
+
+@dataclass(frozen=True)
+class BenchRow:
+    """One TSV row of the artifact schema."""
+
+    system: str
+    nodes: int
+    procs_per_node: int
+    rep: int
+    init_time: float
+    elapsed_time: float
+
+    def tsv(self) -> str:
+        return (f"{self.system}\t{self.nodes}\t{self.procs_per_node}\t"
+                f"{self.rep}\t{self.init_time:.6f}\t{self.elapsed_time:.6f}")
+
+
+def run_sweep(app_factory: Callable[[int], Application],
+              node_counts: Sequence[int],
+              configs: Sequence[tuple[str, bool]] = PAPER_CONFIGS,
+              steady_iterations: int = 3,
+              spec: Optional[MachineSpec] = None,
+              cost_model: Optional[CostModel] = None
+              ) -> dict[tuple[str, int], SimResult]:
+    """Run every (config, nodes) cell of one figure's sweep.
+
+    Returns results keyed by (system, nodes); one sweep feeds both the
+    initialization figure and the weak-scaling figure of its application.
+    """
+    out: dict[tuple[str, int], SimResult] = {}
+    for nodes in node_counts:
+        for algorithm, dcr in configs:
+            app = app_factory(nodes)
+            result = simulate_app(app, algorithm, dcr=dcr,
+                                  steady_iterations=steady_iterations,
+                                  spec=spec, cost_model=cost_model)
+            out[(result.system, nodes)] = result
+    return out
+
+
+def sweep_to_rows(sweep: dict[tuple[str, int], SimResult],
+                  reps: int = 5) -> list[BenchRow]:
+    """Expand a sweep into artifact-schema rows.
+
+    The simulator is deterministic; the paper runs 5 reps per job, so we
+    emit ``reps`` identical rows per cell to match the schema exactly.
+    """
+    rows: list[BenchRow] = []
+    for (system, nodes), result in sorted(sweep.items()):
+        algo, dcr = system.rsplit("_", 1)
+        artifact_system = f"{ARTIFACT_NAMES.get(algo, algo)}_{dcr}"
+        for rep in range(reps):
+            rows.append(BenchRow(
+                system=artifact_system, nodes=nodes, procs_per_node=1,
+                rep=rep, init_time=result.init_time,
+                elapsed_time=result.elapsed_time))
+    return rows
+
+
+def render_rows(rows: Sequence[BenchRow]) -> str:
+    """Render rows as the artifact's parse_results.py TSV table."""
+    header = "system\tnodes\tprocs_per_node\trep\tinit_time\telapsed_time"
+    return "\n".join([header, *(r.tsv() for r in rows)])

@@ -1,0 +1,98 @@
+"""Terminal plots of benchmark series.
+
+The paper's figures are log-linear plots of five configurations across
+machine sizes; :func:`ascii_plot` renders the same series as a text chart
+so `python -m repro figure --plot` and the markdown report can show the
+*shape* without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+#: Per-series glyphs, in legend order.
+GLYPHS = "RrWwPzabcdef"
+
+#: Glyph drawn where two series land on the same cell.
+COLLISION = "+"
+
+
+def _log2(x: float) -> float:
+    return math.log2(max(x, 1e-300))
+
+
+def _log10(x: float) -> float:
+    return math.log10(max(x, 1e-300))
+
+
+def ascii_plot(series: Mapping[str, Sequence[tuple[float, float]]],
+               *, width: int = 64, height: int = 16,
+               log_x: bool = True, log_y: bool = True,
+               title: str = "") -> str:
+    """Render named (x, y) series as an ASCII chart with a legend.
+
+    ``log_x`` suits the paper's power-of-two node counts; ``log_y`` suits
+    quantities spanning decades (init times, throughput).  Empty input
+    yields a stub chart rather than an error.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not points:
+        lines.append("(no data)")
+        return "\n".join(lines)
+
+    fx = _log2 if log_x else float
+    fy = _log10 if log_y else float
+    xs = [fx(x) for x, _ in points]
+    ys = [fy(y) for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        col = round((fx(x) - x_lo) / x_span * (width - 1))
+        row = round((fy(y) - y_lo) / y_span * (height - 1))
+        return (height - 1 - row), col
+
+    for k, (name, pts) in enumerate(series.items()):
+        glyph = GLYPHS[k % len(GLYPHS)]
+        for x, y in pts:
+            r, c = cell(x, y)
+            grid[r][c] = COLLISION if grid[r][c] not in (" ", glyph) \
+                else glyph
+
+    top = f"{(10 ** y_hi if log_y else y_hi):.3g}"
+    bottom = f"{(10 ** y_lo if log_y else y_lo):.3g}"
+    margin = max(len(top), len(bottom)) + 1
+    for i, row in enumerate(grid):
+        label = top if i == 0 else bottom if i == height - 1 else ""
+        lines.append(f"{label:>{margin}} |" + "".join(row))
+    left = f"{(2 ** x_lo if log_x else x_lo):.6g}"
+    right = f"{(2 ** x_hi if log_x else x_hi):.6g}"
+    axis = " " * margin + " +" + "-" * width
+    lines.append(axis)
+    lines.append(" " * margin + f"  {left}" +
+                 f"{right:>{max(1, width - len(left))}}")
+    legend = "   ".join(f"{GLYPHS[k % len(GLYPHS)]}={name}"
+                        for k, name in enumerate(series))
+    lines.append(" " * margin + "  " + legend)
+    return "\n".join(lines)
+
+
+def plot_figure(spec, series: Mapping[str, Sequence[tuple[float, float]]]
+                ) -> str:
+    """Plot one figure's series with the paper's axes and legend order."""
+    from repro.bench.figures import SERIES_ORDER
+
+    ordered = {name: series[name] for name in SERIES_ORDER
+               if name in series}
+    for name in series:
+        ordered.setdefault(name, series[name])
+    return ascii_plot(ordered, title=f"{spec.figure}: {spec.title} "
+                                     f"[{spec.unit}]  (log-log)")

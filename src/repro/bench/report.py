@@ -1,0 +1,93 @@
+"""Markdown report generation from benchmark result tables.
+
+``pytest benchmarks/ --benchmark-only`` writes one TSV per figure/ablation
+under ``benchmarks/results/``; this module assembles them into a single
+markdown report (the machine-generated companion to EXPERIMENTS.md),
+available via ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+#: Render order and captions for known result files.
+SECTIONS: tuple[tuple[str, str], ...] = (
+    ("fig12.tsv", "Figure 12 — Stencil initialization time (s)"),
+    ("fig13.tsv", "Figure 13 — Circuit initialization time (s)"),
+    ("fig14.tsv", "Figure 14 — Pennant initialization time (s)"),
+    ("fig15.tsv", "Figure 15 — Stencil weak scaling (points/s per node)"),
+    ("fig16.tsv", "Figure 16 — Circuit weak scaling (wires/s per node)"),
+    ("fig17.tsv", "Figure 17 — Pennant weak scaling (zones/s per node)"),
+    ("artifact_a4_stencil.tsv", "Artifact A.4 — Stencil sample table"),
+    ("artifact_a4_circuit.tsv", "Artifact A.4 — Circuit sample table"),
+    ("artifact_a4_pennant.tsv", "Artifact A.4 — Pennant sample table"),
+    ("ablation_eqsets.tsv", "Ablation — equivalence-set counts"),
+    ("ablation_paint_scan.tsv", "Ablation — painter scan growth"),
+    ("ablation_precision.tsv", "Ablation — dependence-graph precision"),
+    ("ablation_tracing.tsv", "Ablation — dynamic tracing"),
+    ("ablation_memo.tsv", "Ablation — §6.1 equivalence-set memoization"),
+    ("ablation_comm.tsv", "Ablation — implicit cross-shard communication"),
+    ("ablation_zbuffer.tsv", "Ablation — z-buffer precision/distribution trade"),
+)
+
+
+def tsv_to_markdown(text: str) -> str:
+    """Convert one result TSV (optionally with ``#`` comment lines) into a
+    markdown table."""
+    comments: list[str] = []
+    rows: list[list[str]] = []
+    for line in text.strip().splitlines():
+        if line.startswith("#"):
+            comments.append(line.lstrip("# ").rstrip())
+        elif line.strip():
+            rows.append(line.split("\t"))
+    out: list[str] = []
+    for comment in comments:
+        out.append(f"*{comment}*")
+        out.append("")
+    if rows:
+        header, *body = rows
+        out.append("| " + " | ".join(header) + " |")
+        out.append("|" + "---|" * len(header))
+        for row in body:
+            out.append("| " + " | ".join(row) + " |")
+    return "\n".join(out)
+
+
+def generate_report(results_dir: Path | str,
+                    title: str = "Benchmark report") -> str:
+    """Assemble every known result table into one markdown document.
+
+    Unknown ``.tsv`` files in the directory are appended under their file
+    names so nothing silently disappears.  Raises ``FileNotFoundError``
+    when the directory does not exist.
+    """
+    results = Path(results_dir)
+    if not results.is_dir():
+        raise FileNotFoundError(
+            f"no benchmark results at {results} — run "
+            "`pytest benchmarks/ --benchmark-only` first")
+    known = {name for name, _ in SECTIONS}
+    parts: list[str] = [f"# {title}", ""]
+    found = 0
+    for name, caption in SECTIONS:
+        path = results / name
+        if not path.exists():
+            continue
+        found += 1
+        parts.append(f"## {caption}")
+        parts.append("")
+        parts.append(tsv_to_markdown(path.read_text()))
+        parts.append("")
+    for path in sorted(results.glob("*.tsv")):
+        if path.name in known:
+            continue
+        found += 1
+        parts.append(f"## {path.name}")
+        parts.append("")
+        parts.append(tsv_to_markdown(path.read_text()))
+        parts.append("")
+    if found == 0:
+        parts.append("*(no result tables found)*")
+    return "\n".join(parts).rstrip() + "\n"

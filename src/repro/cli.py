@@ -1,0 +1,248 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Run the paper's Figure 1 program and show the region tree, coherent
+    results, and discovered parallel waves.
+``validate``
+    Replay a benchmark application through every coherence algorithm and
+    the sequential reference, checking value equivalence and dependence
+    soundness (the DESIGN.md obligations).
+``figure``
+    Regenerate one of the paper's figures (fig12–fig17) on the machine
+    simulator and print its table.
+``artifact``
+    Print the artifact appendix A.4 TSV table for one application.
+``inspect``
+    Run an application under one algorithm and dump its structures:
+    equivalence-set map, cost-meter summary, and optional DOT graph.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Visibility algorithms for dynamic dependence analysis "
+                    "and distributed coherence (PPoPP'23 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="run the Figure 1 program")
+
+    val = sub.add_parser("validate", help="cross-check all algorithms")
+    val.add_argument("--app", choices=["stencil", "circuit", "pennant"],
+                     default="circuit")
+    val.add_argument("--pieces", type=int, default=4)
+    val.add_argument("--iterations", type=int, default=3)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("figure", choices=[f"fig{i}" for i in range(12, 18)])
+    fig.add_argument("--max-nodes", type=int, default=64)
+    fig.add_argument("--iterations", type=int, default=3)
+    fig.add_argument("--plot", action="store_true",
+                     help="also render an ASCII log-log plot")
+
+    art = sub.add_parser("artifact", help="print the A.4 artifact table")
+    art.add_argument("--app", choices=["stencil", "circuit", "pennant"],
+                     default="stencil")
+    art.add_argument("--reps", type=int, default=5)
+
+    ins = sub.add_parser("inspect", help="dump one algorithm's structures")
+    ins.add_argument("--app", choices=["stencil", "circuit", "pennant"],
+                     default="circuit")
+    ins.add_argument("--algorithm",
+                     choices=["painter", "tree_painter", "warnock",
+                              "raycast", "zbuffer"], default="raycast")
+    ins.add_argument("--pieces", type=int, default=4)
+    ins.add_argument("--iterations", type=int, default=2)
+    ins.add_argument("--dot", action="store_true",
+                     help="emit the dependence graph as Graphviz DOT")
+
+    rep = sub.add_parser("report",
+                         help="assemble benchmark results into markdown")
+    rep.add_argument("--results", default="benchmarks/results",
+                     help="directory of result TSVs")
+    rep.add_argument("--output", default=None,
+                     help="write to a file instead of stdout")
+    return parser
+
+
+def _make_app(name: str, pieces: int):
+    from repro.apps import APPS
+    return APPS[name](pieces=pieces)
+
+
+def _full_stream(app, iterations: int):
+    from repro.runtime.task import TaskStream
+    stream = TaskStream()
+    stream.extend_from(app.init_stream())
+    for _ in range(iterations):
+        stream.extend_from(app.iteration_stream())
+    return stream
+
+
+def _cmd_demo() -> int:
+    from repro import (READ_WRITE, Extent, IndexSpace, RegionRequirement,
+                       RegionTree, Runtime, reduce)
+    from repro.analysis.render import render_region_tree, render_waves
+
+    tree = RegionTree(Extent((12,)), {"up": np.float64, "down": np.float64},
+                      name="N")
+    P = tree.root.create_partition(
+        "P", [IndexSpace.from_range(i * 4, (i + 1) * 4) for i in range(3)],
+        disjoint=True, complete=True)
+    G = tree.root.create_partition(
+        "G", [IndexSpace.from_indices([3, 4]),
+              IndexSpace.from_indices([0, 7, 8]),
+              IndexSpace.from_indices([0, 4, 11])])
+    print(render_region_tree(tree))
+    rt = Runtime(tree, {"up": np.arange(12.0), "down": np.zeros(12)})
+
+    def t1(p, g):
+        p += 1.0
+        g += 2.0
+
+    def t2(p, g):
+        p *= 0.5
+        g += 3.0
+
+    for _ in range(2):
+        for i in range(3):
+            rt.launch(f"t1[{i}]",
+                      [RegionRequirement(P[i], "up", READ_WRITE),
+                       RegionRequirement(G[i], "down", reduce("sum"))],
+                      t1, point=i)
+        for i in range(3):
+            rt.launch(f"t2[{i}]",
+                      [RegionRequirement(P[i], "down", READ_WRITE),
+                       RegionRequirement(G[i], "up", reduce("sum"))],
+                      t2, point=i)
+    print(f"\nup   = {rt.read_field('up')}")
+    print(f"down = {rt.read_field('down')}\n")
+    print(render_waves(rt.tasks, rt.graph))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.analysis import compare_algorithms, profile_graph
+
+    app = _make_app(args.app, args.pieces)
+    stream = _full_stream(app, args.iterations)
+    print(f"validating {args.app} ({args.pieces} pieces, "
+          f"{len(stream)} tasks) across all algorithms...")
+    runs = compare_algorithms(app.tree, app.initial, stream, exact=False)
+    for name, run in runs.items():
+        print(f"  {name:>14}: values ✓  dependences ✓  "
+              f"[{profile_graph(run.graph)}]")
+    print("all algorithms agree with the sequential reference")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.bench.figures import (FIGURES, PAPER_NODE_COUNTS, check_shape,
+                                     figure_series, render_series)
+    from repro.bench.harness import run_sweep
+
+    spec = FIGURES[args.figure]
+    nodes = tuple(n for n in PAPER_NODE_COUNTS if n <= args.max_nodes)
+    print(f"sweeping {spec.app} across {nodes} nodes...", file=sys.stderr)
+    sweep = run_sweep(spec.app_factory, nodes,
+                      steady_iterations=args.iterations)
+    series = figure_series(spec, sweep)
+    print(render_series(spec, series))
+    if args.plot:
+        from repro.bench.plots import plot_figure
+        print()
+        print(plot_figure(spec, series))
+    problems = check_shape(spec, sweep)
+    if problems:
+        print(f"shape violations: {problems}", file=sys.stderr)
+        return 1
+    print("# shape claims of section 8: OK", file=sys.stderr)
+    return 0
+
+
+def _cmd_artifact(args) -> int:
+    from repro.bench.figures import FIGURES
+    from repro.bench.harness import render_rows, run_sweep, sweep_to_rows
+
+    spec = next(s for s in FIGURES.values() if s.app == args.app)
+    sweep = run_sweep(spec.app_factory, (1, 2))
+    print(render_rows(sweep_to_rows(sweep, reps=args.reps)))
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from repro import Runtime
+    from repro.analysis.render import (dependence_dot, render_eqset_map,
+                                       summarize_costs)
+
+    app = _make_app(args.app, args.pieces)
+    rt = Runtime(app.tree, app.initial, algorithm=args.algorithm)
+    rt.replay(_full_stream(app, args.iterations))
+    if args.dot:
+        print(dependence_dot(rt.tasks, rt.graph, title=args.app))
+        return 0
+    print(f"{args.app} under {args.algorithm} "
+          f"({args.pieces} pieces, {args.iterations} iterations)\n")
+    for field in app.tree.field_space.names:
+        algo = rt.algorithm_for(field)
+        if hasattr(algo, "num_equivalence_sets"):
+            print(f"field {field!r}: {algo.num_equivalence_sets()} "
+                  f"equivalence sets")
+            print(render_eqset_map(algo))
+        elif hasattr(algo, "total_items"):
+            print(f"field {field!r}: {algo.total_items()} history items")
+        elif hasattr(algo, "history_length"):
+            print(f"field {field!r}: {algo.history_length} history entries")
+        else:
+            print(f"field {field!r}: {algo.interned_sets()} interned "
+                  f"access sets (z-buffer)")
+        print()
+    print("metered operations:")
+    print(summarize_costs(rt.meter.counters))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    from repro.bench.report import generate_report
+
+    try:
+        text = generate_report(args.results)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _cmd_demo()
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "artifact":
+        return _cmd_artifact(args)
+    if args.command == "inspect":
+        return _cmd_inspect(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,24 @@
+"""An executable model of dynamic control replication (DCR).
+
+The machine simulator (:mod:`repro.machine`) prices DCR's effect on
+analysis *cost*; this package models its *mechanism* [Bauer et al.,
+PPoPP 2021], executably:
+
+* every shard runs a full replica of the dependence/coherence analysis
+  over the whole task stream — DCR's correctness rests on those replicas
+  reaching **bit-identical** conclusions, which
+  :class:`~repro.distributed.sharded.ShardedRuntime` verifies rather than
+  assumes;
+* each task *executes* only on its shard, against shard-local memory;
+* when a task depends on data last produced on another shard, the values
+  move in an explicit point-to-point message — the "implicit
+  communication" of the paper's section 2, surfaced and counted.
+
+The message log makes communication volume a measurable quantity
+(`benchmarks/test_ablation_comm.py` reports bytes per iteration for the
+three benchmark applications).
+"""
+
+from repro.distributed.sharded import MessageLog, ShardedRuntime
+
+__all__ = ["MessageLog", "ShardedRuntime"]

@@ -1,0 +1,226 @@
+"""Sharded (control-replicated) analysis and execution.
+
+The control-replication contract: ``shards`` replicas each observe the
+*entire* task stream and run the full dynamic analysis; a sharding
+functor assigns each task to the one shard that executes it.  Because
+every replica must independently reach the same dependence conclusions,
+:class:`ShardedRuntime` re-runs the analysis once per shard and verifies
+the graphs are identical — the determinism obligation DCR places on the
+analyses this repository reproduces (and a strong regression test for
+them: any hidden iteration-order nondeterminism in an algorithm fails the
+check).
+
+Execution is distributed: each shard owns a local copy of the fields, a
+per-element *owner map* records which shard last produced each element,
+and a task pulls every input element whose owner differs from its shard
+through an explicit message before running.  Tasks execute in program
+order (this is a correctness- and communication-level model, not a timing
+model — the machine simulator covers timing), so eager pulls see exactly
+the sequentially-consistent values; the final distributed state is
+gathered by owner and compared against the sequential reference in the
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import MachineError, TaskError
+from repro.machine.dcr import ShardingFunctor, dcr_sharding
+from repro.regions.tree import RegionTree
+from repro.runtime.context import Runtime
+from repro.runtime.task import Task, TaskStream
+
+
+@dataclass
+class MessageLog:
+    """Point-to-point data movement observed during sharded execution."""
+
+    messages: int = 0
+    bytes: int = 0
+    by_pair: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def record(self, src: int, dst: int, elements: int,
+               itemsize: int) -> None:
+        self.messages += 1
+        self.bytes += elements * itemsize
+        key = (src, dst)
+        self.by_pair[key] = self.by_pair.get(key, 0) + elements * itemsize
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bytes = 0
+        self.by_pair.clear()
+
+
+class ShardedRuntime:
+    """Replicated analysis + sharded execution with explicit messages.
+
+    Parameters
+    ----------
+    tree, initial:
+        The region tree and initial field values (as for
+        :class:`~repro.runtime.context.Runtime`).
+    shards:
+        Number of control-replicated shards (≥ 1).
+    algorithm:
+        Coherence algorithm each replica runs.
+    sharding:
+        Task → shard functor; defaults to the canonical
+        ``point % shards``.
+    verify_replicas:
+        Check that all replicas computed identical dependence graphs
+        after every executed stream (DCR's determinism contract).
+    replicate_analysis:
+        When False, run the analysis on a single replica only (execution
+        stays sharded).  Use for communication measurements at scale,
+        where N full analysis replicas would only burn time re-proving
+        determinism.
+    """
+
+    def __init__(self, tree: RegionTree,
+                 initial: Mapping[str, np.ndarray],
+                 shards: int,
+                 algorithm: str = "raycast",
+                 sharding: Optional[ShardingFunctor] = None,
+                 verify_replicas: bool = True,
+                 replicate_analysis: bool = True) -> None:
+        if shards < 1:
+            raise MachineError("need at least one shard")
+        self.tree = tree
+        self.shards = shards
+        self.sharding = sharding if sharding is not None \
+            else dcr_sharding(shards)
+        self.verify_replicas = verify_replicas and replicate_analysis
+        replicas = shards if replicate_analysis else 1
+        self._replicas = [Runtime(tree, initial, algorithm=algorithm)
+                          for _ in range(replicas)]
+        root_size = tree.root.space.size
+        # shard-local memory: values[s] is shard s's copy of each field
+        self._values: dict[str, np.ndarray] = {}
+        # owner[k] = shard that last produced element k of the field
+        self._owners: dict[str, np.ndarray] = {}
+        for name in tree.field_space.names:
+            base = np.asarray(initial[name])
+            if base.shape != (root_size,):
+                raise TaskError(
+                    f"initial values for {name!r} have shape {base.shape}, "
+                    f"expected ({root_size},)")
+            self._values[name] = np.tile(base.copy(), (shards, 1))
+            self._owners[name] = np.zeros(root_size, dtype=np.int64)
+        self.log = MessageLog()
+        self._executed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self):
+        """The (replica-0) dependence graph."""
+        return self._replicas[0].graph
+
+    @property
+    def analysis_meter(self):
+        """Replica 0's cost meter (all replicas do identical work)."""
+        return self._replicas[0].meter
+
+    # ------------------------------------------------------------------
+    def execute(self, stream: TaskStream) -> None:
+        """Analyze the stream on every replica, execute it sharded."""
+        # 1. replicated analysis (bodies are not run during analysis —
+        #    values are owned by the sharded execution below)
+        base = self._executed
+        for replica in self._replicas:
+            for task in stream:
+                replica.launch(task.name, task.requirements, None,
+                               task.point)
+        if self.verify_replicas and len(self._replicas) > 1:
+            self._check_replica_agreement(base, len(stream))
+
+        # 2. sharded execution in program order with explicit pulls
+        for task in stream:
+            self._execute_one(task, self.sharding(task))
+        self._executed += len(stream)
+
+    def _check_replica_agreement(self, base: int, count: int) -> None:
+        reference = self._replicas[0].graph
+        for s, replica in enumerate(self._replicas[1:], start=1):
+            for tid in range(base, base + count):
+                a = reference.dependences_of(tid)
+                b = replica.graph.dependences_of(tid)
+                if a != b:
+                    raise MachineError(
+                        f"control replication broken: shard 0 and shard "
+                        f"{s} disagree on task {tid}'s dependences "
+                        f"({sorted(a)} vs {sorted(b)}) — the analysis is "
+                        "not deterministic")
+
+    # ------------------------------------------------------------------
+    def _pull(self, field_name: str, positions: np.ndarray,
+              shard: int) -> None:
+        """Move every stale input element to ``shard``, one message per
+        producing shard."""
+        owners = self._owners[field_name][positions]
+        values = self._values[field_name]
+        itemsize = values.itemsize
+        for src in np.unique(owners):
+            if src == shard:
+                continue
+            pulled = positions[owners == src]
+            values[shard, pulled] = values[src, pulled]
+            self.log.record(int(src), shard, pulled.size, itemsize)
+
+    def _execute_one(self, task: Task, shard: int) -> None:
+        if shard >= self.shards:
+            raise MachineError(f"sharding functor returned {shard} "
+                               f"for {self.shards} shards")
+        root_space = self.tree.root.space
+        buffers = []
+        positions = []
+        for req in task.requirements:
+            pos = root_space.positions_of(req.region.space)
+            positions.append(pos)
+            if req.privilege.is_reduce:
+                assert req.privilege.redop is not None
+                buf = req.privilege.redop.identity_array(
+                    pos.size, self._values[req.field].dtype)
+            else:
+                self._pull(req.field, pos, shard)
+                buf = self._values[req.field][shard, pos].copy()
+                if req.privilege.is_read:
+                    buf.setflags(write=False)
+            buffers.append(buf)
+
+        if task.body is not None:
+            task.body(*buffers)
+
+        for req, pos, buf in zip(task.requirements, positions, buffers):
+            if req.privilege.is_write:
+                self._values[req.field][shard, pos] = buf
+                self._owners[req.field][pos] = shard
+            elif req.privilege.is_reduce:
+                assert req.privilege.redop is not None
+                # fold onto the current values: pull them first so the
+                # contribution lands on the latest state
+                self._pull(req.field, pos, shard)
+                current = self._values[req.field][shard, pos]
+                self._values[req.field][shard, pos] = \
+                    req.privilege.redop.fold(current, buf)
+                self._owners[req.field][pos] = shard
+
+    # ------------------------------------------------------------------
+    def gather_field(self, name: str) -> np.ndarray:
+        """The globally coherent values: each element from its owner."""
+        owners = self._owners[name]
+        values = self._values[name]
+        return values[owners, np.arange(owners.size)].copy()
+
+    def gather_fields(self) -> dict[str, np.ndarray]:
+        """Snapshot of every field, gathered by owner."""
+        return {name: self.gather_field(name)
+                for name in self.tree.field_space.names}
+
+    def __repr__(self) -> str:
+        return (f"ShardedRuntime(shards={self.shards}, "
+                f"executed={self._executed}, messages={self.log.messages})")

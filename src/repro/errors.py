@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised deliberately by the library derive from :class:`ReproError`
+so that callers can catch library failures without catching programming
+errors (``TypeError`` etc.) by accident.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric construction (bad rectangle, mismatched dims...)."""
+
+
+class RegionTreeError(ReproError):
+    """Invalid region-tree construction or traversal."""
+
+
+class PrivilegeError(ReproError):
+    """Invalid privilege usage (unknown reduction operator, bad combo...)."""
+
+
+class TaskError(ReproError):
+    """Invalid task launch: malformed requirements or aliased interfering
+    region arguments within a single task (forbidden by the model, see
+    paper section 4)."""
+
+
+class CoherenceError(ReproError):
+    """Internal coherence-algorithm invariant violation.
+
+    Raised by the self-checking code in :mod:`repro.visibility`; seeing this
+    in the wild means a bug in an algorithm, never a user mistake.
+    """
+
+
+class MachineError(ReproError):
+    """Invalid machine model configuration or simulation misuse."""

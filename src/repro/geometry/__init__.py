@@ -1,0 +1,35 @@
+"""Geometric substrate: points, rectangles, index spaces and spatial indexes.
+
+Regions in the paper are arbitrary (possibly sparse, possibly aliased)
+subsets of a root collection.  This subpackage provides the set algebra that
+every coherence algorithm is built on:
+
+* :class:`~repro.geometry.point.Rect` — dense n-dimensional integer
+  rectangles (used by the structured applications).
+* :class:`~repro.geometry.index_space.IndexSpace` — an immutable sorted set
+  of linearized element indices with vectorized union / intersection /
+  difference, the ``X/Y``, ``X\\Y`` and ``X ⊕ Y`` operators of Figure 7.
+* :mod:`~repro.geometry.intervals` — run-length interval views used for
+  compact summaries and fast disjointness tests.
+* :class:`~repro.geometry.bvh.BVH` — a bounding-volume hierarchy over index
+  spaces (section 6.1 / 7.1 acceleration structure).
+* :class:`~repro.geometry.kdtree.KDTree` — the K-d tree fallback of
+  section 7.1 for programs with no disjoint-and-complete partition.
+"""
+
+from repro.geometry.point import Extent, Rect
+from repro.geometry.index_space import IndexSpace
+from repro.geometry.intervals import IntervalSet, runs_of
+from repro.geometry.bvh import BVH, BVHNode
+from repro.geometry.kdtree import KDTree
+
+__all__ = [
+    "Extent",
+    "Rect",
+    "IndexSpace",
+    "IntervalSet",
+    "runs_of",
+    "BVH",
+    "BVHNode",
+    "KDTree",
+]

@@ -1,0 +1,200 @@
+"""Bounding-volume hierarchy over index spaces.
+
+Sections 6.1 and 7.1 of the paper accelerate equivalence-set lookup with a
+BVH: interior nodes hold a bounding volume, leaves hold the actual sets, and
+a query for region ``R`` descends only into children whose bounds intersect
+``R``'s bounds.  Warnock's refinement tree *is* its own BVH (built in
+:mod:`repro.visibility.warnock`); this module provides the standalone
+structure used by the ray-casting K-d fallback and by tests.
+
+Bounding volumes here are 1-D inclusive intervals over the linearized index
+space — the exact analog of axis-aligned bounding boxes in graphics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.index_space import IndexSpace
+
+# A leaf item is (bounds, space, payload).
+Item = tuple[tuple[int, int], IndexSpace, Any]
+
+_LEAF_CAPACITY = 8
+
+
+@dataclass
+class BVHNode:
+    """One node of the hierarchy.
+
+    Interior nodes carry ``children``; leaves carry ``items``.  ``lo``/``hi``
+    is the inclusive bounding interval of everything beneath the node.
+    """
+
+    lo: int
+    hi: int
+    children: list["BVHNode"] = field(default_factory=list)
+    items: list[Item] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for nodes that store items directly."""
+        return not self.children
+
+    def overlaps(self, lo: int, hi: int) -> bool:
+        """Interval-overlap test against the node's bounds."""
+        return self.lo <= hi and lo <= self.hi
+
+
+class BVH:
+    """A rebuildable median-split BVH over (IndexSpace, payload) items.
+
+    Insertions are buffered; the tree is rebuilt lazily once the buffer
+    outgrows a fraction of the indexed set, giving amortized O(log n)
+    queries without incremental-update complexity (mirroring how the Legion
+    implementation rebuilds its acceleration structures when partition
+    usage shifts, section 7.1).
+    """
+
+    def __init__(self, leaf_capacity: int = _LEAF_CAPACITY) -> None:
+        if leaf_capacity < 1:
+            raise GeometryError("leaf_capacity must be >= 1")
+        self._leaf_capacity = leaf_capacity
+        self._root: Optional[BVHNode] = None
+        self._pending: list[Item] = []
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of live items in the index."""
+        return self._count
+
+    def insert(self, space: IndexSpace, payload: Any) -> None:
+        """Index ``payload`` under the bounds of ``space``.
+
+        Empty spaces are ignored: they can never overlap a query.
+        """
+        if space.is_empty:
+            return
+        self._pending.append((space.bounds, space, payload))
+        self._count += 1
+        if self._root is None or len(self._pending) * 4 > self._count:
+            self._rebuild()
+
+    def remove(self, payload: Any) -> bool:
+        """Remove the first item whose payload is ``payload`` (by identity).
+
+        Returns True when something was removed.
+        """
+        for bucket in self._buckets():
+            for i, (_, _, p) in enumerate(bucket):
+                if p is payload:
+                    del bucket[i]
+                    self._count -= 1
+                    return True
+        return False
+
+    def query(self, space: IndexSpace) -> list[Any]:
+        """Payloads whose *bounding interval* overlaps ``space``'s bounds.
+
+        Conservative: callers must still run an exact intersection test —
+        exactly like a graphics BVH returning candidate primitives.
+        """
+        if space.is_empty:
+            return []
+        lo, hi = space.bounds
+        return self.query_interval(lo, hi)
+
+    def query_interval(self, lo: int, hi: int) -> list[Any]:
+        """Payloads whose bounding interval overlaps ``[lo, hi]``."""
+        out: list[Any] = []
+        for (ilo, ihi), _, payload in self._pending:
+            if ilo <= hi and lo <= ihi:
+                out.append(payload)
+        if self._root is not None:
+            stack = [self._root]
+            while stack:
+                node = stack.pop()
+                if not node.overlaps(lo, hi):
+                    continue
+                if node.is_leaf:
+                    for (ilo, ihi), _, payload in node.items:
+                        if ilo <= hi and lo <= ihi:
+                            out.append(payload)
+                else:
+                    stack.extend(node.children)
+        return out
+
+    def query_exact(self, space: IndexSpace) -> list[Any]:
+        """Payloads whose index space truly overlaps ``space``."""
+        if space.is_empty:
+            return []
+        lo, hi = space.bounds
+        out: list[Any] = []
+        for bucket in self._buckets():
+            for (ilo, ihi), item_space, payload in bucket:
+                if ilo <= hi and lo <= ihi and item_space.overlaps(space):
+                    out.append(payload)
+        return out
+
+    def __iter__(self) -> Iterator[Any]:
+        for bucket in self._buckets():
+            for _, _, payload in bucket:
+                yield payload
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------
+    def _buckets(self) -> Iterator[list[Item]]:
+        """Yield every mutable item bucket (pending + leaves)."""
+        yield self._pending
+        if self._root is not None:
+            stack = [self._root]
+            while stack:
+                node = stack.pop()
+                if node.is_leaf:
+                    yield node.items
+                else:
+                    stack.extend(node.children)
+
+    def _rebuild(self) -> None:
+        items = [it for bucket in self._buckets() for it in bucket]
+        self._pending = []
+        self._count = len(items)
+        self._root = _build(items, self._leaf_capacity) if items else None
+
+    def depth(self) -> int:
+        """Height of the built tree (0 when empty); diagnostics only."""
+        self._rebuild()
+        if self._root is None:
+            return 0
+
+        def _d(node: BVHNode) -> int:
+            if node.is_leaf:
+                return 1
+            return 1 + max(_d(c) for c in node.children)
+
+        return _d(self._root)
+
+
+def _build(items: list[Item], leaf_capacity: int) -> BVHNode:
+    """Recursive median split on interval centers."""
+    lo = min(b[0] for b, _, _ in items)
+    hi = max(b[1] for b, _, _ in items)
+    node = BVHNode(lo=lo, hi=hi)
+    if len(items) <= leaf_capacity:
+        node.items = list(items)
+        return node
+    centers = np.asarray([(b[0] + b[1]) / 2.0 for b, _, _ in items])
+    order = np.argsort(centers, kind="stable")
+    mid = len(items) // 2
+    left = [items[i] for i in order[:mid]]
+    right = [items[i] for i in order[mid:]]
+    node.children = [_build(left, leaf_capacity), _build(right, leaf_capacity)]
+    return node

@@ -1,0 +1,283 @@
+"""Immutable sparse index spaces with vectorized set algebra.
+
+An :class:`IndexSpace` is the machine representation of a region *domain*
+(paper section 4): a finite set of element indices.  It is stored as a
+sorted, duplicate-free ``int64`` array, which makes every operator the
+coherence algorithms need a single vectorized NumPy call:
+
+* ``a & b``   — intersection (``X/Y`` restricted to domains),
+* ``a - b``   — difference (``X\\Y``),
+* ``a | b``   — union,
+* ``a.overlaps(b)`` / ``a.isdisjoint(b)`` — the interference tests that
+  dominate dependence-analysis cost and are therefore metered.
+
+Index spaces cache their bounding interval ``[lo, hi]`` so disjointness can
+usually be decided without touching element data — the same trick bounding
+boxes play in the graphics visibility algorithms the paper adapts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.point import Extent, Rect
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _as_sorted_unique(values: Iterable[int] | np.ndarray) -> np.ndarray:
+    if not isinstance(values, (np.ndarray, list, tuple)):
+        values = list(values)  # sets, generators, ranges...
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.ndim != 1:
+        arr = arr.ravel()
+    if arr.size == 0:
+        return _EMPTY
+    if arr.size > 1 and not (np.diff(arr) > 0).all():
+        arr = np.unique(arr)
+    return arr
+
+
+class IndexSpace:
+    """An immutable, sorted set of ``int64`` element indices.
+
+    Construct with :meth:`from_indices`, :meth:`from_range`,
+    :meth:`from_rect` or :meth:`from_mask`; the raw constructor trusts its
+    input to already be sorted and unique (``trusted=True``) or normalizes
+    it otherwise.
+    """
+
+    __slots__ = ("_indices", "_lo", "_hi")
+
+    def __init__(self, indices: Iterable[int] | np.ndarray = (), *,
+                 trusted: bool = False) -> None:
+        if trusted and isinstance(indices, np.ndarray) and indices.dtype == np.int64:
+            arr = indices
+        else:
+            arr = _as_sorted_unique(indices)
+        arr.setflags(write=False)
+        self._indices = arr
+        if arr.size:
+            self._lo = int(arr[0])
+            self._hi = int(arr[-1])
+        else:
+            self._lo = 0
+            self._hi = -1
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def empty() -> "IndexSpace":
+        """The empty index space."""
+        return _EMPTY_SPACE
+
+    @staticmethod
+    def from_indices(values: Iterable[int] | np.ndarray) -> "IndexSpace":
+        """Build from any iterable of integers (deduplicated and sorted)."""
+        return IndexSpace(values)
+
+    @staticmethod
+    def from_range(start: int, stop: int) -> "IndexSpace":
+        """The half-open contiguous range ``[start, stop)``."""
+        if stop < start:
+            raise GeometryError(f"invalid range [{start}, {stop})")
+        return IndexSpace(np.arange(start, stop, dtype=np.int64), trusted=True)
+
+    @staticmethod
+    def from_rect(rect: Rect, extent: Extent) -> "IndexSpace":
+        """The row-major linearization of ``rect`` inside ``extent``."""
+        return IndexSpace(rect.linearize(extent), trusted=True)
+
+    @staticmethod
+    def from_mask(mask: np.ndarray) -> "IndexSpace":
+        """Build from a boolean mask over the flat root domain."""
+        mask = np.asarray(mask, dtype=bool).ravel()
+        return IndexSpace(np.flatnonzero(mask).astype(np.int64), trusted=True)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def indices(self) -> np.ndarray:
+        """The sorted element indices (read-only view)."""
+        return self._indices
+
+    @property
+    def size(self) -> int:
+        """Number of elements."""
+        return int(self._indices.size)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the space has no elements."""
+        return self._indices.size == 0
+
+    @property
+    def bounds(self) -> tuple[int, int]:
+        """Inclusive bounding interval ``(lo, hi)``; ``(0, -1)`` if empty."""
+        return (self._lo, self._hi)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(int(i) for i in self._indices)
+
+    def __contains__(self, index: int) -> bool:
+        if self.is_empty or index < self._lo or index > self._hi:
+            return False
+        pos = int(np.searchsorted(self._indices, index))
+        return pos < self._indices.size and int(self._indices[pos]) == index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IndexSpace):
+            return NotImplemented
+        return (self._indices.size == other._indices.size
+                and bool(np.array_equal(self._indices, other._indices)))
+
+    def __hash__(self) -> int:
+        return hash((self._indices.size, self._lo, self._hi,
+                     self._indices.tobytes() if self._indices.size <= 64 else
+                     self._indices[:: max(1, self._indices.size // 64)].tobytes()))
+
+    def __repr__(self) -> str:
+        if self.is_empty:
+            return "IndexSpace(empty)"
+        return f"IndexSpace(size={self.size}, bounds=[{self._lo}, {self._hi}])"
+
+    # ------------------------------------------------------------------
+    # set algebra
+    # ------------------------------------------------------------------
+    def bbox_overlaps(self, other: "IndexSpace") -> bool:
+        """Cheap conservative overlap test on bounding intervals only."""
+        if self.is_empty or other.is_empty:
+            return False
+        return self._lo <= other._hi and other._lo <= self._hi
+
+    def intersection(self, other: "IndexSpace") -> "IndexSpace":
+        """Elements present in both spaces (``X/Y`` on domains)."""
+        if not self.bbox_overlaps(other):
+            return _EMPTY_SPACE
+        out = np.intersect1d(self._indices, other._indices, assume_unique=True)
+        return IndexSpace(out, trusted=True)
+
+    def difference(self, other: "IndexSpace") -> "IndexSpace":
+        """Elements of this space not present in ``other`` (``X\\Y``)."""
+        if not self.bbox_overlaps(other):
+            return self
+        out = np.setdiff1d(self._indices, other._indices, assume_unique=True)
+        return IndexSpace(out, trusted=True)
+
+    def union(self, other: "IndexSpace") -> "IndexSpace":
+        """Elements in either space."""
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        out = np.union1d(self._indices, other._indices)
+        return IndexSpace(out, trusted=True)
+
+    def __and__(self, other: "IndexSpace") -> "IndexSpace":
+        return self.intersection(other)
+
+    def __sub__(self, other: "IndexSpace") -> "IndexSpace":
+        return self.difference(other)
+
+    def __or__(self, other: "IndexSpace") -> "IndexSpace":
+        return self.union(other)
+
+    def overlaps(self, other: "IndexSpace") -> bool:
+        """True when the spaces share at least one element."""
+        if not self.bbox_overlaps(other):
+            return False
+        # membership probe of the smaller into the larger beats a full
+        # intersect1d when we only need a yes/no answer
+        small, large = (self, other) if self.size <= other.size else (other, self)
+        pos = np.searchsorted(large._indices, small._indices)
+        pos = np.minimum(pos, large._indices.size - 1)
+        return bool((large._indices[pos] == small._indices).any())
+
+    def isdisjoint(self, other: "IndexSpace") -> bool:
+        """True when the spaces share no element."""
+        return not self.overlaps(other)
+
+    def issubset(self, other: "IndexSpace") -> bool:
+        """True when every element of this space is in ``other``."""
+        if self.is_empty:
+            return True
+        if other.is_empty or self.size > other.size:
+            return False
+        if self._lo < other._lo or self._hi > other._hi:
+            return False
+        pos = np.searchsorted(other._indices, self._indices)
+        if pos[-1] >= other._indices.size:
+            return False
+        return bool((other._indices[pos] == self._indices).all())
+
+    def issuperset(self, other: "IndexSpace") -> bool:
+        """True when every element of ``other`` is in this space."""
+        return other.issubset(self)
+
+    # ------------------------------------------------------------------
+    # positioning helpers used by the value layer
+    # ------------------------------------------------------------------
+    def positions_of(self, subset: "IndexSpace") -> np.ndarray:
+        """Positions of ``subset``'s elements within this space's array.
+
+        ``subset`` must be a subset of this space; the result ``p`` satisfies
+        ``self.indices[p] == subset.indices``.  This is the gather map used
+        when blending region values (Figure 7's ``⊕`` lifted to value
+        arrays).
+        """
+        if subset._indices.size == self._indices.size:
+            # a same-size subset is the space itself: identity gather
+            # (verified cheaply — a memcmp beats two searchsorted passes)
+            if subset is self or np.array_equal(self._indices,
+                                                subset._indices):
+                return np.arange(self._indices.size)
+            raise GeometryError("positions_of: argument is not a subset")
+        pos = np.searchsorted(self._indices, subset._indices)
+        if subset.size:
+            if pos[-1] >= self._indices.size or not bool(
+                (self._indices[np.minimum(pos, self._indices.size - 1)]
+                 == subset._indices).all()
+            ):
+                raise GeometryError("positions_of: argument is not a subset")
+        return pos
+
+    def membership_mask(self, other: "IndexSpace") -> np.ndarray:
+        """Boolean mask over this space's elements: which are in ``other``."""
+        if self.is_empty:
+            return np.empty(0, dtype=bool)
+        if not self.bbox_overlaps(other):
+            return np.zeros(self.size, dtype=bool)
+        return np.isin(self._indices, other._indices, assume_unique=True)
+
+    @staticmethod
+    def union_all(spaces: Sequence["IndexSpace"]) -> "IndexSpace":
+        """Union of many spaces in one pass."""
+        arrays = [s._indices for s in spaces if s.size]
+        if not arrays:
+            return _EMPTY_SPACE
+        if len(arrays) == 1:
+            return IndexSpace(arrays[0], trusted=True)
+        return IndexSpace(np.unique(np.concatenate(arrays)), trusted=True)
+
+    def to_rect_coords(self, extent: Extent) -> np.ndarray:
+        """Delinearize back to ``(n, dim)`` coordinates inside ``extent``."""
+        return extent.delinearize(self._indices)
+
+    def sample(self, k: int, rng: Optional[np.random.Generator] = None) -> "IndexSpace":
+        """A random subset of at most ``k`` elements (for test workloads)."""
+        if k >= self.size:
+            return self
+        rng = rng or np.random.default_rng()
+        pick = rng.choice(self._indices, size=k, replace=False)
+        return IndexSpace(pick)
+
+
+_EMPTY_SPACE = IndexSpace(_EMPTY, trusted=True)

@@ -1,0 +1,149 @@
+"""Run-length interval views over index spaces.
+
+Sparse index spaces produced by partitioning structured grids are usually
+highly *runny* — long stretches of consecutive indices.  An
+:class:`IntervalSet` summarizes an index space as a list of inclusive runs
+``[(start, stop)]``, which gives:
+
+* O(runs) storage for what may be a large set,
+* O(runs_a + runs_b) disjointness/overlap tests,
+* the bounding structure the K-d tree fallback (section 7.1) splits on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.index_space import IndexSpace
+
+
+def runs_of(space: IndexSpace) -> np.ndarray:
+    """Inclusive runs of an index space as an ``(n, 2)`` int64 array.
+
+    Each row is ``(start, stop)`` with ``stop`` inclusive; rows are sorted
+    and non-adjacent (``start[i+1] > stop[i] + 1``).
+    """
+    idx = space.indices
+    if idx.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    breaks = np.flatnonzero(np.diff(idx) > 1)
+    starts = np.concatenate(([idx[0]], idx[breaks + 1]))
+    stops = np.concatenate((idx[breaks], [idx[-1]]))
+    return np.stack([starts, stops], axis=1)
+
+
+class IntervalSet:
+    """A sorted set of disjoint inclusive integer intervals.
+
+    This is the compact summary representation used where element-exact
+    precision is unnecessary (BVH bounds, ownership maps, message size
+    estimates).
+    """
+
+    __slots__ = ("_runs",)
+
+    def __init__(self, runs: np.ndarray | list[tuple[int, int]]) -> None:
+        arr = np.asarray(runs, dtype=np.int64).reshape(-1, 2)
+        if arr.size and (arr[:, 0] > arr[:, 1]).any():
+            raise GeometryError("interval with start > stop")
+        if arr.shape[0] > 1:
+            order = np.argsort(arr[:, 0], kind="stable")
+            arr = arr[order]
+            if (arr[1:, 0] <= arr[:-1, 1] + 1).any():
+                arr = _coalesce(arr)
+        arr.setflags(write=False)
+        self._runs = arr
+
+    @staticmethod
+    def from_space(space: IndexSpace) -> "IntervalSet":
+        """Exact interval summary of an index space."""
+        return IntervalSet(runs_of(space))
+
+    @staticmethod
+    def empty() -> "IntervalSet":
+        """The empty interval set."""
+        return IntervalSet(np.empty((0, 2), dtype=np.int64))
+
+    @property
+    def runs(self) -> np.ndarray:
+        """The ``(n, 2)`` array of inclusive runs (read-only)."""
+        return self._runs
+
+    @property
+    def num_runs(self) -> int:
+        """Number of maximal runs."""
+        return int(self._runs.shape[0])
+
+    @property
+    def is_empty(self) -> bool:
+        """True when there are no intervals."""
+        return self._runs.shape[0] == 0
+
+    @property
+    def size(self) -> int:
+        """Total number of integer points covered."""
+        if self.is_empty:
+            return 0
+        return int((self._runs[:, 1] - self._runs[:, 0] + 1).sum())
+
+    @property
+    def bounds(self) -> tuple[int, int]:
+        """Overall inclusive bounding interval; ``(0, -1)`` if empty."""
+        if self.is_empty:
+            return (0, -1)
+        return (int(self._runs[0, 0]), int(self._runs[-1, 1]))
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter((int(a), int(b)) for a, b in self._runs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return bool(np.array_equal(self._runs, other._runs))
+
+    def __repr__(self) -> str:
+        return f"IntervalSet(runs={self.num_runs}, size={self.size})"
+
+    def overlaps(self, other: "IntervalSet") -> bool:
+        """True when any run of ``self`` intersects any run of ``other``.
+
+        Linear merge over the two sorted run lists.
+        """
+        a, b = self._runs, other._runs
+        i = j = 0
+        while i < a.shape[0] and j < b.shape[0]:
+            if a[i, 1] < b[j, 0]:
+                i += 1
+            elif b[j, 1] < a[i, 0]:
+                j += 1
+            else:
+                return True
+        return False
+
+    def contains_point(self, index: int) -> bool:
+        """True when ``index`` is covered by some run."""
+        if self.is_empty:
+            return False
+        pos = int(np.searchsorted(self._runs[:, 0], index, side="right")) - 1
+        return pos >= 0 and index <= int(self._runs[pos, 1])
+
+    def to_space(self) -> IndexSpace:
+        """Expand back to an element-exact index space."""
+        if self.is_empty:
+            return IndexSpace.empty()
+        parts = [np.arange(a, b + 1, dtype=np.int64) for a, b in self._runs]
+        return IndexSpace(np.concatenate(parts), trusted=True)
+
+
+def _coalesce(sorted_runs: np.ndarray) -> np.ndarray:
+    """Merge overlapping/adjacent sorted runs into maximal disjoint runs."""
+    out: list[list[int]] = [[int(sorted_runs[0, 0]), int(sorted_runs[0, 1])]]
+    for start, stop in sorted_runs[1:]:
+        if start <= out[-1][1] + 1:
+            out[-1][1] = max(out[-1][1], int(stop))
+        else:
+            out.append([int(start), int(stop)])
+    return np.asarray(out, dtype=np.int64)

@@ -1,0 +1,193 @@
+"""Dense n-dimensional integer geometry: extents and rectangles.
+
+The structured applications (Stencil, and the mesh generators behind
+Pennant) describe their data as dense n-D grids.  A :class:`Rect` is a
+closed integer box ``[lo, hi]`` (inclusive on both ends, matching Legion's
+convention); an :class:`Extent` is the shape of the root grid and provides
+the row-major linearization used to embed n-D points into the 1-D index
+space that :class:`~repro.geometry.index_space.IndexSpace` operates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+
+@dataclass(frozen=True)
+class Extent:
+    """Shape of a dense n-D root grid, with row-major linearization.
+
+    Parameters
+    ----------
+    shape:
+        Length of the grid in each dimension; every entry must be positive.
+    """
+
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.shape) == 0:
+            raise GeometryError("Extent must have at least one dimension")
+        if any(s <= 0 for s in self.shape):
+            raise GeometryError(f"Extent dimensions must be positive: {self.shape}")
+
+    @property
+    def dim(self) -> int:
+        """Number of dimensions."""
+        return len(self.shape)
+
+    @property
+    def volume(self) -> int:
+        """Total number of points in the grid."""
+        return int(np.prod(self.shape))
+
+    @property
+    def strides(self) -> tuple[int, ...]:
+        """Row-major strides, in points (not bytes)."""
+        out = [1] * self.dim
+        for d in range(self.dim - 2, -1, -1):
+            out[d] = out[d + 1] * self.shape[d + 1]
+        return tuple(out)
+
+    def full_rect(self) -> "Rect":
+        """The rectangle covering the whole grid."""
+        return Rect(tuple(0 for _ in self.shape), tuple(s - 1 for s in self.shape))
+
+    def linearize(self, coords: np.ndarray) -> np.ndarray:
+        """Map an ``(n, dim)`` array of coordinates to flat indices.
+
+        Coordinates outside the extent raise :class:`GeometryError`.
+        """
+        coords = np.asarray(coords, dtype=np.int64)
+        if coords.ndim == 1:
+            coords = coords.reshape(1, -1)
+        if coords.shape[1] != self.dim:
+            raise GeometryError(
+                f"coordinate dim {coords.shape[1]} != extent dim {self.dim}"
+            )
+        shape = np.asarray(self.shape, dtype=np.int64)
+        if coords.size and ((coords < 0) | (coords >= shape)).any():
+            raise GeometryError("coordinates out of extent bounds")
+        strides = np.asarray(self.strides, dtype=np.int64)
+        return coords @ strides
+
+    def delinearize(self, indices: np.ndarray) -> np.ndarray:
+        """Map flat indices back to an ``(n, dim)`` coordinate array."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and ((indices < 0) | (indices >= self.volume)).any():
+            raise GeometryError("flat indices out of extent bounds")
+        out = np.empty((indices.shape[0], self.dim), dtype=np.int64)
+        rem = indices
+        for d, stride in enumerate(self.strides):
+            out[:, d], rem = np.divmod(rem, stride)
+        return out
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A closed n-D integer rectangle ``[lo, hi]`` (both bounds inclusive).
+
+    An empty rectangle is represented by any ``lo[d] > hi[d]``; use
+    :meth:`empty` as the canonical constructor for one.
+    """
+
+    lo: tuple[int, ...]
+    hi: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise GeometryError(f"lo/hi rank mismatch: {self.lo} vs {self.hi}")
+        if len(self.lo) == 0:
+            raise GeometryError("Rect must have at least one dimension")
+
+    @staticmethod
+    def empty(dim: int) -> "Rect":
+        """The canonical empty rectangle of a given dimensionality."""
+        return Rect(tuple(0 for _ in range(dim)), tuple(-1 for _ in range(dim)))
+
+    @property
+    def dim(self) -> int:
+        """Number of dimensions."""
+        return len(self.lo)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the rectangle contains no points."""
+        return any(l > h for l, h in zip(self.lo, self.hi))
+
+    @property
+    def volume(self) -> int:
+        """Number of integer points inside the rectangle."""
+        if self.is_empty:
+            return 0
+        return int(np.prod([h - l + 1 for l, h in zip(self.lo, self.hi)]))
+
+    def contains_point(self, point: Sequence[int]) -> bool:
+        """True when ``point`` lies inside the rectangle."""
+        if len(point) != self.dim:
+            raise GeometryError("point rank mismatch")
+        return all(l <= p <= h for p, l, h in zip(point, self.lo, self.hi))
+
+    def contains(self, other: "Rect") -> bool:
+        """True when ``other`` is entirely inside this rectangle."""
+        if other.is_empty:
+            return True
+        if self.is_empty:
+            return False
+        return all(sl <= ol and oh <= sh
+                   for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi))
+
+    def intersect(self, other: "Rect") -> "Rect":
+        """The rectangle intersection (possibly empty)."""
+        if other.dim != self.dim:
+            raise GeometryError("rect rank mismatch")
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        r = Rect(lo, hi)
+        return r if not r.is_empty else Rect.empty(self.dim)
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True when the two rectangles share at least one point."""
+        return not self.intersect(other).is_empty
+
+    def clamp(self, extent: Extent) -> "Rect":
+        """Clip the rectangle to lie within ``extent``."""
+        return self.intersect(extent.full_rect())
+
+    def points(self) -> Iterator[tuple[int, ...]]:
+        """Iterate all integer points in row-major order (small rects only)."""
+        if self.is_empty:
+            return
+        ranges = [range(l, h + 1) for l, h in zip(self.lo, self.hi)]
+        # row-major: last dimension varies fastest
+        idx = [r.start for r in ranges]
+        grids = np.meshgrid(*[np.arange(l, h + 1) for l, h in zip(self.lo, self.hi)],
+                            indexing="ij")
+        stacked = np.stack([g.ravel() for g in grids], axis=1)
+        for row in stacked:
+            yield tuple(int(x) for x in row)
+        del idx, ranges
+
+    def linearize(self, extent: Extent) -> np.ndarray:
+        """Flat row-major indices of every point of the rect within ``extent``.
+
+        The result is sorted ascending (a property the index-space layer
+        relies on) and is computed fully vectorized.
+        """
+        if self.dim != extent.dim:
+            raise GeometryError("rect/extent rank mismatch")
+        clipped = self.clamp(extent)
+        if clipped.is_empty:
+            return np.empty(0, dtype=np.int64)
+        strides = extent.strides
+        axes = [np.arange(l, h + 1, dtype=np.int64) * strides[d]
+                for d, (l, h) in enumerate(zip(clipped.lo, clipped.hi))]
+        flat = axes[0]
+        for ax in axes[1:]:
+            flat = (flat[:, None] + ax[None, :]).ravel()
+        return flat

@@ -1,0 +1,80 @@
+"""Calibrating the machine model against this host's real constants.
+
+The default :class:`~repro.machine.topology.MachineSpec` uses
+order-of-magnitude constants; for anyone who wants the simulator's
+absolute times anchored to *this* Python implementation on *this*
+machine, :func:`calibrate` measures the real wall-clock cost of the
+dominant metered operation (a weighted analysis op, measured end-to-end
+through a live ray-casting runtime) and returns a spec whose
+``analysis_op``/``launch_overhead`` reflect it.
+
+The figures do not change qualitatively under calibration — growth comes
+from operation counts — but calibrated runs let the wall-clock micro
+benchmarks and the simulated times be compared on one axis.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from repro.machine.costmodel import CostModel
+from repro.machine.topology import MachineSpec
+
+
+def measure_analysis_constants(pieces: int = 16, iterations: int = 4,
+                               algorithm: str = "raycast"
+                               ) -> dict[str, float]:
+    """Measure seconds-per-weighted-op and seconds-per-launch on this host.
+
+    Runs the circuit benchmark's steady state under the given algorithm,
+    dividing real elapsed time by the metered weighted operations and the
+    launch count.
+    """
+    from repro.apps import CircuitApp
+    from repro.runtime.context import Runtime
+    from repro.visibility.meter import TaskCost
+
+    app = CircuitApp(pieces=pieces, nodes_per_piece=16, wires_per_piece=24)
+    rt = Runtime(app.tree, app.initial, algorithm=algorithm)
+    rt.replay(app.init_stream())
+    rt.replay(app.iteration_stream())  # warm structures and memos
+
+    model = CostModel()
+    before = dict(rt.meter.counters)
+    launches_before = len(rt.tasks)
+    start = time.perf_counter()
+    for _ in range(iterations):
+        rt.replay(app.iteration_stream())
+    elapsed = time.perf_counter() - start
+
+    delta = {k: rt.meter.counters[k] - before.get(k, 0)
+             for k in rt.meter.counters}
+    weighted = model.ops(TaskCost(counters=delta, touches=frozenset()))
+    launches = len(rt.tasks) - launches_before
+    return {
+        "elapsed": elapsed,
+        "weighted_ops": weighted,
+        "launches": launches,
+        "seconds_per_op": elapsed / max(1.0, weighted),
+        "seconds_per_launch": elapsed / max(1, launches),
+    }
+
+
+def calibrate(base: MachineSpec | None = None,
+              pieces: int = 16, iterations: int = 4) -> MachineSpec:
+    """A :class:`MachineSpec` whose analysis constants match this host.
+
+    Half the measured per-launch time is attributed to fixed launch
+    overhead and the per-op cost is taken directly; network parameters
+    are inherited from ``base`` (they model the machine, not this host).
+    """
+    base = base if base is not None else MachineSpec()
+    measured = measure_analysis_constants(pieces=pieces,
+                                          iterations=iterations)
+    return replace(base,
+                   analysis_op=float(measured["seconds_per_op"]),
+                   launch_overhead=float(
+                       0.5 * measured["seconds_per_launch"]))

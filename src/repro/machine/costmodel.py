@@ -1,0 +1,61 @@
+"""Mapping metered analysis operations to time.
+
+Every coherence algorithm counts its work through the shared event
+vocabulary of :mod:`repro.visibility.meter`.  The cost model assigns each
+event a weight (in units of :attr:`MachineSpec.analysis_op`); the weights
+reflect the relative expense of the underlying operations in a real
+runtime — constructing a composite view node costs far more than scanning
+one history entry, and moving an element's value costs less than an
+index-space intersection test.
+
+The figures are insensitive to the precise values: the *growth* of each
+curve comes from how the event counts scale with machine size, which is a
+property of the algorithms, not of the weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.visibility.meter import TaskCost
+
+#: Relative weights per metered event (unit = one plain history-entry scan).
+DEFAULT_WEIGHTS: dict[str, float] = {
+    "entries_scanned": 1.0,
+    "intersection_tests": 2.0,
+    "elements_moved": 0.05,
+    "views_created": 20.0,
+    "view_nodes_captured": 5.0,
+    "views_traversed": 3.0,
+    "entries_occluded": 0.5,
+    "eqsets_created": 8.0,
+    "eqsets_split": 10.0,
+    "eqsets_coalesced": 2.0,
+    "eqsets_visited": 1.0,
+    "bvh_nodes_visited": 0.5,
+}
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Weighted sum over a :class:`TaskCost`'s counters.
+
+    Unknown events fall back to ``default_weight`` so a new meter event
+    can never be silently free.
+    """
+
+    weights: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_WEIGHTS))
+    default_weight: float = 1.0
+
+    def ops(self, cost: TaskCost) -> float:
+        """Weighted operation count of one task's analysis."""
+        total = 0.0
+        for event, count in cost.counters.items():
+            total += self.weights.get(event, self.default_weight) * count
+        return total
+
+    def seconds(self, cost: TaskCost, analysis_op: float) -> float:
+        """Analysis time of one task at a node."""
+        return self.ops(cost) * analysis_op

@@ -1,0 +1,39 @@
+"""Dynamic control replication: sharding the analysis stream.
+
+DCR [Bauer et al., PPoPP 2021] transforms a single control task that
+launches O(machine) subtasks into an SPMD-style execution where each
+*shard* analyzes a subset of the launches.  For the cost simulator the
+essential effect is **where each task's analysis originates**:
+
+* without DCR every analysis runs at the control node (node 0), which
+  becomes the sequential bottleneck section 8 observes at scale;
+* with DCR the analysis of index-launch point ``i`` originates at shard
+  ``i % nodes`` (the canonical Legion sharding functor), at the price of a
+  per-epoch collective synchronization among shards.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.runtime.task import Task
+
+#: Maps a task to the node its analysis originates at.
+ShardingFunctor = Callable[[Task], int]
+
+
+def control_node(task: Task) -> int:
+    """No DCR: every analysis originates at the control node."""
+    return 0
+
+
+def dcr_sharding(nodes: int) -> ShardingFunctor:
+    """The canonical DCR sharding functor: point ``i`` → shard
+    ``i % nodes``; pointless (singleton) launches stay on shard 0."""
+
+    def shard(task: Task) -> int:
+        if task.point is None:
+            return 0
+        return task.point % nodes
+
+    return shard

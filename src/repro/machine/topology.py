@@ -1,0 +1,79 @@
+"""Machine descriptions for the cost simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineError
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A homogeneous distributed machine, Piz-Daint-shaped by default.
+
+    All times are seconds.  The defaults are calibrated so single-node
+    results land in the same order of magnitude as the artifact's sample
+    output (init ≈ 0.06 s, a few seconds of steady state per run); the
+    figures only depend on *relative* growth, which comes from the metered
+    operation counts, not from these constants.
+
+    Attributes
+    ----------
+    nodes:
+        Number of machine nodes (one analysis rank per node, matching the
+        paper's one-Legion-process-per-node configuration).
+    latency:
+        One-way network message latency.
+    bandwidth:
+        Per-link bandwidth in bytes/second (used for bulk value movement).
+    analysis_op:
+        Cost of one metered analysis operation of unit weight.
+    launch_overhead:
+        Fixed per-task-launch runtime overhead at the origin node.
+    message_send:
+        Sender-side software overhead per remote-object message.
+    message_serve:
+        Owner-side serialized handling time per incoming message — the
+        quantity that turns a single mutable root object into a
+        whole-machine bottleneck.
+    task_run:
+        Execution time of one application task on its mapped processor
+        (constant under weak scaling).
+    collective_base:
+        Base cost of one DCR epoch synchronization (scaled by log2(nodes)
+        by the simulator).
+    """
+
+    nodes: int = 1
+    latency: float = 1.5e-6
+    bandwidth: float = 10e9
+    analysis_op: float = 2.0e-7
+    launch_overhead: float = 5.0e-6
+    message_send: float = 1.0e-6
+    message_serve: float = 2.0e-6
+    task_run: float = 1.0e-4
+    collective_base: float = 5.0e-6
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise MachineError("machine needs at least one node")
+        for name in ("latency", "bandwidth", "analysis_op", "launch_overhead",
+                     "message_send", "message_serve", "task_run",
+                     "collective_base"):
+            if getattr(self, name) < 0:
+                raise MachineError(f"{name} must be non-negative")
+
+    def with_nodes(self, nodes: int) -> "MachineSpec":
+        """The same machine at a different scale."""
+        return MachineSpec(nodes=nodes, latency=self.latency,
+                           bandwidth=self.bandwidth,
+                           analysis_op=self.analysis_op,
+                           launch_overhead=self.launch_overhead,
+                           message_send=self.message_send,
+                           message_serve=self.message_serve,
+                           task_run=self.task_run,
+                           collective_base=self.collective_base)
+
+
+#: The machine the benchmarks simulate by default.
+PIZ_DAINT_LIKE = MachineSpec()

@@ -1,0 +1,32 @@
+"""A miniature Realm: the event-based low-level runtime beneath Legion.
+
+The paper's experiments all run on Realm [Treichler et al., *Realm: An
+Event-Based Low-Level Runtime for Distributed Memory Architectures*,
+PACT 2014], the deferred-execution substrate Legion compiles its analyzed
+task graphs onto.  This package reproduces Realm's core programming
+model:
+
+* :class:`~repro.realm.events.Event` — first-class completion handles;
+  every operation returns one and can be made to wait on one.  Events
+  merge (:meth:`Event.merge`) and *poison*: a failed operation poisons its
+  completion event, and poison propagates through everything downstream
+  (Realm's fault model).
+* :class:`~repro.realm.events.UserEvent` — events triggered explicitly by
+  the application.
+* :class:`~repro.realm.runtime.RealmRuntime` — processors (worker
+  threads) executing deferred operations whose preconditions have
+  triggered.  A ``num_procs=0`` runtime is deterministic: operations run
+  inline on a work list, which the tests use to exhaustively check event
+  semantics.
+* :class:`~repro.realm.executor.RealmExecutor` — executes a coherence-
+  analyzed task stream by translating the dependence graph into an event
+  graph: one deferred task per launch, preconditioned on the merge of its
+  dependences' completion events.  This is exactly the hand-off Legion
+  performs after the analyses this repository reproduces.
+"""
+
+from repro.realm.events import Event, UserEvent
+from repro.realm.runtime import RealmRuntime
+from repro.realm.executor import RealmExecutor
+
+__all__ = ["Event", "RealmExecutor", "RealmRuntime", "UserEvent"]

@@ -1,0 +1,148 @@
+"""Realm events: first-class, mergeable, poisonable completion handles.
+
+An event is a one-shot boolean that transitions untriggered → triggered
+exactly once, possibly carrying *poison* (the operation it represents
+failed, or a poisoned precondition cascaded into it).  Consumers register
+callbacks that fire exactly once, on or after the trigger, from whichever
+thread triggers — the core deferred-execution primitive.
+
+Threading model: a lock per event protects the transition; callbacks fire
+outside the lock.  ``wait`` blocks a host thread on a condition variable
+(only sensible with a threaded :class:`~repro.realm.runtime.RealmRuntime`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Callable, Iterable, Optional
+
+from repro.errors import ReproError
+
+
+class RealmError(ReproError):
+    """Misuse of the Realm layer (double trigger, wait deadlock...)."""
+
+
+_event_uid = itertools.count()
+
+# callback signature: poisoned -> None
+Callback = Callable[[bool], None]
+
+
+class Event:
+    """A one-shot completion handle.
+
+    Use :meth:`Event.nil` for the pre-triggered no-precondition event and
+    :meth:`Event.merge` to combine preconditions.  Events compare by
+    identity; ``uid`` is for debugging.
+    """
+
+    __slots__ = ("uid", "_lock", "_cond", "_triggered", "_poisoned",
+                 "_callbacks")
+
+    def __init__(self) -> None:
+        self.uid = next(_event_uid)
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._triggered = False
+        self._poisoned = False
+        self._callbacks: list[Callback] = []
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def nil() -> "Event":
+        """The pre-triggered, unpoisoned event (Realm's NO_EVENT)."""
+        event = Event()
+        event._triggered = True
+        return event
+
+    @staticmethod
+    def merge(events: Iterable["Event"]) -> "Event":
+        """An event that triggers when *all* inputs have triggered, poisoned
+        iff any input is poisoned (Realm's merge semantics)."""
+        events = list(events)
+        if not events:
+            return Event.nil()
+        if len(events) == 1:
+            return events[0]
+        merged = Event()
+        state = {"remaining": len(events), "poisoned": False}
+        state_lock = threading.Lock()
+
+        def arm(poisoned: bool) -> None:
+            with state_lock:
+                if poisoned:
+                    state["poisoned"] = True
+                state["remaining"] -= 1
+                done = state["remaining"] == 0
+                poison = state["poisoned"]
+            if done:
+                merged._trigger(poison)
+
+        for event in events:
+            event.add_callback(arm)
+        return merged
+
+    # ------------------------------------------------------------------
+    def has_triggered(self) -> bool:
+        """Whether the event has fired (poisoned or not)."""
+        with self._lock:
+            return self._triggered
+
+    def is_poisoned(self) -> bool:
+        """Whether the event fired poisoned; False while untriggered."""
+        with self._lock:
+            return self._triggered and self._poisoned
+
+    def add_callback(self, callback: Callback) -> None:
+        """Run ``callback(poisoned)`` once, on or after the trigger.
+
+        If the event already fired, the callback runs immediately on the
+        calling thread.
+        """
+        with self._lock:
+            if not self._triggered:
+                self._callbacks.append(callback)
+                return
+            poisoned = self._poisoned
+        callback(poisoned)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block the calling thread until the trigger; returns the poison
+        state.  Raises :class:`RealmError` on timeout."""
+        with self._cond:
+            if not self._cond.wait_for(lambda: self._triggered,
+                                       timeout=timeout):
+                raise RealmError(f"timeout waiting on event {self.uid}")
+            return self._poisoned
+
+    # ------------------------------------------------------------------
+    def _trigger(self, poisoned: bool = False) -> None:
+        with self._lock:
+            if self._triggered:
+                raise RealmError(f"event {self.uid} triggered twice")
+            self._triggered = True
+            self._poisoned = poisoned
+            callbacks = self._callbacks
+            self._callbacks = []
+            self._cond.notify_all()
+        for callback in callbacks:
+            callback(poisoned)
+
+    def __repr__(self) -> str:
+        state = ("poisoned" if self.is_poisoned()
+                 else "triggered" if self.has_triggered() else "pending")
+        return f"Event({self.uid}, {state})"
+
+
+class UserEvent(Event):
+    """An event the application triggers explicitly.
+
+    Created through :meth:`RealmRuntime.create_user_event` (or directly);
+    trigger exactly once with :meth:`trigger`, optionally poisoned.
+    """
+
+    def trigger(self, poisoned: bool = False) -> None:
+        """Fire the event (at most once)."""
+        self._trigger(poisoned)

@@ -1,0 +1,164 @@
+"""The Realm runtime: processors executing deferred operations.
+
+``spawn`` defers a Python callable behind an event precondition and
+returns its completion event immediately — nothing blocks.  When the
+precondition triggers cleanly, the operation is enqueued on a processor
+(a worker thread, or the deterministic inline work list when
+``num_procs=0``); when it triggers poisoned, the operation is *skipped*
+and its completion event fires poisoned (Realm's cascade semantics).  An
+operation that raises poisons its completion event instead of crashing a
+worker.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Optional, Sequence
+
+from repro.realm.events import Event, RealmError, UserEvent
+
+
+class _Operation:
+    __slots__ = ("fn", "completion")
+
+    def __init__(self, fn: Callable[[], None], completion: UserEvent) -> None:
+        self.fn = fn
+        self.completion = completion
+
+    def run(self) -> None:
+        try:
+            self.fn()
+        except BaseException:
+            self.completion.trigger(poisoned=True)
+        else:
+            self.completion.trigger(poisoned=False)
+
+
+class RealmRuntime:
+    """A pool of processors executing event-preconditioned operations.
+
+    Parameters
+    ----------
+    num_procs:
+        Worker threads.  ``0`` selects the deterministic inline mode:
+        ready operations run on the thread that made them ready (spawner
+        or triggerer), via an explicit work list so deep event chains
+        cannot overflow the stack.
+    """
+
+    def __init__(self, num_procs: int = 2) -> None:
+        if num_procs < 0:
+            raise RealmError("num_procs must be >= 0")
+        self.num_procs = num_procs
+        self._shutdown = False
+        self._pending = 0
+        self._pending_lock = threading.Lock()
+        self._quiescent = threading.Condition(self._pending_lock)
+        self._inline_list: list[_Operation] = []
+        self._inline_lock = threading.Lock()
+        self._inline_running = False
+        self._queue: "queue.Queue[Optional[_Operation]]" = queue.Queue()
+        self._workers: list[threading.Thread] = []
+        for w in range(num_procs):
+            thread = threading.Thread(target=self._worker,
+                                      name=f"realm-proc-{w}", daemon=True)
+            thread.start()
+            self._workers.append(thread)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def create_user_event(self) -> UserEvent:
+        """A fresh application-triggered event."""
+        return UserEvent()
+
+    def spawn(self, fn: Callable[[], None],
+              wait_on: Optional[Event] = None) -> Event:
+        """Defer ``fn`` behind ``wait_on``; returns its completion event.
+
+        A poisoned precondition skips ``fn`` and poisons the completion.
+        """
+        if self._shutdown:
+            raise RealmError("runtime is shut down")
+        completion = UserEvent()
+        op = _Operation(fn, completion)
+        precondition = wait_on if wait_on is not None else Event.nil()
+        with self._pending_lock:
+            self._pending += 1
+        completion.add_callback(self._op_done)
+
+        def on_ready(poisoned: bool) -> None:
+            if poisoned:
+                completion.trigger(poisoned=True)
+            else:
+                self._enqueue(op)
+
+        precondition.add_callback(on_ready)
+        return completion
+
+    def merge_events(self, events: Sequence[Event]) -> Event:
+        """Convenience wrapper for :meth:`Event.merge`."""
+        return Event.merge(events)
+
+    def wait_for_quiescence(self, timeout: Optional[float] = None) -> None:
+        """Block until every spawned operation has completed."""
+        with self._quiescent:
+            if not self._quiescent.wait_for(lambda: self._pending == 0,
+                                            timeout=timeout):
+                raise RealmError("timeout waiting for quiescence")
+
+    def shutdown(self, timeout: Optional[float] = 30.0) -> None:
+        """Drain outstanding work and stop the processors."""
+        self.wait_for_quiescence(timeout=timeout)
+        self._shutdown = True
+        for _ in self._workers:
+            self._queue.put(None)
+        for thread in self._workers:
+            thread.join(timeout=timeout)
+
+    def __enter__(self) -> "RealmRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _op_done(self, poisoned: bool) -> None:
+        with self._pending_lock:
+            self._pending -= 1
+            if self._pending == 0:
+                self._quiescent.notify_all()
+
+    def _enqueue(self, op: _Operation) -> None:
+        if self.num_procs > 0:
+            self._queue.put(op)
+            return
+        # deterministic inline mode: run via an explicit work list so a
+        # chain of trigger→spawn→trigger cannot recurse unboundedly
+        with self._inline_lock:
+            self._inline_list.append(op)
+            if self._inline_running:
+                return
+            self._inline_running = True
+        try:
+            while True:
+                with self._inline_lock:
+                    if not self._inline_list:
+                        self._inline_running = False
+                        return
+                    next_op = self._inline_list.pop(0)
+                next_op.run()
+        except BaseException:  # pragma: no cover - run() never raises
+            with self._inline_lock:
+                self._inline_running = False
+            raise
+
+    def _worker(self) -> None:
+        while True:
+            op = self._queue.get()
+            if op is None:
+                return
+            op.run()

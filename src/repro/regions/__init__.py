@@ -1,0 +1,23 @@
+"""Region trees: hierarchical, possibly aliased views of collections.
+
+The region tree (Figure 2c) is the program-facing naming structure: a root
+region holds all elements of a collection; *partitions* name arrays of
+subregions; subregions may themselves be partitioned.  Partitions carry two
+independent properties the coherence algorithms exploit:
+
+* **disjoint** — no element appears in two subregions (the primary
+  partition of Figure 2a), vs. **aliased** (the ghost partition, 2b);
+* **complete** — every element of the parent appears in some subregion,
+  vs. incomplete.
+
+Fields are orthogonal to the spatial structure: a region tree is created
+over a :class:`~repro.regions.field.FieldSpace`, and coherence is tracked
+per field.
+"""
+
+from repro.regions.field import Field, FieldSpace
+from repro.regions.region import Region
+from repro.regions.partition import Partition
+from repro.regions.tree import RegionTree
+
+__all__ = ["Field", "FieldSpace", "Region", "Partition", "RegionTree"]

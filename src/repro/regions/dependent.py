@@ -1,0 +1,164 @@
+"""Dependent partitioning: computing partitions from data and functions.
+
+Section 2 of the paper leans on Legion's partitioning sublanguage
+[Treichler et al., OOPSLA 2013/2016]: programs *name* subregions by
+computing partitions — by field value, by the image of a relation (where
+do my wires' endpoints live?), by preimage, or by set operations on
+existing partitions.  The ghost partition of Figure 2(b) is exactly
+
+    G = image(wires, P) \\ P        (per piece)
+
+These operators build ordinary :class:`~repro.regions.partition.Partition`
+objects, so everything downstream (the coherence algorithms, the BVH
+bucket selection) works unchanged.  All operators are deterministic and
+vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import RegionTreeError
+from repro.geometry.index_space import IndexSpace
+from repro.regions.partition import Partition
+from repro.regions.region import Region
+
+
+def partition_by_field(region: Region, name: str, colors: np.ndarray,
+                       num_colors: Optional[int] = None) -> Partition:
+    """Partition a region by a per-element color array.
+
+    ``colors[k]`` is the color of ``region.space.indices[k]``; a negative
+    color leaves the element out of every subregion (so the result may be
+    incomplete).  The result is always disjoint.
+    """
+    colors = np.asarray(colors)
+    if colors.shape != (region.space.size,):
+        raise RegionTreeError(
+            f"colors shape {colors.shape} does not match region size "
+            f"{region.space.size}")
+    colors = colors.astype(np.int64)
+    if num_colors is None:
+        num_colors = int(colors.max()) + 1 if colors.size else 0
+    if num_colors < 1:
+        raise RegionTreeError("partition_by_field needs at least one color")
+    indices = region.space.indices
+    subs = [IndexSpace(indices[colors == c], trusted=True)
+            for c in range(num_colors)]
+    return region.create_partition(name, subs, disjoint=True)
+
+
+def image_partition(target: Region, name: str,
+                    relation: Sequence[np.ndarray],
+                    clip: bool = True) -> Partition:
+    """Partition ``target`` by the image of a relation.
+
+    ``relation[i]`` is an array of element indices that piece ``i`` points
+    *to* (e.g. the endpoints of piece i's wires).  Subregion ``i`` of the
+    result is the set of those indices that lie inside ``target`` —
+    typically aliased and incomplete, like the ghost partition.
+    """
+    out: list[IndexSpace] = []
+    tspace = target.space
+    for arr in relation:
+        space = IndexSpace.from_indices(np.asarray(arr, dtype=np.int64))
+        if clip:
+            space = space & tspace
+        elif not space.issubset(tspace):
+            raise RegionTreeError("image escapes the target region")
+        out.append(space)
+    return target.create_partition(name, out)
+
+
+def preimage_partition(source: Region, name: str,
+                       pointers: np.ndarray,
+                       through: Partition) -> Partition:
+    """Partition ``source`` by the preimage of a pointer field.
+
+    ``pointers[k]`` is the element (in ``through``'s parent) that source
+    element ``source.space.indices[k]`` points to; source subregion ``i``
+    holds the elements pointing into ``through[i]``.  Disjoint iff
+    ``through`` is disjoint.
+    """
+    pointers = np.asarray(pointers, dtype=np.int64)
+    if pointers.shape != (source.space.size,):
+        raise RegionTreeError(
+            f"pointers shape {pointers.shape} does not match region size "
+            f"{source.space.size}")
+    indices = source.space.indices
+    subs = []
+    for sub in through.subregions:
+        hit = np.isin(pointers, sub.space.indices)
+        subs.append(IndexSpace(indices[hit], trusted=True))
+    return source.create_partition(name, subs)
+
+
+def difference_partition(region: Region, name: str,
+                         left: Partition, right: Partition) -> Partition:
+    """Pairwise difference of two partitions' subregions.
+
+    ``result[i] = left[i] \\ right[i]``; the canonical use is carving the
+    ghost partition out of a zone-view partition:
+    ``G = difference(view, owned)``.
+    """
+    if len(left) != len(right):
+        raise RegionTreeError("partition arity mismatch")
+    subs = [l.space - r.space for l, r in zip(left, right)]
+    return region.create_partition(name, subs)
+
+
+def intersection_partition(region: Region, name: str,
+                           left: Partition, right: Partition) -> Partition:
+    """Pairwise intersection: ``result[i] = left[i] ∩ right[i]``."""
+    if len(left) != len(right):
+        raise RegionTreeError("partition arity mismatch")
+    subs = [l.space & r.space for l, r in zip(left, right)]
+    return region.create_partition(name, subs)
+
+
+def union_partition(region: Region, name: str,
+                    left: Partition, right: Partition) -> Partition:
+    """Pairwise union: ``result[i] = left[i] ∪ right[i]``.
+
+    The zone-view partition of a mesh is the union of the owned points and
+    the ghost points.
+    """
+    if len(left) != len(right):
+        raise RegionTreeError("partition arity mismatch")
+    subs = [l.space | r.space for l, r in zip(left, right)]
+    return region.create_partition(name, subs)
+
+
+def equal_partition(region: Region, name: str, pieces: int) -> Partition:
+    """Split a region into ``pieces`` nearly equal disjoint blocks (the
+    `partition ... equal` operator)."""
+    if pieces < 1 or pieces > region.space.size:
+        raise RegionTreeError(
+            f"cannot split {region.space.size} elements into {pieces}")
+    bounds = np.linspace(0, region.space.size, pieces + 1).astype(np.int64)
+    indices = region.space.indices
+    subs = [IndexSpace(indices[a:b], trusted=True)
+            for a, b in zip(bounds, bounds[1:])]
+    return region.create_partition(name, subs, disjoint=True, complete=True)
+
+
+def partition_by_predicate(region: Region, name: str,
+                           predicates: Sequence[Callable[[np.ndarray],
+                                                         np.ndarray]]
+                           ) -> Partition:
+    """Partition by vectorized predicates over element indices.
+
+    Each predicate maps the element-index array to a boolean mask;
+    subregion ``i`` holds the elements whose predicate ``i`` is true.
+    Useful for structured carve-outs (boundaries, halos, stripes).
+    """
+    indices = region.space.indices
+    subs = []
+    for pred in predicates:
+        mask = np.asarray(pred(indices), dtype=bool)
+        if mask.shape != indices.shape:
+            raise RegionTreeError("predicate mask shape mismatch")
+        subs.append(IndexSpace(indices[mask], trusted=True))
+    return region.create_partition(name, subs)

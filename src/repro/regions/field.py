@@ -1,0 +1,72 @@
+"""Field spaces: the per-element record structure of a region tree.
+
+The running example of the paper (Figure 1) declares ``struct Node { up,
+down }``; tasks then request privileges on *specific fields* of a region.
+Because accesses to different fields can never interfere, the runtime keeps
+one independent coherence-algorithm instance per field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.errors import RegionTreeError
+
+
+@dataclass(frozen=True)
+class Field:
+    """A single named field with a NumPy dtype."""
+
+    name: str
+    dtype: np.dtype
+
+    def __repr__(self) -> str:
+        return f"Field({self.name!r}, {np.dtype(self.dtype).name})"
+
+
+class FieldSpace:
+    """An ordered collection of named fields.
+
+    Parameters
+    ----------
+    fields:
+        Mapping of field name to dtype (anything ``np.dtype`` accepts).
+    """
+
+    def __init__(self, fields: Mapping[str, np.dtype | type | str]) -> None:
+        if not fields:
+            raise RegionTreeError("FieldSpace requires at least one field")
+        self._fields: dict[str, Field] = {}
+        for name, dtype in fields.items():
+            if not name or not isinstance(name, str):
+                raise RegionTreeError(f"invalid field name {name!r}")
+            self._fields[name] = Field(name, np.dtype(dtype))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._fields
+
+    def __getitem__(self, name: str) -> Field:
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise RegionTreeError(
+                f"unknown field {name!r}; known: {sorted(self._fields)}"
+            ) from None
+
+    def __iter__(self) -> Iterator[Field]:
+        return iter(self._fields.values())
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Field names in declaration order."""
+        return tuple(self._fields)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{f.name}:{f.dtype.name}" for f in self)
+        return f"FieldSpace({inner})"

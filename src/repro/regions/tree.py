@@ -1,0 +1,99 @@
+"""The region tree container."""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import RegionTreeError
+from repro.geometry.index_space import IndexSpace
+from repro.geometry.point import Extent
+from repro.regions.field import FieldSpace
+from repro.regions.region import Region
+
+
+class RegionTree:
+    """A root region, its field space, and every region derived from it.
+
+    Parameters
+    ----------
+    space:
+        Domain of the root region — an :class:`IndexSpace`, an
+        :class:`Extent` (dense grid), or a plain element count.
+    fields:
+        Mapping of field name to dtype, or a prebuilt :class:`FieldSpace`.
+    name:
+        Root region name (defaults to ``"A"``, matching section 4).
+    """
+
+    def __init__(self, space: IndexSpace | Extent | int,
+                 fields: Mapping[str, np.dtype | type | str] | FieldSpace,
+                 name: str = "A") -> None:
+        if isinstance(space, int):
+            if space <= 0:
+                raise RegionTreeError("root element count must be positive")
+            self.extent: Optional[Extent] = Extent((space,))
+            root_space = IndexSpace.from_range(0, space)
+        elif isinstance(space, Extent):
+            self.extent = space
+            root_space = IndexSpace.from_range(0, space.volume)
+        elif isinstance(space, IndexSpace):
+            self.extent = None
+            if space.is_empty:
+                raise RegionTreeError("root index space must be non-empty")
+            root_space = space
+        else:
+            raise RegionTreeError(f"unsupported root space: {space!r}")
+
+        self.field_space = (fields if isinstance(fields, FieldSpace)
+                            else FieldSpace(fields))
+        self._regions: list[Region] = []
+        self._next_uid = 0
+        self.root = self._new_region(root_space, name, None)
+
+    # ------------------------------------------------------------------
+    def _new_region(self, space: IndexSpace, name: str, parent_partition) -> Region:
+        region = Region(self, space, name, parent_partition, self._next_uid)
+        self._next_uid += 1
+        self._regions.append(region)
+        return region
+
+    # ------------------------------------------------------------------
+    @property
+    def regions(self) -> tuple[Region, ...]:
+        """Every region of the tree, in creation order."""
+        return tuple(self._regions)
+
+    def __iter__(self) -> Iterator[Region]:
+        return iter(self._regions)
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def walk(self) -> Iterator[Region]:
+        """Pre-order traversal from the root."""
+        yield self.root
+        yield from self.root.descendants()
+
+    def find_disjoint_complete_partition(self, region: Optional[Region] = None):
+        """First disjoint-and-complete partition *of* ``region`` (default:
+        the root).
+
+        This is the heuristic of section 7.1: ray casting keys its
+        equivalence sets to the leaves of a disjoint-complete partition
+        subtree when one exists.  The partition must belong to the region
+        itself — a disjoint-complete partition of some deeper subregion
+        does not cover the region's elements and cannot serve as its
+        bucket decomposition.  Returns ``None`` otherwise (the K-d tree
+        fallback case).
+        """
+        start = region or self.root
+        for part in start.partitions.values():
+            if part.disjoint and part.complete:
+                return part
+        return None
+
+    def __repr__(self) -> str:
+        return (f"RegionTree(root={self.root.name!r}, "
+                f"elements={self.root.space.size}, regions={len(self)})")

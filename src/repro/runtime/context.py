@@ -1,0 +1,219 @@
+"""The runtime context: Figure 6's ``run_task`` loop made concrete.
+
+A :class:`Runtime` owns one coherence-algorithm instance per field (all
+sharing one :class:`~repro.visibility.meter.CostMeter`) and processes task
+launches: materialize every region argument, execute the body on the
+materialized buffers, commit every argument, and record the reported
+dependences in a :class:`~repro.runtime.dependence.DependenceGraph`.
+
+The runtime is the public entry point applications use::
+
+    tree = RegionTree(Extent((64,)), {"x": np.float64})
+    part = tree.root.create_partition("P", tiles)
+    rt = Runtime(tree, {"x": np.zeros(64)}, algorithm="raycast")
+    rt.launch("init", [RegionRequirement(part[0], "x", READ_WRITE)], body)
+    values = rt.read_field("x")
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import TaskError
+from repro.privileges import Privilege
+from repro.regions.partition import Partition
+from repro.regions.tree import RegionTree
+from repro.runtime.dependence import DependenceGraph
+from repro.runtime.task import (RegionRequirement, Task, TaskBody,
+                                validate_requirements)
+from repro.visibility.base import CoherenceAlgorithm, make_algorithm
+from repro.visibility.meter import CostMeter, TaskCost
+
+
+class Runtime:
+    """An implicitly-parallel runtime analyzing one region tree.
+
+    Parameters
+    ----------
+    tree:
+        The region tree applications name their data through.
+    initial:
+        Initial values per field, aligned with the root space.
+    algorithm:
+        Registry name of the coherence algorithm: ``painter``,
+        ``tree_painter``, ``warnock`` or ``raycast`` (the default — the
+        algorithm the paper's results put in production).
+    meter:
+        Optional shared :class:`CostMeter`; created when omitted.
+    record_costs:
+        When True, keep a per-task :class:`TaskCost` log (used by the
+        machine simulator).
+    """
+
+    def __init__(self, tree: RegionTree, initial: Mapping[str, np.ndarray],
+                 algorithm: str = "raycast",
+                 meter: Optional[CostMeter] = None,
+                 record_costs: bool = False) -> None:
+        self.tree = tree
+        self.algorithm_name = algorithm
+        self.meter = meter if meter is not None else CostMeter()
+        self._algorithms: dict[str, CoherenceAlgorithm] = {}
+        root_size = tree.root.space.size
+        for name in tree.field_space.names:
+            if name not in initial:
+                raise TaskError(f"missing initial values for field {name!r}")
+            values = np.asarray(initial[name])
+            if values.shape != (root_size,):
+                raise TaskError(
+                    f"initial values for {name!r} have shape {values.shape}, "
+                    f"expected ({root_size},)")
+            self._algorithms[name] = make_algorithm(
+                algorithm, tree, name, values, self.meter)
+        self.graph = DependenceGraph()
+        self._tasks: list[Task] = []
+        self._record_costs = record_costs
+        self.cost_log: list[TaskCost] = []
+        self._tracer = None
+
+    # ------------------------------------------------------------------
+    @property
+    def tasks(self) -> tuple[Task, ...]:
+        """Every launched task, in program order."""
+        return tuple(self._tasks)
+
+    def algorithm_for(self, field: str) -> CoherenceAlgorithm:
+        """The coherence-algorithm instance tracking one field."""
+        return self._algorithms[field]
+
+    # ------------------------------------------------------------------
+    def launch(self, name: str,
+               requirements: Sequence[RegionRequirement],
+               body: Optional[TaskBody] = None,
+               point: Optional[int] = None) -> Task:
+        """Launch one task: analyze, execute, commit.
+
+        Returns the recorded :class:`Task`; its dependences are available
+        via ``runtime.graph.dependences_of(task.task_id)``.
+        """
+        requirements = tuple(requirements)
+        validate_requirements(requirements, name)
+        for req in requirements:
+            if req.region.tree is not self.tree:
+                raise TaskError(
+                    f"task {name!r} names a region from a different tree")
+        task_id = len(self._tasks)
+
+        self.meter.begin_task()
+        deps: set[int] = set()
+        buffers: list[np.ndarray] = []
+        for req in requirements:
+            outcome = self._algorithms[req.field].materialize(
+                req.privilege, req.region)
+            deps.update(outcome.dependences)
+            buf = outcome.values
+            if req.privilege.is_read:
+                buf.setflags(write=False)
+            buffers.append(buf)
+
+        if body is not None:
+            body(*buffers)
+
+        for req, buf in zip(requirements, buffers):
+            commit_values = None if req.privilege.is_read else buf
+            self._algorithms[req.field].commit(
+                req.privilege, req.region, commit_values, task_id)
+        if self._record_costs:
+            self.cost_log.append(self.meter.end_task())
+
+        task = Task(task_id, name, requirements, body, point)
+        self._tasks.append(task)
+        self.graph.add_task(task_id, deps)
+        return task
+
+    def index_launch(self, name: str, partition: Partition, field: str,
+                     privilege: Privilege,
+                     body_factory: Optional[Callable[[int], TaskBody]] = None,
+                     extra: Optional[Callable[[int], Sequence[RegionRequirement]]]
+                     = None) -> list[Task]:
+        """Launch one task per subregion of a partition (Legion-style index
+        launch, the ``for i = 1..3 t1(P[i], G[i])`` pattern of Figure 1).
+
+        ``extra(i)`` may supply additional requirements per point task (the
+        ghost-region argument); ``body_factory(i)`` supplies each body.
+        """
+        out: list[Task] = []
+        for i, sub in enumerate(partition.subregions):
+            reqs: list[RegionRequirement] = [
+                RegionRequirement(sub, field, privilege)]
+            if extra is not None:
+                reqs.extend(extra(i))
+            body = None if body_factory is None else body_factory(i)
+            out.append(self.launch(f"{name}[{i}]", reqs, body, point=i))
+        return out
+
+    # ------------------------------------------------------------------
+    def execute_trace(self, name: str, stream,
+                      validate: bool = False) -> list[Task]:
+        """Run a :class:`TaskStream` under dynamic tracing.
+
+        The first structurally-identical execution runs untraced, the
+        second captures the dependence template, and later executions
+        replay it, skipping the dependence scans (see
+        :mod:`repro.runtime.tracing`).  ``validate=True`` replays with
+        full analysis and cross-checks the template.
+        """
+        from repro.runtime.tracing import TraceRecorder
+
+        if self._tracer is None:
+            self._tracer = TraceRecorder(self)
+        return self._tracer.execute(name, stream, validate=validate)
+
+    @property
+    def tracer(self):
+        """The trace registry, if any trace has been executed."""
+        return self._tracer
+
+    def _launch_traced(self, template: Task, deps: frozenset[int]) -> Task:
+        """Replay one task with memoized dependences (tracing fast path)."""
+        task_id = len(self._tasks)
+        self.meter.begin_task()
+        buffers: list[np.ndarray] = []
+        for req in template.requirements:
+            buf = self._algorithms[req.field].materialize_values(
+                req.privilege, req.region)
+            if req.privilege.is_read:
+                buf.setflags(write=False)
+            buffers.append(buf)
+        if template.body is not None:
+            template.body(*buffers)
+        for req, buf in zip(template.requirements, buffers):
+            commit_values = None if req.privilege.is_read else buf
+            self._algorithms[req.field].commit(
+                req.privilege, req.region, commit_values, task_id)
+        if self._record_costs:
+            self.cost_log.append(self.meter.end_task())
+        task = Task(task_id, template.name, template.requirements,
+                    template.body, template.point)
+        self._tasks.append(task)
+        self.graph.add_task(task_id, deps)
+        return task
+
+    # ------------------------------------------------------------------
+    def read_field(self, field: str) -> np.ndarray:
+        """Coherent values of a field over the whole root region.
+
+        Counts as an observation, not a task: it does not enter the task
+        stream (but does exercise the algorithm's materialize path).
+        """
+        return self._algorithms[field].read_root()
+
+    def replay(self, stream) -> None:
+        """Launch every task of a :class:`TaskStream` in order."""
+        for task in stream:
+            self.launch(task.name, task.requirements, task.body, task.point)
+
+    def __repr__(self) -> str:
+        return (f"Runtime(algorithm={self.algorithm_name!r}, "
+                f"tasks={len(self._tasks)})")

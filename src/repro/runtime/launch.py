@@ -1,0 +1,109 @@
+"""Index launches with projection functors.
+
+Legion's index launches name, per region requirement, a *projection*: a
+function from the launch point to the subregion that point task uses
+(`t1(P[i], G[i])` in Figure 1 projects the same point through two
+different partitions).  This module provides the general form; the
+simpler :meth:`Runtime.index_launch` remains for the common
+one-partition-plus-extras case.
+
+Example — the Figure 1 inner loop as one declaration::
+
+    spec = IndexLaunchSpec(
+        name="t1",
+        requirements=[
+            ProjectedRequirement(partition_projection(P), "up", READ_WRITE),
+            ProjectedRequirement(partition_projection(G), "down",
+                                 reduce("sum")),
+        ],
+        body_factory=lambda i: t1_body)
+    tasks = spec.launch(runtime, points=range(3))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.errors import TaskError
+from repro.privileges import Privilege
+from repro.regions.partition import Partition
+from repro.regions.region import Region
+from repro.runtime.task import RegionRequirement, Task, TaskBody
+
+#: Maps a launch point to the region that point task names.
+ProjectionFunctor = Callable[[int], Region]
+
+
+def identity_projection(region: Region) -> ProjectionFunctor:
+    """Every point names the same region (a broadcast argument)."""
+    return lambda point: region
+
+
+def partition_projection(partition: Partition,
+                         index_map: Optional[Callable[[int], int]] = None
+                         ) -> ProjectionFunctor:
+    """Point ``i`` names ``partition[index_map(i)]`` (default: ``i``).
+
+    The default is Legion's identity projection functor; ``index_map``
+    expresses shifted neighbours (e.g. ``lambda i: (i + 1) % n`` for a
+    ring exchange).
+    """
+    if index_map is None:
+        return lambda point: partition[point]
+    return lambda point: partition[index_map(point)]
+
+
+@dataclass(frozen=True)
+class ProjectedRequirement:
+    """One region requirement of an index launch, before projection."""
+
+    projection: ProjectionFunctor
+    field: str
+    privilege: Privilege
+
+    def at(self, point: int) -> RegionRequirement:
+        """The concrete requirement of one point task."""
+        return RegionRequirement(self.projection(point), self.field,
+                                 self.privilege)
+
+
+@dataclass(frozen=True)
+class IndexLaunchSpec:
+    """A reusable index-launch declaration.
+
+    Attributes
+    ----------
+    name:
+        Base task name; point tasks are ``name[i]``.
+    requirements:
+        The projected requirements, in argument order.
+    body_factory:
+        Optional ``point -> body``; ``None`` launches bodiless tasks.
+    """
+
+    name: str
+    requirements: tuple[ProjectedRequirement, ...]
+    body_factory: Optional[Callable[[int], Optional[TaskBody]]] = None
+
+    def __init__(self, name: str,
+                 requirements: Sequence[ProjectedRequirement],
+                 body_factory: Optional[Callable[[int],
+                                                 Optional[TaskBody]]] = None
+                 ) -> None:
+        if not requirements:
+            raise TaskError(f"index launch {name!r} has no requirements")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "requirements", tuple(requirements))
+        object.__setattr__(self, "body_factory", body_factory)
+
+    def launch(self, runtime, points: Iterable[int]) -> list[Task]:
+        """Launch one point task per point, in point order."""
+        out: list[Task] = []
+        for point in points:
+            reqs = [pr.at(point) for pr in self.requirements]
+            body = None if self.body_factory is None \
+                else self.body_factory(point)
+            out.append(runtime.launch(f"{self.name}[{point}]", reqs, body,
+                                      point=point))
+        return out

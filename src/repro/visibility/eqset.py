@@ -1,0 +1,671 @@
+"""Equivalence sets and their spatial stores (sections 6 and 7).
+
+An *equivalence set* is a pair (region, history) with the invariant that
+every operation in the history is relevant to every element of the region.
+Because of that invariant we store each history entry's values aligned
+exactly to the equivalence set's domain, making painting a handful of
+whole-array operations.
+
+Two stores organize the live equivalence sets:
+
+* :class:`RefinementTreeStore` — Warnock's monotone refinement: splitting a
+  set turns its tree node into an interior node with two children, and the
+  refinement history doubles as the BVH of section 6.1 (with per-region
+  memoization of constituent sets).
+* :class:`BucketStore` — ray casting's structure: sets are bucketed under
+  the leaves of a disjoint-and-complete partition (section 7.1) and may be
+  *removed* as well as split (dominating writes coalesce).  When no such
+  partition exists a K-d tree takes the buckets' place.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import CoherenceError
+from repro.geometry.index_space import IndexSpace
+from repro.geometry.kdtree import KDTree
+from repro.privileges import Privilege
+from repro.regions.partition import Partition
+from repro.regions.region import Region
+from repro.visibility.history import HistoryEntry, RegionValues, paint_entry
+from repro.visibility.meter import CostMeter
+
+_eqset_uid = itertools.count()
+
+
+@dataclass(frozen=True)
+class EqEntry:
+    """One history operation inside an equivalence set.
+
+    ``values`` is aligned element-for-element with the owning set's domain
+    (the section 6 invariant); it is ``None`` for read entries.
+    ``collapsed_ids`` marks a compaction summary (see
+    :data:`HISTORY_COMPACTION_LIMIT`).
+    """
+
+    privilege: Privilege
+    values: Optional[np.ndarray]
+    task_id: int
+    collapsed_ids: frozenset[int] = frozenset()
+
+    def restricted(self, positions: np.ndarray) -> "EqEntry":
+        """The entry narrowed to a subset of the owning set's elements."""
+        values = None if self.values is None else self.values[positions]
+        return EqEntry(self.privilege, values, self.task_id,
+                       self.collapsed_ids)
+
+
+#: Default bound on per-set history length.  Fields that are reduced or
+#: read forever without an occluding write (Pennant's ``dt``) would grow
+#: their histories without bound; past the limit the history prefix is
+#: *collapsed* into one opaque summary write holding the blended values
+#: and the collapsed task ids (Legion similarly applies pending reductions
+#: eagerly once they pile up).  The trade: dependence scans against a
+#: summary are conservative — it interferes like a write even where the
+#: collapsed operations were same-operator reductions.
+HISTORY_COMPACTION_LIMIT = 32
+
+
+class EquivalenceSet:
+    """A region of elements sharing one coherence history."""
+
+    __slots__ = ("uid", "space", "history")
+
+    def __init__(self, space: IndexSpace,
+                 history: Optional[list[EqEntry]] = None) -> None:
+        if space.is_empty:
+            raise CoherenceError("equivalence sets must be non-empty")
+        self.uid = next(_eqset_uid)
+        self.space = space
+        self.history: list[EqEntry] = history if history is not None else []
+
+    # ------------------------------------------------------------------
+    def split(self, space: IndexSpace,
+              meter: Optional[CostMeter] = None
+              ) -> tuple["EquivalenceSet", Optional["EquivalenceSet"]]:
+        """Refine into (self ∩ space, self \\ space) — Figure 9 line 11.
+
+        The second component is ``None`` when this set is contained in
+        ``space``.  Histories are split positionally so the alignment
+        invariant is preserved on both sides.
+        """
+        inside_space = self.space & space
+        if inside_space.is_empty:
+            raise CoherenceError("split requires overlap")
+        if inside_space.size == self.space.size:
+            return self, None
+        outside_space = self.space - space
+        in_pos = self.space.positions_of(inside_space)
+        out_pos = self.space.positions_of(outside_space)
+        inside = EquivalenceSet(inside_space,
+                                [e.restricted(in_pos) for e in self.history])
+        outside = EquivalenceSet(outside_space,
+                                 [e.restricted(out_pos) for e in self.history])
+        if meter is not None:
+            meter.count("eqsets_split")
+            meter.count("eqsets_created", 2)
+            meter.count("elements_moved",
+                        self.space.size * max(1, len(self.history)))
+        return inside, outside
+
+    def paint(self, dtype: np.dtype, meter: Optional[CostMeter] = None
+              ) -> np.ndarray:
+        """Current values of this set's elements: replay the history.
+
+        Thanks to the alignment invariant this is pure whole-array work —
+        the "trivial sub-scene" rendering of Warnock's divide and conquer.
+        """
+        current = np.zeros(self.space.size, dtype=dtype)
+        for entry in self.history:
+            if meter is not None:
+                meter.count("entries_scanned")
+            if entry.values is None:
+                continue
+            if meter is not None:
+                meter.count("elements_moved", self.space.size)
+            if entry.privilege.is_write:
+                current = entry.values.astype(dtype, copy=True)
+            else:
+                assert entry.privilege.redop is not None
+                current = entry.privilege.redop.fold(current, entry.values)
+        return current
+
+    def record(self, privilege: Privilege, values: Optional[np.ndarray],
+               task_id: int,
+               compaction_limit: Optional[int] = HISTORY_COMPACTION_LIMIT
+               ) -> None:
+        """Append one operation; a write clears the prior history
+        (Figure 9 lines 30–31: histories stay precise).  Histories longer
+        than ``compaction_limit`` collapse into a summary write."""
+        if values is not None and values.shape != (self.space.size,):
+            raise CoherenceError("entry values misaligned with eqset domain")
+        entry = EqEntry(privilege, values, task_id)
+        if privilege.is_write:
+            self.history = [entry]
+            return
+        self.history.append(entry)
+        if compaction_limit is not None and \
+                len(self.history) > compaction_limit:
+            self.compact()
+
+    def compact(self) -> None:
+        """Collapse the history into one summary write (bounded history)."""
+        from repro.privileges import READ_WRITE
+
+        dtype = next(e.values.dtype for e in self.history
+                     if e.values is not None)
+        painted = self.paint(dtype)
+        ids: set[int] = set()
+        for e in self.history:
+            ids.add(e.task_id)
+            ids.update(e.collapsed_ids)
+        self.history = [EqEntry(READ_WRITE, painted, max(ids),
+                                frozenset(ids))]
+
+    def __repr__(self) -> str:
+        return (f"EquivalenceSet(uid={self.uid}, n={self.space.size}, "
+                f"hist={len(self.history)})")
+
+
+class EqSetStore:
+    """Interface shared by the Warnock and ray-cast stores."""
+
+    def locate(self, space: IndexSpace, region_uid: Optional[int] = None
+               ) -> list[EquivalenceSet]:
+        """Refine as needed and return the equivalence sets whose union is
+        exactly ``space``.  ``region_uid`` keys memoization when the query
+        comes from a named region."""
+        raise NotImplementedError
+
+    def all_sets(self) -> list[EquivalenceSet]:
+        """Every live equivalence set (diagnostics / invariant checks)."""
+        raise NotImplementedError
+
+    def check_invariants(self, root_space: IndexSpace) -> None:
+        """Assert the section 6 invariants: sets pairwise disjoint, union
+        covers the root, histories aligned."""
+        sets = self.all_sets()
+        total = 0
+        union = IndexSpace.union_all([s.space for s in sets])
+        for s in sets:
+            total += s.space.size
+            for e in s.history:
+                if e.values is not None and e.values.shape != (s.space.size,):
+                    raise CoherenceError(f"misaligned history in {s!r}")
+        if total != union.size:
+            raise CoherenceError("equivalence sets overlap")
+        if union != root_space:
+            raise CoherenceError("equivalence sets do not cover the root")
+
+
+# ----------------------------------------------------------------------
+# Warnock: monotone refinement tree (the BVH of section 6.1)
+# ----------------------------------------------------------------------
+class _RefNode:
+    """A node of the refinement tree; leaves carry live equivalence sets."""
+
+    __slots__ = ("lo", "hi", "space", "eqset", "children")
+
+    def __init__(self, eqset: EquivalenceSet) -> None:
+        self.space = eqset.space
+        self.lo, self.hi = eqset.space.bounds
+        self.eqset: Optional[EquivalenceSet] = eqset
+        self.children: list["_RefNode"] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.eqset is not None
+
+    def split_to(self, parts: list[EquivalenceSet]) -> list["_RefNode"]:
+        """Turn this leaf into an interior node with the given parts."""
+        assert self.is_leaf
+        self.eqset = None
+        self.children = [_RefNode(p) for p in parts]
+        return self.children
+
+
+class RefinementTreeStore(EqSetStore):
+    """Equivalence sets organized by their own refinement history.
+
+    Since Warnock's algorithm only ever refines, the history of splits is a
+    stable search tree: a query descends from the root into children whose
+    bounding interval overlaps, and per-region memoization lets repeat
+    queries start from the nodes found last time (section 6.1).
+    """
+
+    def __init__(self, root: EquivalenceSet,
+                 meter: Optional[CostMeter] = None,
+                 memoize: bool = True) -> None:
+        self._root = _RefNode(root)
+        self._memo: dict[int, list[_RefNode]] = {}
+        self._memoize = memoize
+        self.meter = meter
+
+    # ------------------------------------------------------------------
+    def locate(self, space: IndexSpace, region_uid: Optional[int] = None
+               ) -> list[EquivalenceSet]:
+        if space.is_empty:
+            return []
+        starts = self._memo.get(region_uid, None) \
+            if (region_uid is not None and self._memoize) else None
+        roots = starts if starts else [self._root]
+        leaves: list[_RefNode] = []
+        for node in roots:
+            self._descend(node, space, leaves)
+        out: list[EquivalenceSet] = []
+        out_nodes: list[_RefNode] = []
+        for leaf in leaves:
+            assert leaf.eqset is not None
+            if self.meter is not None:
+                self.meter.count("intersection_tests")
+            common = leaf.space & space
+            if common.is_empty:
+                continue
+            if common.size == leaf.space.size:
+                out.append(leaf.eqset)
+                out_nodes.append(leaf)
+                continue
+            inside, outside = leaf.eqset.split(space, self.meter)
+            assert outside is not None
+            children = leaf.split_to([inside, outside])
+            out.append(inside)
+            out_nodes.append(children[0])
+        if region_uid is not None and self._memoize:
+            self._memo[region_uid] = out_nodes
+        return out
+
+    def _descend(self, node: _RefNode, space: IndexSpace,
+                 leaves: list[_RefNode]) -> None:
+        lo, hi = space.bounds
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            if self.meter is not None:
+                self.meter.count("bvh_nodes_visited")
+            if cur.hi < lo or hi < cur.lo:
+                continue
+            if cur.is_leaf:
+                leaves.append(cur)
+            else:
+                stack.extend(cur.children)
+
+    def all_sets(self) -> list[EquivalenceSet]:
+        out: list[EquivalenceSet] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                assert node.eqset is not None
+                out.append(node.eqset)
+            else:
+                stack.extend(node.children)
+        return out
+
+    def tree_depth(self) -> int:
+        """Height of the refinement tree (diagnostics)."""
+
+        def depth(node: _RefNode) -> int:
+            if node.is_leaf:
+                return 1
+            return 1 + max(depth(c) for c in node.children)
+
+        return depth(self._root)
+
+
+# ----------------------------------------------------------------------
+# Ray casting: loose sets in partition buckets with a K-d fallback (§7)
+# ----------------------------------------------------------------------
+class LooseEquivalenceSet:
+    """A ray-casting equivalence set: stable region, sub-set-precise history.
+
+    Section 7.1 stores equivalence sets at the leaves of a
+    disjoint-and-complete partition.  To keep those sets *stable* (no
+    refinement churn when reads and reductions touch only part of a set),
+    each history entry carries its own domain — a subset of the set's
+    region — and painting reuses the general blending kernel of
+    :mod:`repro.visibility.history`.  Only dominating writes reshape sets.
+    """
+
+    __slots__ = ("uid", "space", "history")
+
+    def __init__(self, space: IndexSpace,
+                 history: Optional[list[HistoryEntry]] = None) -> None:
+        if space.is_empty:
+            raise CoherenceError("equivalence sets must be non-empty")
+        self.uid = next(_eqset_uid)
+        self.space = space
+        self.history: list[HistoryEntry] = history if history is not None \
+            else []
+
+    def record(self, entry: HistoryEntry,
+               compaction_limit: Optional[int] = HISTORY_COMPACTION_LIMIT
+               ) -> None:
+        """Append one operation.
+
+        A write must cover the whole set (dominating writes guarantee it)
+        and occludes the entire prior history — Figure 11's simplification
+        of histories by writes.  Histories longer than ``compaction_limit``
+        collapse into a summary write (never-written fields would
+        otherwise grow without bound).
+        """
+        if not entry.domain.issubset(self.space):
+            raise CoherenceError("entry escapes its equivalence set")
+        if entry.privilege.is_write:
+            if entry.domain.size != self.space.size:
+                raise CoherenceError(
+                    "write entries must cover their equivalence set")
+            self.history = [entry]
+            return
+        self.history.append(entry)
+        if compaction_limit is not None and \
+                len(self.history) > compaction_limit:
+            self.compact()
+
+    def compact(self) -> None:
+        """Collapse the history into one summary write (bounded history)."""
+        from repro.privileges import READ_WRITE
+
+        dtype = next(e.values.values.dtype for e in self.history
+                     if e.values is not None)
+        painted = self.paint(self.space, dtype)
+        ids: set[int] = set()
+        for e in self.history:
+            ids.add(e.task_id)
+            ids.update(e.collapsed_ids)
+        self.history = [HistoryEntry(READ_WRITE, self.space, painted,
+                                     max(ids), frozenset(ids))]
+
+    def minus(self, space: IndexSpace,
+              meter: Optional[CostMeter] = None) -> Optional["LooseEquivalenceSet"]:
+        """The part of this set outside ``space``, with restricted history;
+        None when the set is contained in ``space``."""
+        remaining = self.space - space
+        if remaining.is_empty:
+            return None
+        entries = []
+        for e in self.history:
+            r = e.restricted(remaining)
+            if r is not None:
+                entries.append(r)
+        if meter is not None:
+            meter.count("eqsets_split")
+            meter.count("elements_moved",
+                        remaining.size * max(1, len(entries)))
+        return LooseEquivalenceSet(remaining, entries)
+
+    def paint(self, space: IndexSpace, dtype,
+              meter: Optional[CostMeter] = None) -> RegionValues:
+        """Current values on ``space ∩ self.space`` via the blending
+        kernel."""
+        common = self.space & space
+        current = RegionValues.filled(common, 0, dtype)
+        for entry in self.history:
+            if meter is not None:
+                meter.count("entries_scanned")
+            current = paint_entry(current, entry, meter)
+        return current
+
+    def __repr__(self) -> str:
+        return (f"LooseEquivalenceSet(uid={self.uid}, n={self.space.size}, "
+                f"hist={len(self.history)})")
+
+
+class BucketStore:
+    """Loose equivalence sets bucketed under a disjoint-and-complete
+    partition (section 7.1).
+
+    A set is referenced from every bucket it overlaps (sets can span
+    buckets — the initial root-covering set, or a dominating write through
+    a coarser region).  When ``partition`` is ``None`` the store degrades
+    to a K-d tree over the root bounds.  Unlike Warnock's refinement tree,
+    removal is supported — dominating writes coalesce and prune.
+    """
+
+    def __init__(self, root: LooseEquivalenceSet,
+                 partition: Optional[Partition],
+                 meter: Optional[CostMeter] = None) -> None:
+        self.meter = meter
+        self.partition = partition
+        self._sets: dict[int, LooseEquivalenceSet] = {}
+        # per-named-region memo of overlapping sets: valid while every
+        # memoized set is still live — any dominating write that would
+        # change the answer removes at least one of them from _sets
+        self._memo: dict[int, list[LooseEquivalenceSet]] = {}
+        self._kd: Optional[KDTree] = None
+        self._kd_ids: dict[int, int] = {}
+        self._buckets: dict[int, dict[int, LooseEquivalenceSet]] = {}
+        self._bucket_regions: list[Region] = []
+        self._bucket_lo = np.empty(0, dtype=np.int64)
+        self._bucket_hi = np.empty(0, dtype=np.int64)
+        if partition is not None:
+            self._set_bucket_regions(list(partition.subregions))
+        else:
+            lo, hi = root.space.bounds
+            self._kd = KDTree(lo, hi)
+        self._index_insert(root)
+
+    def _set_bucket_regions(self, regions: list[Region]) -> None:
+        self._bucket_regions = regions
+        self._buckets = {r.uid: {} for r in regions}
+        self._bucket_lo = np.asarray([r.space.bounds[0] for r in regions],
+                                     dtype=np.int64)
+        self._bucket_hi = np.asarray([r.space.bounds[1] for r in regions],
+                                     dtype=np.int64)
+
+    def _buckets_overlapping(self, space: IndexSpace) -> list[Region]:
+        """Bucket regions whose bounding interval overlaps ``space``'s.
+
+        Vectorized prefilter; callers still do the exact overlap test."""
+        lo, hi = space.bounds
+        hits = np.flatnonzero((self._bucket_lo <= hi) & (self._bucket_hi >= lo))
+        if self.meter is not None:
+            self.meter.count("bvh_nodes_visited", max(1, hits.size))
+        return [self._bucket_regions[i] for i in hits]
+
+    # ------------------------------------------------------------------
+    # index maintenance
+    # ------------------------------------------------------------------
+    def _index_insert(self, eqset: LooseEquivalenceSet) -> None:
+        self._sets[eqset.uid] = eqset
+        if self._kd is not None:
+            self._kd_ids[eqset.uid] = self._kd.insert(eqset.space, eqset)
+            return
+        placed = False
+        for region in self._buckets_overlapping(eqset.space):
+            if eqset.space.overlaps(region.space):
+                self._buckets[region.uid][eqset.uid] = eqset
+                placed = True
+        if not placed:
+            # partition is complete, so this can only mean a stale bucket
+            # list after rebucketing mid-flight
+            raise CoherenceError("equivalence set fits no bucket")
+
+    def _index_remove(self, eqset: LooseEquivalenceSet) -> None:
+        self._sets.pop(eqset.uid, None)
+        if self._kd is not None:
+            item = self._kd_ids.pop(eqset.uid, None)
+            if item is not None:
+                self._kd.remove(item)
+            return
+        for region in self._buckets_overlapping(eqset.space):
+            self._buckets[region.uid].pop(eqset.uid, None)
+
+    def _candidates(self, space: IndexSpace) -> list[LooseEquivalenceSet]:
+        if self._kd is not None:
+            if self.meter is not None:
+                self.meter.count("bvh_nodes_visited")
+            return list(self._kd.query(space))
+        seen: dict[int, LooseEquivalenceSet] = {}
+        for region in self._buckets_overlapping(space):
+            if not region.space.overlaps(space):
+                continue
+            seen.update(self._buckets[region.uid])
+        return list(seen.values())
+
+    # ------------------------------------------------------------------
+    def _localize(self, eqset: LooseEquivalenceSet, space: IndexSpace
+                  ) -> list[LooseEquivalenceSet]:
+        """Carve the queried buckets out of a multi-bucket set.
+
+        Section 7.1 stores equivalence sets *at the leaves* of the
+        disjoint-and-complete partition.  Refinement to that granularity
+        is usage-driven and incremental: when a query touches a set that
+        straddles buckets, only the buckets the query overlaps are carved
+        out as leaf-granular sets; the untouched remainder stays one set
+        (and shrinks as other pieces first touch their data).  Without
+        this, a never-written field would accumulate every piece's history
+        in one giant set.
+        """
+        candidates = self._buckets_overlapping(eqset.space)  # bbox filter
+        all_regions = [r for r in candidates
+                       if eqset.space.overlaps(r.space)]     # exact
+        if len(all_regions) <= 1:
+            return [eqset]
+        carved: list[LooseEquivalenceSet] = []
+        carved_union = IndexSpace.empty()
+        for region in all_regions:
+            if not region.space.overlaps(space):
+                continue
+            common = eqset.space & region.space
+            if common.is_empty:
+                continue
+            entries = []
+            for e in eqset.history:
+                r = e.restricted(common)
+                if r is not None:
+                    entries.append(r)
+            carved.append(LooseEquivalenceSet(common, entries))
+            carved_union = carved_union | common
+        if not carved:
+            return []
+        remainder_space = eqset.space - carved_union
+        self._index_remove(eqset)
+        for piece in carved:
+            self._index_insert(piece)
+        if not remainder_space.is_empty:
+            entries = []
+            for e in eqset.history:
+                r = e.restricted(remainder_space)
+                if r is not None:
+                    entries.append(r)
+            self._index_insert(LooseEquivalenceSet(remainder_space, entries))
+        if self.meter is not None:
+            self.meter.count("eqsets_split", len(carved))
+            self.meter.count("eqsets_created", len(carved))
+            self.meter.count("elements_moved",
+                             carved_union.size * max(1, len(eqset.history)))
+        return carved
+
+    def overlapping(self, space: IndexSpace,
+                    region_uid: Optional[int] = None
+                    ) -> list[LooseEquivalenceSet]:
+        """The live sets truly overlapping ``space``.
+
+        Reads and reductions never refine sets below bucket granularity
+        (no churn), but sets spanning several buckets are first localized
+        to the partition leaves (section 7.1).  Memoized per named region:
+        valid while every memoized set is still live, because any
+        dominating write or localization changing the answer removes at
+        least one of them.
+        """
+        if space.is_empty:
+            return []
+        if region_uid is not None:
+            memo = self._memo.get(region_uid)
+            if memo is not None and all(s.uid in self._sets for s in memo):
+                return list(memo)
+        out: list[LooseEquivalenceSet] = []
+        for eqset in self._candidates(space):
+            if self.meter is not None:
+                self.meter.count("intersection_tests")
+            if not eqset.space.overlaps(space):
+                continue
+            if self._kd is None:
+                for piece in self._localize(eqset, space):
+                    if piece.space.overlaps(space):
+                        out.append(piece)
+            else:
+                out.append(eqset)
+        if region_uid is not None:
+            self._memo[region_uid] = list(out)
+        return out
+
+    def dominate_write(self, space: IndexSpace,
+                       overlapping: list[LooseEquivalenceSet],
+                       region_uid: Optional[int] = None
+                       ) -> LooseEquivalenceSet:
+        """Figure 11's ``dominating_write``: prune everything occluded by a
+        write to ``space`` and install one fresh set covering it.
+
+        Sets contained in ``space`` are removed outright; sets straddling
+        the boundary are trimmed to their outside part (the only place ray
+        casting still splits).
+        """
+        for eqset in overlapping:
+            self._index_remove(eqset)
+            remainder = eqset.minus(space, self.meter)
+            if remainder is None:
+                if self.meter is not None:
+                    self.meter.count("eqsets_coalesced")
+            else:
+                self._index_insert(remainder)
+        fresh = LooseEquivalenceSet(space)
+        if self.meter is not None:
+            self.meter.count("eqsets_created")
+        self._index_insert(fresh)
+        if region_uid is not None:
+            self._memo[region_uid] = [fresh]
+        return fresh
+
+    def check_invariants(self, root_space: IndexSpace) -> None:
+        """Assert: sets pairwise disjoint, union covers the root, every
+        history entry contained in its set."""
+        sets = self.all_sets()
+        union = IndexSpace.union_all([s.space for s in sets])
+        total = sum(s.space.size for s in sets)
+        if total != union.size:
+            raise CoherenceError("equivalence sets overlap")
+        if union != root_space:
+            raise CoherenceError("equivalence sets do not cover the root")
+        for s in sets:
+            for e in s.history:
+                if not e.domain.issubset(s.space):
+                    raise CoherenceError(f"entry escapes {s!r}")
+
+    def rebucket(self, partition: Optional[Partition]) -> None:
+        """Shift every equivalence set to a new disjoint-complete partition
+        subtree (section 7.1's response to the application switching
+        partitions), or to the K-d fallback when ``partition`` is None."""
+        sets = list(self._sets.values())
+        self.partition = partition
+        self._buckets = {}
+        self._bucket_regions = []
+        self._bucket_lo = np.empty(0, dtype=np.int64)
+        self._bucket_hi = np.empty(0, dtype=np.int64)
+        self._kd = None
+        self._kd_ids = {}
+        if partition is not None:
+            self._set_bucket_regions(list(partition.subregions))
+        else:
+            if sets:
+                lo = min(s.space.bounds[0] for s in sets)
+                hi = max(s.space.bounds[1] for s in sets)
+            else:  # pragma: no cover - a store is never empty in practice
+                lo, hi = 0, 0
+            self._kd = KDTree(lo, hi)
+        self._sets = {}
+        for eqset in sets:
+            self._index_insert(eqset)
+
+    def all_sets(self) -> list[LooseEquivalenceSet]:
+        """Every live equivalence set."""
+        return list(self._sets.values())
+
+    def num_sets(self) -> int:
+        """Number of live equivalence sets."""
+        return len(self._sets)

@@ -1,0 +1,402 @@
+"""The optimized painter's algorithm (section 5.1).
+
+Instead of one global history, each region-tree node keeps a *subhistory*,
+and the invariant is maintained that materializing a region ``R`` only
+requires replaying the **path history** — the concatenation of the
+subhistories on the path from the root down to ``R``.
+
+The invariant is preserved at task launch by hoisting: for every node ``N``
+on the path, any child subtree ``C`` not on the path that (a) is *open*
+(has recorded entries), (b) overlaps the new region, and (c) used
+privileges that interfere with the new privilege, is snapshotted into an
+immutable :class:`CompositeView` appended to ``N``'s subhistory, and the
+raw subtree histories are deleted.  Composite views may nest (a captured
+subhistory can itself contain earlier views).
+
+Two of the paper's three §5.1 optimizations are load-bearing here — the
+open/closed subtree test and the subtree privilege summary; the third
+(occlusion of old composite views) is implemented in the conservative form
+the paper sketches: a write committed at ``R`` occludes everything earlier
+in ``R``'s own subhistory, and a view whose write-domain covers an earlier
+item's whole domain deletes it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+from repro.errors import CoherenceError
+from repro.geometry.index_space import IndexSpace
+from repro.privileges import Privilege, READ_WRITE
+from repro.regions.region import Region
+from repro.regions.tree import RegionTree
+from repro.visibility.base import (AnalysisOutcome, CoherenceAlgorithm,
+                                   INITIAL_TASK_ID)
+from repro.visibility.history import (HistoryEntry, RegionValues, paint_entry,
+                                      scan_dependences)
+from repro.visibility.meter import CostMeter
+
+# A privilege summary key: "read", "rw", or ("reduce", opname).
+PrivKey = Union[str, tuple[str, str]]
+
+_view_uid = itertools.count()
+
+
+def _priv_key(privilege: Privilege) -> PrivKey:
+    if privilege.is_read:
+        return "read"
+    if privilege.is_write:
+        return "rw"
+    assert privilege.redop is not None
+    return ("reduce", privilege.redop.name)
+
+
+def _keys_interfere(privilege: Privilege, keys: set[PrivKey]) -> bool:
+    """Whether ``privilege`` interferes with *any* privilege in a summary."""
+    me = _priv_key(privilege)
+    for key in keys:
+        if me == "read" and key == "read":
+            continue
+        if me == key and isinstance(key, tuple):
+            continue
+        return True
+    return False
+
+
+class CompositeView:
+    """An immutable snapshot of a subtree of subhistories (section 5.1).
+
+    ``captured`` lists, top-down, the non-empty subhistories of the
+    captured subtree; items inside may themselves be composite views
+    (nesting).  Views are distributed objects: in Legion they are built
+    bottom-up and replicated on demand, but retain a single logical root —
+    which is why the painter bottlenecks at scale.
+    """
+
+    __slots__ = ("uid", "captured", "domain", "write_domain",
+                 "priv_summary", "num_entries")
+
+    def __init__(self, captured: list[tuple[int, list["PathItem"]]],
+                 domain: IndexSpace, write_domain: IndexSpace,
+                 priv_summary: set[PrivKey], num_entries: int) -> None:
+        self.uid = next(_view_uid)
+        self.captured = captured
+        self.domain = domain
+        self.write_domain = write_domain
+        self.priv_summary = priv_summary
+        self.num_entries = num_entries
+
+    def __repr__(self) -> str:
+        return (f"CompositeView(uid={self.uid}, nodes={len(self.captured)}, "
+                f"entries={self.num_entries})")
+
+
+PathItem = Union[HistoryEntry, CompositeView]
+
+
+class _NodeState:
+    """Mutable per-region analysis state."""
+
+    __slots__ = ("entries", "subtree_count", "priv_summary", "open_children")
+
+    def __init__(self) -> None:
+        self.entries: list[PathItem] = []
+        self.subtree_count = 0          # items in this subtree's raw histories
+        self.priv_summary: set[PrivKey] = set()  # may be conservatively stale
+        # open (non-empty) children per partition: id(partition) -> {uid:
+        # Region}.  Hoisting only ever inspects open children, so launches
+        # stay O(open work) instead of O(machine).
+        self.open_children: dict[int, dict[int, Region]] = {}
+
+
+class TreePainterAlgorithm(CoherenceAlgorithm):
+    """Painter's algorithm with region-tree subhistories and composite
+    views."""
+
+    name = "tree_painter"
+
+    def __init__(self, tree: RegionTree, field: str, initial: np.ndarray,
+                 meter: Optional[CostMeter] = None) -> None:
+        super().__init__(tree, field, initial, meter)
+        self._states: dict[int, _NodeState] = {}
+        root_state = self._state(tree.root)
+        root_values = RegionValues(tree.root.space, np.asarray(initial).copy())
+        root_state.entries.append(
+            HistoryEntry(READ_WRITE, tree.root.space, root_values,
+                         INITIAL_TASK_ID))
+        self._bump_counts(tree.root, +1)
+        self._add_summary(tree.root, "rw")
+
+    # ------------------------------------------------------------------
+    # state plumbing
+    # ------------------------------------------------------------------
+    def _state(self, region: Region) -> _NodeState:
+        st = self._states.get(region.uid)
+        if st is None:
+            st = _NodeState()
+            self._states[region.uid] = st
+        return st
+
+    def _bump_counts(self, region: Region, delta: int) -> None:
+        node: Optional[Region] = region
+        while node is not None:
+            st = self._state(node)
+            old = st.subtree_count
+            st.subtree_count = old + delta
+            self._update_openness(node, old, st.subtree_count)
+            node = node.parent
+
+    def _update_openness(self, node: Region, old: int, new: int) -> None:
+        """Keep the parent's open-children index in sync with a child's
+        subtree-count zero crossings."""
+        if (old == 0) == (new == 0):
+            return
+        part = node.parent_partition
+        if part is None:
+            return
+        bucket = self._state(part.parent).open_children.setdefault(
+            id(part), {})
+        if new > 0:
+            bucket[node.uid] = node
+        else:
+            bucket.pop(node.uid, None)
+
+    def _add_summary(self, region: Region, key: PrivKey) -> None:
+        node: Optional[Region] = region
+        while node is not None:
+            self._state(node).priv_summary.add(key)
+            node = node.parent
+
+    def _check_region(self, region: Region) -> None:
+        if region.tree is not self.tree:
+            raise CoherenceError("region belongs to a different tree")
+
+    # ------------------------------------------------------------------
+    # composite view construction
+    # ------------------------------------------------------------------
+    def _capture_subtrees(self, roots: list[Region]) -> Optional[CompositeView]:
+        """Snapshot and clear every subhistory under (and at) each of
+        ``roots`` into one composite view (the paper captures an entire
+        partition subtree as a unit — Figure 8's V0 covers all of P)."""
+        captured: list[tuple[int, list[PathItem]]] = []
+        domain = IndexSpace.empty()
+        write_domain = IndexSpace.empty()
+        summary: set[PrivKey] = set()
+        entries_total = 0
+
+        def visit(node: Region) -> None:
+            nonlocal domain, write_domain, entries_total
+            st = self._states.get(node.uid)
+            if st is not None and st.entries:
+                self.meter.count("view_nodes_captured")
+                captured.append((node.uid, st.entries))
+                for item in st.entries:
+                    entries_total += 1
+                    if isinstance(item, CompositeView):
+                        domain = domain | item.domain
+                        write_domain = write_domain | item.write_domain
+                        summary.update(item.priv_summary)
+                    else:
+                        domain = domain | item.domain
+                        if item.privilege.is_write:
+                            write_domain = write_domain | item.domain
+                        summary.add(_priv_key(item.privilege))
+                st.entries = []
+            if st is not None:
+                st.priv_summary = set()
+                # only descend into open subtrees, via the openness index
+                if st.open_children:
+                    for bucket in st.open_children.values():
+                        for child in list(bucket.values()):
+                            visit(child)
+                    st.open_children = {}
+                old = st.subtree_count
+                st.subtree_count = 0  # the whole subtree is now closed
+                self._update_openness(node, old, 0)
+
+        for root in roots:
+            removed = self._state(root).subtree_count
+            visit(root)
+            # ancestors strictly above each root lose its captured items
+            node_up: Optional[Region] = root.parent
+            while node_up is not None:
+                up_st = self._state(node_up)
+                old = up_st.subtree_count
+                up_st.subtree_count = old - removed
+                self._update_openness(node_up, old, up_st.subtree_count)
+                node_up = node_up.parent
+        if not captured:
+            return None
+        self.meter.count("views_created")
+        view = CompositeView(captured, domain, write_domain, summary,
+                             entries_total)
+        self.meter.touch(("view", view.uid))
+        return view
+
+    def _append_view(self, node: Region, view: CompositeView) -> None:
+        st = self._state(node)
+        # conservative occlusion: the new view deletes earlier same-node
+        # items it fully overwrites
+        if not view.write_domain.is_empty:
+            kept: list[PathItem] = []
+            for item in st.entries:
+                item_domain = (item.domain if not isinstance(item, CompositeView)
+                               else item.domain)
+                self.meter.count("intersection_tests")
+                if item_domain.issubset(view.write_domain):
+                    self._bump_counts(node, -1)
+                    continue
+                kept.append(item)
+            st.entries = kept
+        st.entries.append(view)
+        self._bump_counts(node, +1)
+        st.priv_summary.update(view.priv_summary)
+        node_up: Optional[Region] = node.parent
+        while node_up is not None:
+            self._state(node_up).priv_summary.update(view.priv_summary)
+            node_up = node_up.parent
+
+    # ------------------------------------------------------------------
+    # launch-time hoisting (step 2 of section 5.1)
+    # ------------------------------------------------------------------
+    def _hoist(self, privilege: Privilege, region: Region) -> None:
+        path = region.path_from_root()
+        on_path = {r.uid for r in path}
+        for node in path:
+            node_st = self._states.get(node.uid)
+            if node_st is None or not node_st.open_children:
+                continue
+            # iterate only partitions with open children (the openness
+            # index keeps launches O(open work), not O(machine))
+            for bucket in list(node_st.open_children.values()):
+                open_children: list[Region] = []
+                trigger = False
+                for child in bucket.values():
+                    if child.uid in on_path:
+                        continue
+                    open_children.append(child)
+                    if trigger:
+                        continue
+                    st = self._states.get(child.uid)
+                    if st is None or \
+                            not _keys_interfere(privilege, st.priv_summary):
+                        continue  # summary says nothing to hoist
+                    self.meter.count("intersection_tests")
+                    if not child.space.isdisjoint(region.space):
+                        trigger = True
+                if trigger:
+                    # the paper snapshots the whole partition subtree as one
+                    # composite view (Figure 8), not per-subregion views
+                    view = self._capture_subtrees(open_children)
+                    if view is not None:
+                        self._append_view(node, view)
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def _iter_path_entries(self, region: Region,
+                           privilege: Optional[Privilege] = None
+                           ) -> Iterator[HistoryEntry]:
+        """All history entries relevant to ``region``'s path, oldest first.
+
+        When ``privilege`` is given, whole composite views whose privilege
+        summary cannot interfere are skipped (their values may still be
+        needed for painting, so painting passes ``privilege=None``).
+        """
+        space = region.space
+        for node in region.path_from_root():
+            st = self._states.get(node.uid)
+            if st is None:
+                continue
+            if st.entries:
+                self.meter.touch(("treenode", node.uid))
+            yield from self._iter_items(st.entries, space, privilege)
+
+    def _iter_items(self, items: list[PathItem], space: IndexSpace,
+                    privilege: Optional[Privilege]) -> Iterator[HistoryEntry]:
+        for item in items:
+            if isinstance(item, CompositeView):
+                if not item.domain.bbox_overlaps(space):
+                    continue
+                if (privilege is not None
+                        and not _keys_interfere(privilege, item.priv_summary)):
+                    continue
+                self.meter.count("views_traversed")
+                self.meter.touch(("view", item.uid))
+                for _, sub_items in item.captured:
+                    yield from self._iter_items(sub_items, space, privilege)
+            else:
+                yield item
+
+    # ------------------------------------------------------------------
+    # the Figure 6 protocol
+    # ------------------------------------------------------------------
+    def materialize(self, privilege: Privilege, region: Region) -> AnalysisOutcome:
+        self._check_region(region)
+        self._hoist(privilege, region)
+        self.meter.touch(("treenode", self.tree.root.uid))
+
+        deps: set[int] = set()
+        scan_dependences(privilege, region.space,
+                         self._iter_path_entries(region, privilege), deps,
+                         self.meter)
+        deps.discard(INITIAL_TASK_ID)
+
+        if privilege.is_reduce:
+            values = self.identity_buffer(privilege, region.space.size)
+            return AnalysisOutcome(values, frozenset(deps))
+
+        current = RegionValues.filled(region.space, 0, self.dtype)
+        for entry in self._iter_path_entries(region, None):
+            self.meter.count("entries_scanned")
+            current = paint_entry(current, entry, self.meter)
+        return AnalysisOutcome(current.values, frozenset(deps))
+
+    def materialize_values(self, privilege: Privilege,
+                           region: Region) -> np.ndarray:
+        """Traced-replay fast path: hoisting still runs (it preserves the
+        path-history invariant for later tasks) but the dependence scan is
+        skipped."""
+        self._check_region(region)
+        self._hoist(privilege, region)
+        self.meter.touch(("treenode", self.tree.root.uid))
+        if privilege.is_reduce:
+            return self.identity_buffer(privilege, region.space.size)
+        current = RegionValues.filled(region.space, 0, self.dtype)
+        for entry in self._iter_path_entries(region, None):
+            self.meter.count("entries_scanned")
+            current = paint_entry(current, entry, self.meter)
+        return current.values
+
+    def commit(self, privilege: Privilege, region: Region,
+               values: Optional[np.ndarray], task_id: int) -> None:
+        self._check_region(region)
+        values = self._check_commit_values(privilege, region, values)
+        st = self._state(region)
+        if privilege.is_write and st.entries:
+            # a write at R occludes everything previously recorded at R
+            self.meter.count("entries_occluded", len(st.entries))
+            self._bump_counts(region, -len(st.entries))
+            st.entries = []
+            st.priv_summary = set()
+        rv = None if values is None else RegionValues(region.space,
+                                                      values.copy())
+        st.entries.append(HistoryEntry(privilege, region.space, rv, task_id))
+        self._bump_counts(region, +1)
+        self._add_summary(region, _priv_key(privilege))
+        self.meter.touch(("treenode", region.uid))
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def total_items(self) -> int:
+        """Raw history items currently stored across the tree."""
+        return self._state(self.tree.root).subtree_count
+
+    def node_entries(self, region: Region) -> list[PathItem]:
+        """The subhistory currently recorded at ``region`` (tests)."""
+        st = self._states.get(region.uid)
+        return [] if st is None else list(st.entries)

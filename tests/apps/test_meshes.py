@@ -1,0 +1,162 @@
+"""Tests for the mesh/graph generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Extent, GeometryError, IndexSpace, Rect
+from repro.apps.meshes import (block_ranges, factor_grid, random_circuit,
+                               star_halo, strip_mesh, tile_rects)
+
+
+class TestBlockRanges:
+    def test_even_split(self):
+        assert block_ranges(12, 3) == [(0, 4), (4, 8), (8, 12)]
+
+    def test_uneven_split_covers(self):
+        ranges = block_ranges(10, 3)
+        assert ranges[0][0] == 0 and ranges[-1][1] == 10
+        for (a, b), (c, d) in zip(ranges, ranges[1:]):
+            assert b == c and b > a
+
+    def test_invalid(self):
+        with pytest.raises(GeometryError):
+            block_ranges(2, 3)
+        with pytest.raises(GeometryError):
+            block_ranges(5, 0)
+
+    @given(st.integers(1, 100), st.integers(1, 20))
+    def test_property_cover_disjoint(self, n, pieces):
+        if n < pieces:
+            return
+        ranges = block_ranges(n, pieces)
+        assert len(ranges) == pieces
+        covered = [x for a, b in ranges for x in range(a, b)]
+        assert covered == list(range(n))
+
+
+class TestFactorGrid:
+    @pytest.mark.parametrize("pieces,want", [
+        (1, (1, 1)), (2, (2, 1)), (4, (2, 2)), (6, (3, 2)),
+        (12, (4, 3)), (512, (32, 16)), (7, (7, 1))])
+    def test_most_square(self, pieces, want):
+        assert factor_grid(pieces) == want
+
+    @given(st.integers(1, 600))
+    def test_product(self, pieces):
+        px, py = factor_grid(pieces)
+        assert px * py == pieces and px >= py
+
+
+class TestTileRects:
+    def test_covers_disjointly(self):
+        extent = Extent((8, 12))
+        rects = tile_rects(extent, 2, 3)
+        assert len(rects) == 6
+        spaces = [IndexSpace.from_rect(r, extent) for r in rects]
+        union = IndexSpace.union_all(spaces)
+        assert union.size == extent.volume
+        assert sum(s.size for s in spaces) == extent.volume
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(GeometryError):
+            tile_rects(Extent((8, 12)), 3, 3)
+
+    def test_requires_2d(self):
+        with pytest.raises(GeometryError):
+            tile_rects(Extent((8,)), 2, 2)
+
+
+class TestStarHalo:
+    def test_interior_tile(self):
+        extent = Extent((12, 12))
+        tile = Rect((4, 4), (7, 7))
+        halo = star_halo(tile, 2, extent)
+        tile_space = IndexSpace.from_rect(tile, extent)
+        assert tile_space.issubset(halo)
+        # star shape: has axis extensions but no corners
+        assert extent.linearize(np.array([2, 5]))[0] in halo   # above
+        assert extent.linearize(np.array([5, 9]))[0] in halo   # right
+        assert extent.linearize(np.array([2, 2]))[0] not in halo  # corner
+        assert halo.size == 16 + 4 * (2 * 4)
+
+    def test_boundary_clipped(self):
+        extent = Extent((8, 8))
+        halo = star_halo(Rect((0, 0), (3, 3)), 2, extent)
+        assert halo.size == 16 + 2 * (2 * 4)
+
+
+class TestRandomCircuit:
+    def test_shape(self):
+        g = random_circuit(4, 10, 15, pct_external=0.3, seed=1)
+        assert g.num_nodes == 40
+        assert len(g.piece_nodes) == 4
+        for i, wires in enumerate(g.wires):
+            assert wires.shape == (15, 2)
+            lo, hi = g.piece_nodes[i]
+            # first endpoints always internal
+            assert ((wires[:, 0] >= lo) & (wires[:, 0] < hi)).all()
+            # no self loops
+            assert (wires[:, 0] != wires[:, 1]).all()
+
+    def test_ghosts_are_external(self):
+        g = random_circuit(4, 10, 15, pct_external=0.5, seed=2)
+        for i, ghost in enumerate(g.ghosts):
+            lo, hi = g.piece_nodes[i]
+            for n in ghost:
+                assert n < lo or n >= hi
+
+    def test_ghosts_only_neighbors(self):
+        g = random_circuit(8, 10, 20, pct_external=0.5, seed=3)
+        for i, ghost in enumerate(g.ghosts):
+            for n in ghost:
+                piece = n // 10
+                assert piece in ((i - 1) % 8, (i + 1) % 8)
+
+    def test_deterministic(self):
+        a = random_circuit(3, 8, 10, seed=7)
+        b = random_circuit(3, 8, 10, seed=7)
+        for wa, wb in zip(a.wires, b.wires):
+            assert np.array_equal(wa, wb)
+
+    def test_single_piece_no_ghosts(self):
+        g = random_circuit(1, 8, 10, seed=0)
+        assert g.ghosts[0].is_empty
+
+    def test_invalid(self):
+        with pytest.raises(GeometryError):
+            random_circuit(0, 8, 10)
+        with pytest.raises(GeometryError):
+            random_circuit(2, 1, 10)
+
+
+class TestStripMesh:
+    def test_owned_partition(self):
+        m = strip_mesh(3, 4, 2)
+        assert m.point_extent.shape == (13, 3)
+        union = IndexSpace.union_all(m.owned)
+        assert union.size == 13 * 3
+        assert sum(s.size for s in m.owned) == 13 * 3  # disjoint
+
+    def test_zone_views_alias(self):
+        m = strip_mesh(3, 4, 2)
+        # adjacent views share the boundary column
+        assert m.zone_view[0].overlaps(m.zone_view[1])
+        assert not m.owned[0].overlaps(m.owned[1])
+
+    def test_ghosts_are_next_pieces_first_column(self):
+        m = strip_mesh(3, 4, 2)
+        for i in range(2):
+            assert m.ghosts[i].issubset(m.owned[i + 1])
+            assert m.ghosts[i].size == 3  # one column of rows+1 points
+        assert m.ghosts[2].is_empty
+
+    def test_zone_view_is_owned_plus_ghost(self):
+        m = strip_mesh(4, 3, 3)
+        for i in range(4):
+            assert m.zone_view[i] == (m.owned[i] | m.ghosts[i])
+
+    def test_single_piece(self):
+        m = strip_mesh(1, 4, 4)
+        assert m.owned[0].size == m.point_extent.volume
+        assert m.ghosts[0].is_empty

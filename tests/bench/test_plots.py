@@ -1,0 +1,66 @@
+"""Tests for the ASCII plot renderer."""
+
+import pytest
+
+from repro.bench.figures import FIGURES
+from repro.bench.plots import COLLISION, GLYPHS, ascii_plot, plot_figure
+
+
+SERIES = {
+    "fast": [(1, 100.0), (4, 100.0), (16, 90.0)],
+    "slow": [(1, 100.0), (4, 25.0), (16, 5.0)],
+}
+
+
+class TestAsciiPlot:
+    def test_basic_structure(self):
+        text = ascii_plot(SERIES, width=40, height=10, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert len([l for l in lines if "|" in l]) == 10
+        assert any("-" * 10 in l for l in lines)          # x axis
+        assert "fast" in lines[-1] and "slow" in lines[-1]  # legend
+
+    def test_glyphs_plotted(self):
+        text = ascii_plot(SERIES, width=40, height=10)
+        assert GLYPHS[0] in text
+        assert GLYPHS[1] in text
+
+    def test_collision_marker(self):
+        both = {"a": [(1, 10.0)], "b": [(1, 10.0)]}
+        text = ascii_plot(both, width=10, height=5)
+        assert COLLISION in text
+
+    def test_axis_labels(self):
+        text = ascii_plot(SERIES, width=40, height=10,
+                          log_x=True, log_y=True)
+        assert "100" in text   # y max
+        assert "16" in text    # x max (2^4)
+        assert "1" in text     # x min
+
+    def test_empty(self):
+        assert "(no data)" in ascii_plot({})
+
+    def test_single_point(self):
+        text = ascii_plot({"one": [(8, 3.0)]}, width=20, height=5)
+        assert GLYPHS[0] in text
+
+    def test_linear_axes(self):
+        text = ascii_plot(SERIES, width=30, height=8,
+                          log_x=False, log_y=False)
+        assert GLYPHS[0] in text
+
+
+class TestPlotFigure:
+    def test_legend_order_matches_paper(self):
+        spec = FIGURES["fig16"]
+        series = {
+            "tree_painter_nodcr": [(1, 1.0), (2, 0.5)],
+            "raycast_dcr": [(1, 1.0), (2, 0.9)],
+            "warnock_dcr": [(1, 1.0), (2, 0.8)],
+        }
+        text = plot_figure(spec, series)
+        legend = text.splitlines()[-1]
+        assert legend.index("raycast_dcr") < legend.index("warnock_dcr") \
+            < legend.index("tree_painter_nodcr")
+        assert "fig16" in text

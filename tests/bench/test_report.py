@@ -1,0 +1,86 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.bench.report import SECTIONS, generate_report, tsv_to_markdown
+
+
+SAMPLE = """# fig13: Circuit initialization time [seconds]
+nodes\traycast_dcr\twarnock_dcr
+1\t0.0004\t0.0004
+2\t0.000405\t0.000405
+"""
+
+
+class TestTsvToMarkdown:
+    def test_comment_becomes_caption(self):
+        md = tsv_to_markdown(SAMPLE)
+        assert md.startswith("*fig13: Circuit initialization time")
+
+    def test_table_structure(self):
+        md = tsv_to_markdown(SAMPLE)
+        lines = md.splitlines()
+        assert "| nodes | raycast_dcr | warnock_dcr |" in lines
+        assert "|---|---|---|" in lines
+        assert "| 2 | 0.000405 | 0.000405 |" in lines
+
+    def test_empty(self):
+        assert tsv_to_markdown("") == ""
+
+
+class TestGenerateReport:
+    def test_missing_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            generate_report(tmp_path / "nope")
+
+    def test_known_and_unknown_files(self, tmp_path):
+        (tmp_path / "fig13.tsv").write_text(SAMPLE)
+        (tmp_path / "custom_experiment.tsv").write_text(
+            "a\tb\n1\t2\n")
+        report = generate_report(tmp_path, title="Test run")
+        assert report.startswith("# Test run")
+        assert "## Figure 13 — Circuit initialization time (s)" in report
+        assert "## custom_experiment.tsv" in report
+        # ordering: known figure section comes before the custom one
+        assert report.index("Figure 13") < report.index("custom_experiment")
+
+    def test_empty_dir(self, tmp_path):
+        report = generate_report(tmp_path)
+        assert "(no result tables found)" in report
+
+    def test_sections_cover_all_benchmark_outputs(self):
+        names = {name for name, _ in SECTIONS}
+        assert {"fig12.tsv", "fig17.tsv", "ablation_tracing.tsv",
+                "artifact_a4_pennant.tsv"} <= names
+
+    def test_real_results_if_present(self):
+        """When the full benchmark run has happened, the report must
+        assemble cleanly from its artifacts."""
+        from pathlib import Path
+        results = Path(__file__).resolve().parents[2] / "benchmarks" / \
+            "results"
+        if not results.is_dir():
+            pytest.skip("no benchmark results yet")
+        report = generate_report(results)
+        assert "Figure 12" in report
+
+
+class TestCli:
+    def test_report_command(self, tmp_path, capsys):
+        (tmp_path / "fig13.tsv").write_text(SAMPLE)
+        from repro.cli import main
+        assert main(["report", "--results", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "# Benchmark report" in out
+
+    def test_report_to_file(self, tmp_path):
+        (tmp_path / "fig13.tsv").write_text(SAMPLE)
+        from repro.cli import main
+        out_file = tmp_path / "report.md"
+        assert main(["report", "--results", str(tmp_path),
+                     "--output", str(out_file)]) == 0
+        assert out_file.read_text().startswith("# Benchmark report")
+
+    def test_report_missing_dir_fails(self, tmp_path):
+        from repro.cli import main
+        assert main(["report", "--results", str(tmp_path / "none")]) == 1

@@ -1,0 +1,84 @@
+"""Unit and property tests for the BVH acceleration structure."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import BVH, GeometryError, IndexSpace
+
+from tests.conftest import nonempty_index_spaces
+
+
+class TestBVHBasics:
+    def test_empty_query(self):
+        bvh = BVH()
+        assert bvh.query(IndexSpace.from_range(0, 10)) == []
+        assert bvh.query(IndexSpace.empty()) == []
+        assert len(bvh) == 0
+
+    def test_ignores_empty_spaces(self):
+        bvh = BVH()
+        bvh.insert(IndexSpace.empty(), "x")
+        assert len(bvh) == 0
+
+    def test_insert_and_query(self):
+        bvh = BVH()
+        bvh.insert(IndexSpace.from_range(0, 10), "a")
+        bvh.insert(IndexSpace.from_range(20, 30), "b")
+        assert bvh.query(IndexSpace.from_range(5, 8)) == ["a"]
+        assert set(bvh.query(IndexSpace.from_range(0, 30))) == {"a", "b"}
+        assert bvh.query(IndexSpace.from_range(12, 18)) == []
+
+    def test_query_is_conservative(self):
+        # bbox of {0, 100} covers 50 even though the space doesn't
+        bvh = BVH()
+        bvh.insert(IndexSpace.from_indices([0, 100]), "sparse")
+        assert bvh.query(IndexSpace.from_indices([50])) == ["sparse"]
+        assert bvh.query_exact(IndexSpace.from_indices([50])) == []
+
+    def test_remove(self):
+        bvh = BVH()
+        bvh.insert(IndexSpace.from_range(0, 5), "a")
+        bvh.insert(IndexSpace.from_range(3, 9), "b")
+        assert bvh.remove("a")
+        assert not bvh.remove("a")
+        assert bvh.query(IndexSpace.from_range(0, 10)) == ["b"]
+        assert len(bvh) == 1
+
+    def test_iter(self):
+        bvh = BVH()
+        for i in range(20):
+            bvh.insert(IndexSpace.from_range(i, i + 2), i)
+        assert sorted(bvh) == list(range(20))
+
+    def test_leaf_capacity_validated(self):
+        with pytest.raises(GeometryError):
+            BVH(leaf_capacity=0)
+
+    def test_depth_grows_logarithmically(self):
+        bvh = BVH(leaf_capacity=2)
+        for i in range(64):
+            bvh.insert(IndexSpace.from_range(i * 10, i * 10 + 5), i)
+        assert 2 <= bvh.depth() <= 8
+
+
+class TestBVHProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(nonempty_index_spaces(128), min_size=1, max_size=25),
+           nonempty_index_spaces(128))
+    def test_query_superset_of_exact(self, spaces, probe):
+        bvh = BVH(leaf_capacity=3)
+        for i, s in enumerate(spaces):
+            bvh.insert(s, i)
+        exact = {i for i, s in enumerate(spaces) if s.overlaps(probe)}
+        candidates = set(bvh.query(probe))
+        assert exact <= candidates
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(nonempty_index_spaces(128), min_size=1, max_size=25),
+           nonempty_index_spaces(128))
+    def test_query_exact_matches_bruteforce(self, spaces, probe):
+        bvh = BVH(leaf_capacity=3)
+        for i, s in enumerate(spaces):
+            bvh.insert(s, i)
+        want = [i for i, s in enumerate(spaces) if s.overlaps(probe)]
+        assert sorted(bvh.query_exact(probe)) == sorted(want)

@@ -1,0 +1,143 @@
+"""Unit and property tests for IndexSpace set algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import Extent, GeometryError, IndexSpace, Rect
+
+from tests.conftest import index_spaces
+
+
+sets_of_ints = st.sets(st.integers(0, 63), max_size=24)
+
+
+class TestConstruction:
+    def test_deduplicates_and_sorts(self):
+        s = IndexSpace.from_indices([5, 1, 5, 3, 1])
+        assert list(s.indices) == [1, 3, 5]
+
+    def test_empty(self):
+        s = IndexSpace.empty()
+        assert s.is_empty and s.size == 0 and len(s) == 0
+        assert s.bounds == (0, -1)
+
+    def test_from_range(self):
+        s = IndexSpace.from_range(3, 7)
+        assert list(s) == [3, 4, 5, 6]
+        assert IndexSpace.from_range(3, 3).is_empty
+        with pytest.raises(GeometryError):
+            IndexSpace.from_range(5, 2)
+
+    def test_from_rect(self):
+        e = Extent((3, 3))
+        s = IndexSpace.from_rect(Rect((0, 0), (1, 1)), e)
+        assert list(s) == [0, 1, 3, 4]
+
+    def test_from_mask(self):
+        mask = np.array([True, False, True, True])
+        assert list(IndexSpace.from_mask(mask)) == [0, 2, 3]
+
+    def test_bounds_and_contains(self):
+        s = IndexSpace.from_indices([2, 9, 17])
+        assert s.bounds == (2, 17)
+        assert 9 in s and 2 in s and 17 in s
+        assert 3 not in s and 18 not in s and 0 not in s
+
+    def test_equality_and_hash(self):
+        a = IndexSpace.from_indices([1, 2, 3])
+        b = IndexSpace.from_indices([3, 2, 1])
+        assert a == b and hash(a) == hash(b)
+        assert a != IndexSpace.from_indices([1, 2])
+        assert (a == "nope") is False
+
+    def test_indices_readonly(self):
+        s = IndexSpace.from_indices([1, 2])
+        with pytest.raises(ValueError):
+            s.indices[0] = 9
+
+
+class TestSetAlgebra:
+    @given(sets_of_ints, sets_of_ints)
+    def test_matches_python_sets(self, a, b):
+        sa, sb = IndexSpace.from_indices(a), IndexSpace.from_indices(b)
+        assert set(sa & sb) == a & b
+        assert set(sa - sb) == a - b
+        assert set(sa | sb) == a | b
+        assert sa.overlaps(sb) == bool(a & b)
+        assert sa.isdisjoint(sb) == (not a & b)
+        assert sa.issubset(sb) == (a <= b)
+        assert sa.issuperset(sb) == (a >= b)
+
+    @given(sets_of_ints)
+    def test_self_identities(self, a):
+        s = IndexSpace.from_indices(a)
+        assert s & s == s
+        assert (s - s).is_empty
+        assert s | s == s
+        assert s.issubset(s)
+
+    def test_bbox_overlaps_conservative(self):
+        a = IndexSpace.from_indices([0, 10])
+        b = IndexSpace.from_indices([5])
+        assert a.bbox_overlaps(b)     # bounding boxes overlap...
+        assert not a.overlaps(b)      # ...but the sets do not
+
+    @given(st.lists(sets_of_ints, max_size=5))
+    def test_union_all(self, sets):
+        spaces = [IndexSpace.from_indices(s) for s in sets]
+        want = set().union(*sets) if sets else set()
+        assert set(IndexSpace.union_all(spaces)) == want
+
+
+class TestPositions:
+    def test_positions_of_subset(self):
+        a = IndexSpace.from_indices([2, 4, 6, 8])
+        b = IndexSpace.from_indices([4, 8])
+        pos = a.positions_of(b)
+        assert list(pos) == [1, 3]
+        assert np.array_equal(a.indices[pos], b.indices)
+
+    def test_positions_of_rejects_nonsubset(self):
+        a = IndexSpace.from_indices([2, 4])
+        with pytest.raises(GeometryError):
+            a.positions_of(IndexSpace.from_indices([4, 5]))
+        with pytest.raises(GeometryError):
+            a.positions_of(IndexSpace.from_indices([9]))
+
+    def test_positions_of_empty(self):
+        a = IndexSpace.from_indices([1, 2])
+        assert a.positions_of(IndexSpace.empty()).size == 0
+
+    @given(sets_of_ints, sets_of_ints)
+    def test_membership_mask(self, a, b):
+        sa, sb = IndexSpace.from_indices(a), IndexSpace.from_indices(b)
+        mask = sa.membership_mask(sb)
+        assert mask.shape == (sa.size,)
+        assert set(sa.indices[mask]) == a & b
+
+    def test_sample(self, rng):
+        s = IndexSpace.from_range(0, 100)
+        sub = s.sample(10, rng)
+        assert sub.size == 10 and sub.issubset(s)
+        assert s.sample(200, rng) is s
+
+    def test_to_rect_coords(self):
+        e = Extent((2, 3))
+        s = IndexSpace.from_indices([0, 4, 5])
+        assert [tuple(c) for c in s.to_rect_coords(e)] == \
+            [(0, 0), (1, 1), (1, 2)]
+
+
+class TestPositionsFastPath:
+    def test_equal_size_nonsubset_rejected(self):
+        """The identity fast path must still reject same-size impostors."""
+        a = IndexSpace.from_indices([1, 2, 3])
+        with pytest.raises(GeometryError):
+            a.positions_of(IndexSpace.from_indices([1, 2, 4]))
+
+    def test_identity_mapping(self):
+        a = IndexSpace.from_indices([5, 9, 12])
+        b = IndexSpace.from_indices([5, 9, 12])
+        assert list(a.positions_of(b)) == [0, 1, 2]
+        assert list(a.positions_of(a)) == [0, 1, 2]

@@ -1,0 +1,84 @@
+"""Unit and property tests for interval-set summaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import GeometryError, IndexSpace, IntervalSet
+from repro.geometry.intervals import runs_of
+
+
+sets_of_ints = st.sets(st.integers(0, 80), max_size=30)
+
+
+class TestRunsOf:
+    def test_empty(self):
+        assert runs_of(IndexSpace.empty()).shape == (0, 2)
+
+    def test_single_run(self):
+        runs = runs_of(IndexSpace.from_range(3, 8))
+        assert runs.tolist() == [[3, 7]]
+
+    def test_multiple_runs(self):
+        s = IndexSpace.from_indices([1, 2, 3, 7, 9, 10])
+        assert runs_of(s).tolist() == [[1, 3], [7, 7], [9, 10]]
+
+    @given(sets_of_ints)
+    def test_runs_cover_exactly(self, ints):
+        s = IndexSpace.from_indices(ints)
+        covered = set()
+        for a, b in runs_of(s):
+            covered.update(range(int(a), int(b) + 1))
+        assert covered == ints
+
+    @given(sets_of_ints)
+    def test_runs_maximal(self, ints):
+        runs = runs_of(IndexSpace.from_indices(ints))
+        for i in range(len(runs) - 1):
+            assert runs[i + 1, 0] > runs[i, 1] + 1
+
+
+class TestIntervalSet:
+    def test_coalesces_overlapping(self):
+        s = IntervalSet([(0, 3), (2, 5), (7, 8), (9, 9)])
+        assert list(s) == [(0, 5), (7, 9)]
+        assert s.num_runs == 2
+        assert s.size == 9
+
+    def test_rejects_inverted(self):
+        with pytest.raises(GeometryError):
+            IntervalSet([(5, 2)])
+
+    def test_empty(self):
+        e = IntervalSet.empty()
+        assert e.is_empty and e.size == 0 and e.bounds == (0, -1)
+
+    def test_bounds(self):
+        assert IntervalSet([(3, 5), (9, 12)]).bounds == (3, 12)
+
+    def test_contains_point(self):
+        s = IntervalSet([(2, 4), (8, 8)])
+        for p, want in [(2, True), (4, True), (8, True),
+                        (1, False), (5, False), (9, False)]:
+            assert s.contains_point(p) is want
+        assert not IntervalSet.empty().contains_point(0)
+
+    @given(sets_of_ints, sets_of_ints)
+    def test_overlaps_matches_sets(self, a, b):
+        ia = IntervalSet.from_space(IndexSpace.from_indices(a))
+        ib = IntervalSet.from_space(IndexSpace.from_indices(b))
+        assert ia.overlaps(ib) == bool(a & b)
+
+    @given(sets_of_ints)
+    def test_space_roundtrip(self, ints):
+        s = IndexSpace.from_indices(ints)
+        assert IntervalSet.from_space(s).to_space() == s
+
+    @given(sets_of_ints)
+    def test_size_matches(self, ints):
+        s = IndexSpace.from_indices(ints)
+        assert IntervalSet.from_space(s).size == s.size
+
+    def test_equality(self):
+        assert IntervalSet([(0, 2)]) == IntervalSet([(0, 1), (2, 2)])
+        assert IntervalSet([(0, 2)]) != IntervalSet([(0, 3)])

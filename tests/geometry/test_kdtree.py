@@ -1,0 +1,79 @@
+"""Unit and property tests for the K-d tree (section 7.1 fallback)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import GeometryError, IndexSpace, KDTree
+
+from tests.conftest import nonempty_index_spaces
+
+
+class TestKDTreeBasics:
+    def test_requires_valid_range(self):
+        with pytest.raises(GeometryError):
+            KDTree(5, 4)
+
+    def test_insert_query(self):
+        kd = KDTree(0, 99)
+        kd.insert(IndexSpace.from_range(0, 10), "a")
+        kd.insert(IndexSpace.from_range(50, 60), "b")
+        assert kd.query(IndexSpace.from_range(5, 7)) == ["a"]
+        assert set(kd.query(IndexSpace.from_range(0, 99))) == {"a", "b"}
+        assert kd.query(IndexSpace.from_range(20, 30)) == []
+        assert kd.query(IndexSpace.empty()) == []
+
+    def test_rejects_empty_and_out_of_range(self):
+        kd = KDTree(0, 9)
+        with pytest.raises(GeometryError):
+            kd.insert(IndexSpace.empty(), "x")
+        with pytest.raises(GeometryError):
+            kd.insert(IndexSpace.from_indices([15]), "x")
+
+    def test_remove(self):
+        kd = KDTree(0, 99)
+        a = kd.insert(IndexSpace.from_range(0, 50), "a")
+        kd.insert(IndexSpace.from_range(25, 75), "b")
+        assert kd.remove(a) == "a"
+        assert kd.query(IndexSpace.from_range(0, 99)) == ["b"]
+        with pytest.raises(GeometryError):
+            kd.remove(a)
+
+    def test_spanning_item_not_duplicated_in_results(self):
+        kd = KDTree(0, 99, leaf_capacity=1)
+        # force splits, then insert an item spanning the whole range
+        for i in range(8):
+            kd.insert(IndexSpace.from_indices([i * 12]), i)
+        kd.insert(IndexSpace.from_indices([0, 99]), "wide")
+        hits = kd.query(IndexSpace.from_range(0, 100))
+        assert hits.count("wide") == 1
+
+    def test_len_and_iter(self):
+        kd = KDTree(0, 20)
+        for i in range(5):
+            kd.insert(IndexSpace.from_indices([i * 4]), i)
+        assert len(kd) == 5
+        assert sorted(kd) == list(range(5))
+
+
+class TestKDTreeProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(nonempty_index_spaces(128), min_size=1, max_size=30),
+           nonempty_index_spaces(128))
+    def test_query_superset_of_exact(self, spaces, probe):
+        kd = KDTree(0, 127, leaf_capacity=2)
+        for i, s in enumerate(spaces):
+            kd.insert(s, i)
+        exact = {i for i, s in enumerate(spaces) if s.overlaps(probe)}
+        assert exact <= set(kd.query(probe))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(nonempty_index_spaces(64), min_size=2, max_size=20),
+           st.data())
+    def test_remove_then_query(self, spaces, data):
+        kd = KDTree(0, 63, leaf_capacity=2)
+        ids = [kd.insert(s, i) for i, s in enumerate(spaces)]
+        victim = data.draw(st.integers(0, len(spaces) - 1))
+        kd.remove(ids[victim])
+        hits = kd.query(IndexSpace.from_range(0, 64))
+        assert victim not in hits
+        assert len(kd) == len(spaces) - 1

@@ -1,0 +1,150 @@
+"""Unit and property tests for Extent and Rect."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import Extent, GeometryError, Rect
+
+
+class TestExtent:
+    def test_basic_properties(self):
+        e = Extent((3, 4, 5))
+        assert e.dim == 3
+        assert e.volume == 60
+        assert e.strides == (20, 5, 1)
+
+    def test_one_dimensional(self):
+        e = Extent((7,))
+        assert e.strides == (1,)
+        assert e.full_rect() == Rect((0,), (6,))
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(GeometryError):
+            Extent(())
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(GeometryError):
+            Extent((3, 0))
+        with pytest.raises(GeometryError):
+            Extent((-1,))
+
+    def test_linearize_row_major(self):
+        e = Extent((2, 3))
+        coords = np.array([[0, 0], [0, 2], [1, 0], [1, 2]])
+        assert list(e.linearize(coords)) == [0, 2, 3, 5]
+
+    def test_linearize_single_point(self):
+        e = Extent((4, 4))
+        assert e.linearize(np.array([2, 3]))[0] == 11
+
+    def test_linearize_bounds_checked(self):
+        e = Extent((2, 2))
+        with pytest.raises(GeometryError):
+            e.linearize(np.array([[2, 0]]))
+        with pytest.raises(GeometryError):
+            e.linearize(np.array([[0, -1]]))
+
+    def test_linearize_rank_checked(self):
+        with pytest.raises(GeometryError):
+            Extent((2, 2)).linearize(np.array([[1, 1, 1]]))
+
+    def test_delinearize_roundtrip(self):
+        e = Extent((3, 5, 2))
+        idx = np.arange(e.volume)
+        coords = e.delinearize(idx)
+        assert np.array_equal(e.linearize(coords), idx)
+
+    def test_delinearize_bounds_checked(self):
+        with pytest.raises(GeometryError):
+            Extent((2, 2)).delinearize(np.array([4]))
+
+    @given(st.lists(st.integers(1, 6), min_size=1, max_size=3).map(tuple),
+           st.data())
+    def test_linearize_delinearize_inverse(self, shape, data):
+        e = Extent(shape)
+        k = data.draw(st.integers(0, e.volume - 1))
+        coords = e.delinearize(np.array([k]))
+        assert int(e.linearize(coords)[0]) == k
+
+
+class TestRect:
+    def test_volume_and_empty(self):
+        r = Rect((0, 0), (2, 3))
+        assert r.volume == 12
+        assert not r.is_empty
+        assert Rect.empty(2).is_empty
+        assert Rect.empty(2).volume == 0
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect((0,), (1, 1))
+        with pytest.raises(GeometryError):
+            Rect((), ())
+
+    def test_contains_point(self):
+        r = Rect((1, 1), (3, 3))
+        assert r.contains_point((2, 2))
+        assert r.contains_point((1, 3))
+        assert not r.contains_point((0, 2))
+        with pytest.raises(GeometryError):
+            r.contains_point((1,))
+
+    def test_contains_rect(self):
+        outer = Rect((0, 0), (5, 5))
+        assert outer.contains(Rect((1, 1), (4, 4)))
+        assert outer.contains(outer)
+        assert outer.contains(Rect.empty(2))
+        assert not Rect.empty(2).contains(outer)
+        assert not outer.contains(Rect((0, 0), (6, 5)))
+
+    def test_intersect(self):
+        a = Rect((0, 0), (4, 4))
+        b = Rect((2, 3), (8, 8))
+        assert a.intersect(b) == Rect((2, 3), (4, 4))
+        assert a.intersect(Rect((5, 5), (6, 6))).is_empty
+
+    def test_intersect_rank_checked(self):
+        with pytest.raises(GeometryError):
+            Rect((0,), (1,)).intersect(Rect((0, 0), (1, 1)))
+
+    def test_overlaps(self):
+        a = Rect((0,), (4,))
+        assert a.overlaps(Rect((4,), (9,)))
+        assert not a.overlaps(Rect((5,), (9,)))
+
+    def test_clamp(self):
+        e = Extent((4, 4))
+        assert Rect((-2, 1), (9, 2)).clamp(e) == Rect((0, 1), (3, 2))
+
+    def test_points_row_major(self):
+        pts = list(Rect((0, 0), (1, 1)).points())
+        assert pts == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_points_empty(self):
+        assert list(Rect.empty(2).points()) == []
+
+    def test_linearize_matches_points(self):
+        e = Extent((4, 5))
+        r = Rect((1, 2), (3, 4))
+        via_points = [e.linearize(np.array([p]))[0] for p in r.points()]
+        assert list(r.linearize(e)) == sorted(int(v) for v in via_points)
+
+    def test_linearize_clips_to_extent(self):
+        e = Extent((3, 3))
+        r = Rect((-1, -1), (5, 0))
+        assert list(r.linearize(e)) == [0, 3, 6]
+
+    def test_linearize_sorted(self):
+        e = Extent((6, 7, 2))
+        flat = Rect((1, 2, 0), (4, 6, 1)).linearize(e)
+        assert np.all(np.diff(flat) > 0)
+
+    @given(st.integers(1, 8), st.integers(1, 8), st.data())
+    def test_linearize_volume(self, h, w, data):
+        e = Extent((h, w))
+        lo = (data.draw(st.integers(0, h - 1)), data.draw(st.integers(0, w - 1)))
+        hi = (data.draw(st.integers(lo[0], h - 1)),
+              data.draw(st.integers(lo[1], w - 1)))
+        r = Rect(lo, hi)
+        assert r.linearize(e).size == r.volume

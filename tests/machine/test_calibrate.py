@@ -1,0 +1,43 @@
+"""Tests for the host-calibration helper."""
+
+import pytest
+
+from repro.machine import MachineSpec
+from repro.machine.calibrate import calibrate, measure_analysis_constants
+
+
+class TestMeasurement:
+    def test_measures_positive_constants(self):
+        m = measure_analysis_constants(pieces=4, iterations=2)
+        assert m["elapsed"] > 0
+        assert m["weighted_ops"] > 0
+        assert m["launches"] == 2 * 3 * 4  # two iterations, 3 phases
+        assert m["seconds_per_op"] > 0
+        assert m["seconds_per_launch"] > 0
+
+    def test_per_launch_exceeds_per_op(self):
+        m = measure_analysis_constants(pieces=4, iterations=2)
+        assert m["seconds_per_launch"] > m["seconds_per_op"]
+
+
+class TestCalibrate:
+    def test_returns_spec_with_host_constants(self):
+        spec = calibrate(pieces=4, iterations=2)
+        assert isinstance(spec, MachineSpec)
+        assert spec.analysis_op > 0
+        assert spec.launch_overhead > 0
+        # network constants inherited from the base, not measured
+        assert spec.latency == MachineSpec().latency
+
+    def test_base_network_preserved(self):
+        base = MachineSpec(latency=123e-6)
+        spec = calibrate(base=base, pieces=4, iterations=2)
+        assert spec.latency == 123e-6
+
+    def test_calibrated_simulation_runs(self):
+        from repro.apps import CircuitApp
+        from repro.machine import simulate_app
+        spec = calibrate(pieces=4, iterations=2)
+        app = CircuitApp(pieces=4, nodes_per_piece=8, wires_per_piece=12)
+        result = simulate_app(app, "raycast", dcr=True, spec=spec)
+        assert result.init_time > 0

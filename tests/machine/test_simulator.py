@@ -1,0 +1,168 @@
+"""Tests for the distributed-machine cost simulator."""
+
+import numpy as np
+import pytest
+
+from repro import MachineError
+from repro.apps import CircuitApp, StencilApp
+from repro.machine import (MachineSimulator, MachineSpec, control_node,
+                           dcr_sharding, simulate_app)
+from repro.runtime.task import Task, RegionRequirement
+from repro.privileges import READ
+from repro.visibility.meter import TaskCost
+
+from tests.conftest import make_fig1_tree
+
+
+class TestSharding:
+    def make_task(self, point):
+        tree, P, _ = make_fig1_tree()
+        return Task(0, "t", (RegionRequirement(P[0], "up", READ),),
+                    None, point)
+
+    def test_control_node(self):
+        assert control_node(self.make_task(5)) == 0
+        assert control_node(self.make_task(None)) == 0
+
+    def test_dcr_wraps(self):
+        shard = dcr_sharding(4)
+        assert shard(self.make_task(0)) == 0
+        assert shard(self.make_task(5)) == 1
+        assert shard(self.make_task(None)) == 0
+
+
+class TestMachineSimulator:
+    def make(self, nodes=4):
+        tree, _, _ = make_fig1_tree()
+        return MachineSimulator(MachineSpec().with_nodes(nodes), tree)
+
+    def test_region_ownership(self):
+        tree, P, G = make_fig1_tree()
+        sim = MachineSimulator(MachineSpec().with_nodes(3), tree)
+        assert sim.owner_of(("treenode", tree.root.uid), origin=1) == 0
+        assert sim.owner_of(("treenode", P[0].uid), origin=1) == 0
+        assert sim.owner_of(("treenode", P[2].uid), origin=1) == 2
+
+    def test_painter_history_at_control(self):
+        sim = self.make()
+        assert sim.owner_of(("painter_history", 0), origin=3) == 0
+
+    def test_eqset_spatial_ownership(self):
+        sim = self.make(nodes=4)  # root size 12
+        assert sim.owner_of(("eqset", 100, 0), origin=2) == 0
+        assert sim.owner_of(("eqset", 101, 11), origin=2) == 3
+
+    def test_view_owned_by_creator(self):
+        sim = self.make()
+        assert sim.owner_of(("view", 7), origin=2) == 2
+        # ownership sticks to the first toucher
+        assert sim.owner_of(("view", 7), origin=3) == 2
+
+    def test_remote_touch_costs_message(self):
+        sim = self.make(nodes=2)
+        sim.begin_epoch()
+        local = TaskCost(counters={"entries_scanned": 1},
+                         touches=frozenset([("painter_history", 0)]))
+        sim.process_task(local, origin=0, exec_node=None)
+        assert sim.messages_sent == 0
+        sim.process_task(local, origin=1, exec_node=None)
+        assert sim.messages_sent == 1
+
+    def test_origin_out_of_range(self):
+        sim = self.make(nodes=2)
+        with pytest.raises(MachineError):
+            sim.process_task(TaskCost(counters={}, touches=frozenset()),
+                             origin=5, exec_node=None)
+
+    def test_epoch_elapsed_max_of_analysis_and_exec(self):
+        sim = self.make(nodes=2)
+        sim.begin_epoch()
+        cost = TaskCost(counters={"entries_scanned": 100},
+                        touches=frozenset())
+        sim.process_task(cost, origin=0, exec_node=1)
+        elapsed = sim.end_epoch()
+        spec = sim.spec
+        analysis = spec.launch_overhead + 100 * spec.analysis_op
+        assert elapsed == pytest.approx(max(analysis, spec.task_run))
+
+    def test_dcr_sync_adds_collective(self):
+        sim = self.make(nodes=4)
+        sim.begin_epoch()
+        e_plain = sim.end_epoch(synchronized=False)
+        sim.begin_epoch()
+        e_sync = sim.end_epoch(synchronized=True)
+        assert e_sync > e_plain
+
+    def test_clocks_barrier_at_epoch_end(self):
+        sim = self.make(nodes=3)
+        sim.begin_epoch()
+        cost = TaskCost(counters={"entries_scanned": 500},
+                        touches=frozenset())
+        sim.process_task(cost, origin=1, exec_node=None)
+        sim.end_epoch()
+        assert np.allclose(sim.clocks, sim.clocks[0])
+
+
+class TestSimulateApp:
+    def test_painter_dcr_rejected(self):
+        app = CircuitApp(pieces=2, nodes_per_piece=4, wires_per_piece=6)
+        with pytest.raises(MachineError):
+            simulate_app(app, "painter", dcr=True)
+
+    def test_result_schema(self):
+        app = StencilApp(pieces=4, tile=4)
+        r = simulate_app(app, "raycast", dcr=True, steady_iterations=2)
+        assert r.system == "raycast_dcr"
+        assert r.nodes == 4
+        assert r.iterations == 2
+        assert r.init_time > 0 and r.elapsed_time > 0
+        assert r.units_per_piece == 16
+        assert r.throughput_per_node == pytest.approx(
+            16 / (r.elapsed_time / 2))
+
+    def test_weak_scaling_shapes(self):
+        """The paper's headline orderings at a modest scale: ray casting
+        beats Warnock beats the painter, and DCR beats no-DCR."""
+        results = {}
+        for algo, dcr in [("tree_painter", False), ("warnock", False),
+                          ("warnock", True), ("raycast", False),
+                          ("raycast", True)]:
+            app = CircuitApp(pieces=16, nodes_per_piece=8,
+                             wires_per_piece=12)
+            results[(algo, dcr)] = simulate_app(app, algo, dcr=dcr,
+                                                steady_iterations=2)
+        tp = {k: v.throughput_per_node for k, v in results.items()}
+        # like-for-like orderings with the figures' 5% tie tolerance
+        assert tp[("raycast", False)] >= 0.95 * tp[("warnock", False)]
+        assert tp[("warnock", False)] >= tp[("tree_painter", False)]
+        assert tp[("raycast", True)] >= tp[("raycast", False)]
+        assert tp[("warnock", True)] >= tp[("warnock", False)]
+        init = {k: v.init_time for k, v in results.items()}
+        assert init[("raycast", True)] <= init[("warnock", True)]
+        assert init[("raycast", False)] <= init[("tree_painter", False)]
+
+    def test_single_node_configs_agree(self):
+        """At one node there is no distribution: all systems should land
+        within a small factor of each other (artifact section A.4 shows
+        near-identical 1-node times)."""
+        times = []
+        for algo in ("tree_painter", "warnock", "raycast"):
+            app = StencilApp(pieces=1, tile=4)
+            times.append(simulate_app(app, algo).init_time)
+        assert max(times) < 4 * min(times)
+
+
+class TestUtilization:
+    def test_analysis_and_execution_split(self):
+        from repro.visibility.meter import TaskCost
+        tree, _, _ = make_fig1_tree()
+        sim = MachineSimulator(MachineSpec().with_nodes(2), tree)
+        sim.begin_epoch()
+        cost = TaskCost(counters={"entries_scanned": 50},
+                        touches=frozenset())
+        sim.process_task(cost, origin=0, exec_node=1)
+        util = sim.utilization()
+        assert util["analysis"][0] > 0
+        assert util["analysis"][1] == 0
+        assert util["execution"][1] > 0
+        assert util["execution"][0] == 0

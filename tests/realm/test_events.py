@@ -1,0 +1,116 @@
+"""Tests for Realm events: triggering, merging, poison propagation."""
+
+import threading
+
+import pytest
+
+from repro.realm.events import Event, RealmError, UserEvent
+
+
+class TestBasicEvents:
+    def test_nil_pretriggered(self):
+        e = Event.nil()
+        assert e.has_triggered() and not e.is_poisoned()
+
+    def test_user_event_lifecycle(self):
+        e = UserEvent()
+        assert not e.has_triggered()
+        assert not e.is_poisoned()
+        e.trigger()
+        assert e.has_triggered() and not e.is_poisoned()
+
+    def test_double_trigger_rejected(self):
+        e = UserEvent()
+        e.trigger()
+        with pytest.raises(RealmError):
+            e.trigger()
+
+    def test_poisoned_trigger(self):
+        e = UserEvent()
+        e.trigger(poisoned=True)
+        assert e.is_poisoned()
+
+    def test_callback_after_trigger_runs_immediately(self):
+        e = UserEvent()
+        e.trigger()
+        seen = []
+        e.add_callback(seen.append)
+        assert seen == [False]
+
+    def test_callback_before_trigger_deferred(self):
+        e = UserEvent()
+        seen = []
+        e.add_callback(seen.append)
+        assert seen == []
+        e.trigger(poisoned=True)
+        assert seen == [True]
+
+    def test_callbacks_fire_once(self):
+        e = UserEvent()
+        count = []
+        e.add_callback(lambda p: count.append(p))
+        e.trigger()
+        assert count == [False]
+
+    def test_wait_returns_poison(self):
+        e = UserEvent()
+        threading.Timer(0.01, e.trigger, kwargs={"poisoned": True}).start()
+        assert e.wait(timeout=5) is True
+
+    def test_wait_timeout(self):
+        e = UserEvent()
+        with pytest.raises(RealmError):
+            e.wait(timeout=0.01)
+
+    def test_repr_states(self):
+        e = UserEvent()
+        assert "pending" in repr(e)
+        e.trigger()
+        assert "triggered" in repr(e)
+        p = UserEvent()
+        p.trigger(poisoned=True)
+        assert "poisoned" in repr(p)
+
+
+class TestMerge:
+    def test_merge_empty_is_nil(self):
+        assert Event.merge([]).has_triggered()
+
+    def test_merge_single_is_identity(self):
+        e = UserEvent()
+        assert Event.merge([e]) is e
+
+    def test_merge_waits_for_all(self):
+        a, b, c = UserEvent(), UserEvent(), UserEvent()
+        m = Event.merge([a, b, c])
+        a.trigger()
+        b.trigger()
+        assert not m.has_triggered()
+        c.trigger()
+        assert m.has_triggered() and not m.is_poisoned()
+
+    def test_merge_propagates_poison(self):
+        a, b = UserEvent(), UserEvent()
+        m = Event.merge([a, b])
+        a.trigger(poisoned=True)
+        b.trigger()
+        assert m.is_poisoned()
+
+    def test_merge_of_triggered_inputs(self):
+        a, b = UserEvent(), UserEvent()
+        a.trigger()
+        b.trigger()
+        assert Event.merge([a, b]).has_triggered()
+
+    def test_deep_merge_tree(self):
+        leaves = [UserEvent() for _ in range(64)]
+        level = list(leaves)
+        while len(level) > 1:
+            level = [Event.merge(level[i:i + 2])
+                     for i in range(0, len(level), 2)]
+        root = level[0]
+        for leaf in leaves[:-1]:
+            leaf.trigger()
+        assert not root.has_triggered()
+        leaves[-1].trigger()
+        assert root.has_triggered()

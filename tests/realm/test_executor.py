@@ -1,0 +1,94 @@
+"""Tests for the Realm executor: analyzed streams as event graphs."""
+
+import numpy as np
+import pytest
+
+from repro import (READ_WRITE, IndexSpace, RegionRequirement, RegionTree,
+                   Runtime, TaskStream, reduce)
+from repro.realm import RealmExecutor, RealmRuntime
+from repro.runtime.executor import SequentialExecutor
+
+from tests.conftest import fig1_initial, fig1_stream, make_fig1_tree
+
+
+def analyzed(tree, initial, stream):
+    rt = Runtime(tree, initial, algorithm="raycast")
+    for task in stream:
+        rt.launch(task.name, task.requirements, None, task.point)
+    return list(stream), rt.graph
+
+
+class TestRealmExecution:
+    @pytest.mark.parametrize("procs", [0, 4], ids=["inline", "threaded"])
+    def test_matches_sequential(self, procs):
+        tree, P, G = make_fig1_tree()
+        stream = fig1_stream(tree, P, G, iterations=3)
+        tasks, graph = analyzed(tree, fig1_initial(tree), stream)
+
+        reference = SequentialExecutor(tree, fig1_initial(tree))
+        reference.run_stream(stream)
+
+        with RealmRuntime(num_procs=procs) as realm:
+            ex = RealmExecutor(tree, fig1_initial(tree), runtime=realm)
+            poison = ex.run(tasks, graph)
+        assert not any(poison.values())
+        for field in ("up", "down"):
+            assert np.array_equal(ex.field(field), reference.field(field))
+
+    def test_matches_sequential_on_app(self):
+        from repro.apps import PennantApp
+        app = PennantApp(pieces=3, zones_x=3, zones_y=3)
+        stream = TaskStream()
+        stream.extend_from(app.init_stream())
+        for _ in range(2):
+            stream.extend_from(app.iteration_stream())
+        tasks, graph = analyzed(app.tree, app.initial, stream)
+        reference = SequentialExecutor(app.tree, app.initial)
+        reference.run_stream(stream)
+        with RealmExecutor(app.tree, app.initial) as ex:
+            poison = ex.run(tasks, graph)
+        assert not any(poison.values())
+        for field in app.tree.field_space.names:
+            np.testing.assert_allclose(ex.field(field),
+                                       reference.field(field))
+
+    def test_failed_task_poisons_dependents_only(self):
+        """A failing task skips its downstream slice; independent pieces
+        complete — the fault isolation Realm's poison model provides."""
+        tree = RegionTree(8, {"x": np.int64})
+        halves = tree.root.create_partition(
+            "H", [IndexSpace.from_range(0, 4), IndexSpace.from_range(4, 8)],
+            disjoint=True, complete=True)
+        stream = TaskStream()
+
+        def boom(arr):
+            raise ValueError("injected")
+
+        def bump(arr):
+            arr += 1
+        stream.append("bad", [RegionRequirement(halves[0], "x",
+                                                READ_WRITE)], boom)
+        stream.append("after_bad", [RegionRequirement(halves[0], "x",
+                                                      reduce("sum"))], bump)
+        stream.append("independent", [RegionRequirement(halves[1], "x",
+                                                        READ_WRITE)], bump)
+        tasks, graph = analyzed(tree, {"x": np.zeros(8, dtype=np.int64)},
+                                stream)
+        with RealmExecutor(tree, {"x": np.zeros(8, dtype=np.int64)}) as ex:
+            poison = ex.run(tasks, graph)
+        assert poison[0] and poison[1]
+        assert not poison[2]
+        out = ex.field("x")
+        assert list(out[:4]) == [0, 0, 0, 0]   # poisoned slice untouched
+        assert list(out[4:]) == [1, 1, 1, 1]   # independent piece ran
+
+    def test_validation(self):
+        tree, P, G = make_fig1_tree()
+        stream = fig1_stream(tree, P, G, 1)
+        tasks, graph = analyzed(tree, fig1_initial(tree), stream)
+        from repro.errors import TaskError
+        with RealmExecutor(tree, fig1_initial(tree)) as ex:
+            with pytest.raises(TaskError):
+                ex.run(tasks[:-1], graph)
+        with pytest.raises(TaskError):
+            RealmExecutor(tree, {"up": np.zeros(12)})

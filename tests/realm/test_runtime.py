@@ -1,0 +1,137 @@
+"""Tests for the Realm runtime: deferred execution, processors, poison."""
+
+import threading
+
+import pytest
+
+from repro.realm.events import Event, RealmError, UserEvent
+from repro.realm.runtime import RealmRuntime
+
+
+@pytest.fixture(params=[0, 3], ids=["inline", "threaded"])
+def realm(request):
+    rt = RealmRuntime(num_procs=request.param)
+    yield rt
+    rt.shutdown()
+
+
+class TestSpawn:
+    def test_spawn_runs(self, realm):
+        seen = []
+        done = realm.spawn(lambda: seen.append(1))
+        realm.wait_for_quiescence(timeout=5)
+        assert seen == [1]
+        assert done.has_triggered() and not done.is_poisoned()
+
+    def test_precondition_defers(self, realm):
+        gate = realm.create_user_event()
+        seen = []
+        done = realm.spawn(lambda: seen.append(1), wait_on=gate)
+        assert seen == [] and not done.has_triggered()
+        gate.trigger()
+        realm.wait_for_quiescence(timeout=5)
+        assert seen == [1]
+
+    def test_chain(self, realm):
+        order = []
+        a = realm.spawn(lambda: order.append("a"))
+        b = realm.spawn(lambda: order.append("b"), wait_on=a)
+        realm.spawn(lambda: order.append("c"), wait_on=b)
+        realm.wait_for_quiescence(timeout=5)
+        assert order == ["a", "b", "c"]
+
+    def test_fan_out_fan_in(self, realm):
+        gate = realm.create_user_event()
+        results = []
+        lock = threading.Lock()
+
+        def work(k):
+            with lock:
+                results.append(k)
+        branches = [realm.spawn(lambda k=k: work(k), wait_on=gate)
+                    for k in range(8)]
+        joined = []
+        realm.spawn(lambda: joined.append(sorted(results)),
+                    wait_on=Event.merge(branches))
+        gate.trigger()
+        realm.wait_for_quiescence(timeout=5)
+        assert joined == [list(range(8))]
+
+    def test_long_inline_chain_no_recursion(self):
+        """10k-deep chains must not overflow the stack in inline mode."""
+        rt = RealmRuntime(num_procs=0)
+        count = [0]
+        prev = None
+        for _ in range(10_000):
+            prev = rt.spawn(lambda: count.__setitem__(0, count[0] + 1),
+                            wait_on=prev)
+        rt.wait_for_quiescence(timeout=30)
+        assert count[0] == 10_000
+        rt.shutdown()
+
+
+class TestPoison:
+    def test_exception_poisons_completion(self, realm):
+        def boom():
+            raise ValueError("injected")
+        done = realm.spawn(boom)
+        realm.wait_for_quiescence(timeout=5)
+        assert done.is_poisoned()
+
+    def test_poison_skips_dependents(self, realm):
+        seen = []
+
+        def boom():
+            raise ValueError("injected")
+        bad = realm.spawn(boom)
+        skipped = realm.spawn(lambda: seen.append("never"), wait_on=bad)
+        realm.wait_for_quiescence(timeout=5)
+        assert skipped.is_poisoned()
+        assert seen == []
+
+    def test_poison_cascades_through_merge(self, realm):
+        def boom():
+            raise ValueError("injected")
+        bad = realm.spawn(boom)
+        good = realm.spawn(lambda: None)
+        seen = []
+        last = realm.spawn(lambda: seen.append(1),
+                           wait_on=Event.merge([bad, good]))
+        realm.wait_for_quiescence(timeout=5)
+        assert last.is_poisoned() and seen == []
+
+    def test_independent_work_survives_poison(self, realm):
+        seen = []
+
+        def boom():
+            raise ValueError("injected")
+        realm.spawn(boom)
+        realm.spawn(lambda: seen.append("ok"))
+        realm.wait_for_quiescence(timeout=5)
+        assert seen == ["ok"]
+
+
+class TestLifecycle:
+    def test_negative_procs_rejected(self):
+        with pytest.raises(RealmError):
+            RealmRuntime(num_procs=-1)
+
+    def test_spawn_after_shutdown_rejected(self):
+        rt = RealmRuntime(num_procs=0)
+        rt.shutdown()
+        with pytest.raises(RealmError):
+            rt.spawn(lambda: None)
+
+    def test_context_manager(self):
+        seen = []
+        with RealmRuntime(num_procs=2) as rt:
+            rt.spawn(lambda: seen.append(1))
+        assert seen == [1]
+
+    def test_quiescence_counts_deferred_ops(self, realm):
+        gate = realm.create_user_event()
+        realm.spawn(lambda: None, wait_on=gate)
+        with pytest.raises(RealmError):
+            realm.wait_for_quiescence(timeout=0.05)
+        gate.trigger()
+        realm.wait_for_quiescence(timeout=5)

@@ -1,0 +1,187 @@
+"""Tests for dependent partitioning operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import IndexSpace, RegionTree, RegionTreeError
+from repro.regions.dependent import (difference_partition, equal_partition,
+                                     image_partition, intersection_partition,
+                                     partition_by_field,
+                                     partition_by_predicate,
+                                     preimage_partition, union_partition)
+
+
+def make_tree(n=12):
+    return RegionTree(n, {"x": np.float64})
+
+
+class TestPartitionByField:
+    def test_colors_routed(self):
+        tree = make_tree(6)
+        part = partition_by_field(tree.root, "C",
+                                  np.array([0, 1, 0, 2, 1, 0]))
+        assert [list(s.space) for s in part] == [[0, 2, 5], [1, 4], [3]]
+        assert part.disjoint and part.complete
+
+    def test_negative_colors_excluded(self):
+        tree = make_tree(4)
+        part = partition_by_field(tree.root, "C", np.array([0, -1, 0, -1]))
+        assert part.disjoint and not part.complete
+        assert list(part[0].space) == [0, 2]
+
+    def test_explicit_num_colors(self):
+        tree = make_tree(4)
+        part = partition_by_field(tree.root, "C", np.array([0, 0, 0, 0]),
+                                  num_colors=3)
+        assert len(part) == 3
+        assert part[1].space.is_empty
+
+    def test_shape_validated(self):
+        tree = make_tree(4)
+        with pytest.raises(RegionTreeError):
+            partition_by_field(tree.root, "C", np.array([0, 1]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 3), min_size=4, max_size=12))
+    def test_property_disjoint_cover(self, colors):
+        tree = make_tree(len(colors))
+        part = partition_by_field(tree.root, "C", np.array(colors))
+        union = IndexSpace.union_all([s.space for s in part])
+        assert union == tree.root.space
+        assert sum(s.space.size for s in part) == len(colors)
+
+
+class TestImagePreimage:
+    def test_image_matches_ghosts(self):
+        """The circuit's ghost partition is the image of its wires."""
+        tree = make_tree(12)
+        part = image_partition(tree.root, "G",
+                               [np.array([3, 4, 4]), np.array([0, 7])])
+        assert list(part[0].space) == [3, 4]
+        assert list(part[1].space) == [0, 7]
+
+    def test_image_clips(self):
+        tree = make_tree(4)
+        part = image_partition(tree.root, "G", [np.array([1, 99])])
+        assert list(part[0].space) == [1]
+
+    def test_image_unclipped_validates(self):
+        tree = make_tree(4)
+        with pytest.raises(RegionTreeError):
+            image_partition(tree.root, "G", [np.array([99])], clip=False)
+
+    def test_preimage(self):
+        tree = make_tree(6)
+        through = equal_partition(tree.root, "P", 2)   # [0..2], [3..5]
+        src_tree = make_tree(4)
+        pointers = np.array([0, 5, 3, 1])
+        part = preimage_partition(src_tree.root, "Q", pointers, through)
+        assert list(part[0].space) == [0, 3]   # point into [0..2]
+        assert list(part[1].space) == [1, 2]   # point into [3..5]
+        assert part.disjoint
+
+    def test_preimage_shape_validated(self):
+        tree = make_tree(6)
+        through = equal_partition(tree.root, "P", 2)
+        with pytest.raises(RegionTreeError):
+            preimage_partition(tree.root, "Q", np.array([0]), through)
+
+
+class TestSetOperators:
+    def make_two(self, tree):
+        a = tree.root.create_partition(
+            "A", [IndexSpace.from_range(0, 8), IndexSpace.from_range(6, 12)])
+        b = tree.root.create_partition(
+            "B", [IndexSpace.from_range(4, 10), IndexSpace.from_range(0, 2)])
+        return a, b
+
+    def test_difference(self):
+        tree = make_tree(12)
+        a, b = self.make_two(tree)
+        part = difference_partition(tree.root, "D", a, b)
+        assert list(part[0].space) == [0, 1, 2, 3]
+        assert list(part[1].space) == [6, 7, 8, 9, 10, 11]
+
+    def test_intersection(self):
+        tree = make_tree(12)
+        a, b = self.make_two(tree)
+        part = intersection_partition(tree.root, "I", a, b)
+        assert list(part[0].space) == [4, 5, 6, 7]
+        assert part[1].space.is_empty
+
+    def test_union(self):
+        tree = make_tree(12)
+        a, b = self.make_two(tree)
+        part = union_partition(tree.root, "U", a, b)
+        assert list(part[0].space) == list(range(10))
+        assert list(part[1].space) == [0, 1] + list(range(6, 12))
+
+    def test_arity_checked(self):
+        tree = make_tree(12)
+        a, b = self.make_two(tree)
+        c = tree.root.create_partition("C", [tree.root.space])
+        with pytest.raises(RegionTreeError):
+            difference_partition(tree.root, "X", a, c)
+
+
+class TestEqualAndPredicate:
+    def test_equal_partition(self):
+        tree = make_tree(10)
+        part = equal_partition(tree.root, "E", 3)
+        assert part.disjoint and part.complete
+        assert [s.space.size for s in part] in ([3, 4, 3], [4, 3, 3],
+                                                [3, 3, 4])
+
+    def test_equal_partition_of_sparse_region(self):
+        tree = RegionTree(IndexSpace.from_indices([1, 5, 9, 13]),
+                          {"x": np.float64})
+        part = equal_partition(tree.root, "E", 2)
+        assert list(part[0].space) == [1, 5]
+        assert list(part[1].space) == [9, 13]
+
+    def test_equal_validates(self):
+        tree = make_tree(3)
+        with pytest.raises(RegionTreeError):
+            equal_partition(tree.root, "E", 5)
+
+    def test_predicates(self):
+        tree = make_tree(10)
+        part = partition_by_predicate(
+            tree.root, "Pr",
+            [lambda idx: idx % 2 == 0, lambda idx: idx >= 7])
+        assert list(part[0].space) == [0, 2, 4, 6, 8]
+        assert list(part[1].space) == [7, 8, 9]
+        assert part.is_aliased  # 8 is in both
+
+    def test_predicate_shape_checked(self):
+        tree = make_tree(4)
+        with pytest.raises(RegionTreeError):
+            partition_by_predicate(tree.root, "Pr",
+                                   [lambda idx: np.array([True])])
+
+
+class TestEndToEnd:
+    def test_circuit_ghosts_via_image(self):
+        """Rebuild Figure 2's structure with dependent operators and run
+        coherence over it."""
+        from repro import READ_WRITE, RegionRequirement, Runtime, reduce
+
+        tree = RegionTree(12, {"up": np.float64, "down": np.float64})
+        P = equal_partition(tree.root, "P", 3)
+        wires = [np.array([3, 4]), np.array([0, 7, 8]), np.array([0, 4, 11])]
+        G = image_partition(tree.root, "G", wires)
+        rt = Runtime(tree, {"up": np.zeros(12), "down": np.zeros(12)},
+                     algorithm="raycast")
+
+        def body(p, g):
+            p += 1.0
+            g += 2.0
+        for i in range(3):
+            rt.launch(f"t1[{i}]",
+                      [RegionRequirement(P[i], "up", READ_WRITE),
+                       RegionRequirement(G[i], "down", reduce("sum"))],
+                      body, point=i)
+        down = rt.read_field("down")
+        assert down[0] == 4.0   # ghost of pieces 1 and 2
+        assert down[4] == 4.0   # ghost of pieces 0 and 2

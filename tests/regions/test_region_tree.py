@@ -1,0 +1,155 @@
+"""Tests for fields, regions, partitions, and region trees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import (Extent, FieldSpace, IndexSpace, RegionTree,
+                   RegionTreeError)
+
+from tests.conftest import make_fig1_tree, random_trees
+
+
+class TestFieldSpace:
+    def test_basic(self):
+        fs = FieldSpace({"up": np.float64, "down": "int32"})
+        assert fs.names == ("up", "down")
+        assert fs["up"].dtype == np.float64
+        assert fs["down"].dtype == np.int32
+        assert "up" in fs and "sideways" not in fs
+        assert len(fs) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(RegionTreeError):
+            FieldSpace({})
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(RegionTreeError):
+            FieldSpace({"": np.float64})
+
+    def test_unknown_lookup(self):
+        fs = FieldSpace({"x": np.float64})
+        with pytest.raises(RegionTreeError):
+            fs["y"]
+
+
+class TestRegionTreeConstruction:
+    def test_from_count(self):
+        tree = RegionTree(10, {"x": np.float64})
+        assert tree.root.space.size == 10
+        assert tree.root.is_root and tree.root.depth == 0
+
+    def test_from_extent(self):
+        tree = RegionTree(Extent((4, 4)), {"x": np.float64})
+        assert tree.root.space.size == 16
+
+    def test_from_sparse_space(self):
+        space = IndexSpace.from_indices([2, 5, 9])
+        tree = RegionTree(space, {"x": np.float64})
+        assert tree.root.space == space
+
+    def test_invalid_roots(self):
+        with pytest.raises(RegionTreeError):
+            RegionTree(0, {"x": np.float64})
+        with pytest.raises(RegionTreeError):
+            RegionTree(IndexSpace.empty(), {"x": np.float64})
+        with pytest.raises(RegionTreeError):
+            RegionTree("eight", {"x": np.float64})
+
+
+class TestPartitions:
+    def test_fig1_shape(self):
+        tree, P, G = make_fig1_tree()
+        assert P.disjoint and P.complete and not P.is_aliased
+        assert not G.disjoint and not G.complete and G.is_aliased
+        assert len(P) == 3 and len(G) == 3
+        assert P[0].parent is tree.root
+        assert P[0].depth == 1
+        assert P[1].name == "N.P[1]"
+
+    def test_declared_properties_verified(self):
+        tree = RegionTree(8, {"x": np.float64})
+        halves = [IndexSpace.from_range(0, 4), IndexSpace.from_range(4, 8)]
+        with pytest.raises(RegionTreeError):
+            tree.root.create_partition("bad", halves, disjoint=False)
+        overlapping = [IndexSpace.from_range(0, 5), IndexSpace.from_range(4, 8)]
+        with pytest.raises(RegionTreeError):
+            tree.root.create_partition("bad2", overlapping, disjoint=True)
+        with pytest.raises(RegionTreeError):
+            tree.root.create_partition("bad3", [halves[0]], complete=True)
+
+    def test_subset_enforced(self):
+        tree = RegionTree(8, {"x": np.float64})
+        with pytest.raises(RegionTreeError):
+            tree.root.create_partition("oob", [IndexSpace.from_indices([9])])
+
+    def test_duplicate_name_rejected(self):
+        tree = RegionTree(8, {"x": np.float64})
+        tree.root.create_partition("P", [IndexSpace.from_range(0, 4)])
+        with pytest.raises(RegionTreeError):
+            tree.root.create_partition("P", [IndexSpace.from_range(4, 8)])
+
+    def test_empty_partition_rejected(self):
+        tree = RegionTree(8, {"x": np.float64})
+        with pytest.raises(RegionTreeError):
+            tree.root.create_partition("empty", [])
+
+    def test_lookup(self):
+        tree, P, G = make_fig1_tree()
+        assert tree.root.partition("P") is P
+        with pytest.raises(RegionTreeError):
+            tree.root.partition("Z")
+        assert set(tree.root.partitions) == {"P", "G"}
+
+    def test_subregions_overlapping(self):
+        _, P, G = make_fig1_tree()
+        hits = G.subregions_overlapping(P[0].space)  # elements 0..3
+        assert [g.name for g in hits] == [g.name for g in G
+                                          if g.space.overlaps(P[0].space)]
+        assert len(hits) == 3  # G[0] has 3, G[1] has 0, G[2] has 0,4
+
+
+class TestTraversal:
+    def test_path_from_root(self):
+        tree, P, _ = make_fig1_tree()
+        sub = P[1].create_partition(
+            "Q", [IndexSpace.from_range(4, 6), IndexSpace.from_range(6, 8)],
+            disjoint=True, complete=True)
+        path = sub[0].path_from_root()
+        assert [r.name for r in path] == ["N", "N.P[1]", "N.P[1].Q[0]"]
+        assert sub[0].depth == 2
+
+    def test_walk_covers_all(self):
+        tree, _, _ = make_fig1_tree()
+        assert {r.uid for r in tree.walk()} == {r.uid for r in tree.regions}
+        assert len(tree) == 7  # root + 3 P + 3 G
+
+    def test_descendants(self):
+        tree, P, G = make_fig1_tree()
+        names = {r.name for r in tree.root.descendants()}
+        assert len(names) == 6
+        assert not list(P[0].descendants())
+
+    def test_overlaps(self):
+        _, P, G = make_fig1_tree()
+        assert P[0].overlaps(G[1])    # G[1] contains 0
+        assert not P[1].overlaps(G[0] if False else P[2])
+
+    def test_find_disjoint_complete(self):
+        tree, P, _ = make_fig1_tree()
+        assert tree.find_disjoint_complete_partition() is P
+
+    def test_find_disjoint_complete_none(self):
+        tree = RegionTree(8, {"x": np.float64})
+        tree.root.create_partition("half", [IndexSpace.from_range(0, 4)])
+        assert tree.find_disjoint_complete_partition() is None
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_trees())
+    def test_random_trees_wellformed(self, tree):
+        for region in tree.walk():
+            assert region.space.issubset(tree.root.space)
+            for part in region.partitions.values():
+                for sub in part.subregions:
+                    assert sub.space.issubset(region.space)
+                    assert sub.parent is region

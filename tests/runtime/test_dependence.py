@@ -1,0 +1,113 @@
+"""Tests for dependence graphs, the oracle, and schedule metrics."""
+
+import pytest
+
+from repro import (READ, READ_WRITE, DependenceGraph, RegionRequirement,
+                   TaskStream, oracle_dependences, reduce)
+from repro.analysis import profile_graph
+from repro.runtime.dependence import schedule_levels
+
+from tests.conftest import make_fig1_tree
+
+
+def diamond() -> DependenceGraph:
+    g = DependenceGraph()
+    g.add_task(0, [])
+    g.add_task(1, [0])
+    g.add_task(2, [0])
+    g.add_task(3, [1, 2])
+    return g
+
+
+class TestDependenceGraph:
+    def test_add_and_query(self):
+        g = diamond()
+        assert g.dependences_of(3) == {1, 2}
+        assert g.task_ids == [0, 1, 2, 3]
+        assert len(g) == 4
+        assert g.edge_count() == 4
+
+    def test_forward_dependence_rejected(self):
+        g = DependenceGraph()
+        g.add_task(0, [])
+        with pytest.raises(ValueError):
+            g.add_task(1, [2])
+        with pytest.raises(ValueError):
+            g.add_task(1, [1])
+
+    def test_unknown_dependence_rejected(self):
+        g = DependenceGraph()
+        g.add_task(5, [])
+        with pytest.raises(ValueError):
+            g.add_task(6, [4])
+
+    def test_levels_and_critical_path(self):
+        g = diamond()
+        assert g.levels() == {0: 0, 1: 1, 2: 1, 3: 2}
+        assert g.critical_path_length() == 3
+        assert g.max_width() == 2
+        assert schedule_levels(g) == [[0], [1, 2], [3]]
+
+    def test_empty_graph(self):
+        g = DependenceGraph()
+        assert g.critical_path_length() == 0
+        assert g.max_width() == 0
+        assert schedule_levels(g) == []
+
+    def test_ancestors(self):
+        g = diamond()
+        assert g.ancestors_of(3) == {0, 1, 2}
+        assert g.ancestors_of(0) == set()
+
+    def test_transitive_containment(self):
+        g = DependenceGraph()
+        g.add_task(0, [])
+        g.add_task(1, [0])
+        g.add_task(2, [1])
+        # (0, 2) holds only transitively
+        assert g.contains_transitively([(0, 2)])
+        assert g.missing_pairs([(0, 2)]) == []
+        g2 = DependenceGraph()
+        g2.add_task(0, [])
+        g2.add_task(1, [])
+        assert not g2.contains_transitively([(0, 1)])
+        assert g2.missing_pairs([(0, 1)]) == [(0, 1)]
+
+    def test_profile(self):
+        p = profile_graph(diamond())
+        assert p.tasks == 4 and p.edges == 4
+        assert p.critical_path == 3 and p.max_width == 2
+        assert p.avg_parallelism == pytest.approx(4 / 3)
+        assert "4 tasks" in str(p)
+
+
+class TestOracle:
+    def test_read_read_not_dependent(self):
+        tree, P, _ = make_fig1_tree()
+        s = TaskStream()
+        s.append("a", [RegionRequirement(P[0], "up", READ)])
+        s.append("b", [RegionRequirement(P[0], "up", READ)])
+        assert oracle_dependences(list(s)) == set()
+
+    def test_write_chains(self):
+        tree, P, _ = make_fig1_tree()
+        s = TaskStream()
+        s.append("a", [RegionRequirement(P[0], "up", READ_WRITE)])
+        s.append("b", [RegionRequirement(P[0], "up", READ_WRITE)])
+        s.append("c", [RegionRequirement(P[1], "up", READ_WRITE)])
+        assert oracle_dependences(list(s)) == {(0, 1)}
+
+    def test_cross_partition_overlap(self):
+        tree, P, G = make_fig1_tree()
+        s = TaskStream()
+        s.append("w", [RegionRequirement(P[0], "up", READ_WRITE)])
+        s.append("g", [RegionRequirement(G[0], "up", reduce("sum"))])
+        # G[0] = {3,4} overlaps P[0] = {0..3}
+        assert oracle_dependences(list(s)) == {(0, 1)}
+
+    def test_field_isolation(self):
+        tree, P, _ = make_fig1_tree()
+        s = TaskStream()
+        s.append("a", [RegionRequirement(P[0], "up", READ_WRITE)])
+        s.append("b", [RegionRequirement(P[0], "down", READ_WRITE)])
+        assert oracle_dependences(list(s)) == set()

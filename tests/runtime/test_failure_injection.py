@@ -1,0 +1,110 @@
+"""Failure injection: a task body that raises must not corrupt coherence.
+
+The runtime commits a task's effects only after its body completes, so an
+aborting body must leave every algorithm's state *observably unchanged*:
+subsequent reads see the pre-failure values, and subsequent tasks analyze
+against the pre-failure history.  (Materialize-time structural changes —
+refinements, hoisted composite views, dominating-write reshaping — may
+remain, but they are value-preserving.)
+"""
+
+import numpy as np
+import pytest
+
+from repro import (ALGORITHMS, READ, READ_WRITE, IndexSpace,
+                   RegionRequirement, RegionTree, Runtime, reduce)
+
+
+class BodyFailed(RuntimeError):
+    pass
+
+
+def boom(*buffers):
+    raise BodyFailed("injected")
+
+
+@pytest.fixture(params=list(ALGORITHMS))
+def runtime(request):
+    tree = RegionTree(16, {"x": np.int64})
+    tree.root.create_partition(
+        "P", [IndexSpace.from_range(i * 4, (i + 1) * 4) for i in range(4)],
+        disjoint=True, complete=True)
+    rt = Runtime(tree, {"x": np.arange(16, dtype=np.int64)},
+                 algorithm=request.param)
+    return rt
+
+
+def piece(rt, i):
+    return rt.tree.root.partition("P")[i]
+
+
+class TestAbortedBodies:
+    def test_aborted_write_preserves_values(self, runtime):
+        before = runtime.read_field("x")
+        with pytest.raises(BodyFailed):
+            runtime.launch("bad",
+                           [RegionRequirement(piece(runtime, 1), "x",
+                                              READ_WRITE)], boom)
+        assert np.array_equal(runtime.read_field("x"), before)
+
+    def test_aborted_reduction_preserves_values(self, runtime):
+        before = runtime.read_field("x")
+        with pytest.raises(BodyFailed):
+            runtime.launch("bad",
+                           [RegionRequirement(piece(runtime, 2), "x",
+                                              reduce("sum"))], boom)
+        assert np.array_equal(runtime.read_field("x"), before)
+
+    def test_aborted_task_not_recorded(self, runtime):
+        with pytest.raises(BodyFailed):
+            runtime.launch("bad",
+                           [RegionRequirement(piece(runtime, 0), "x",
+                                              READ_WRITE)], boom)
+        assert len(runtime.tasks) == 0
+        assert len(runtime.graph) == 0
+
+    def test_runtime_usable_after_failure(self, runtime):
+        with pytest.raises(BodyFailed):
+            runtime.launch("bad",
+                           [RegionRequirement(piece(runtime, 0), "x",
+                                              READ_WRITE)], boom)
+
+        def write9(arr):
+            arr[:] = 9
+        task = runtime.launch(
+            "good", [RegionRequirement(piece(runtime, 0), "x", READ_WRITE)],
+            write9)
+        assert task.task_id == 0
+        out = runtime.read_field("x")
+        assert list(out[:4]) == [9] * 4
+        assert list(out[4:]) == list(range(4, 16))
+
+    def test_task_ids_stay_dense_after_failure(self, runtime):
+        def ok(arr):
+            arr += 1
+        runtime.launch("a", [RegionRequirement(piece(runtime, 0), "x",
+                                               READ_WRITE)], ok)
+        with pytest.raises(BodyFailed):
+            runtime.launch("bad", [RegionRequirement(piece(runtime, 1), "x",
+                                                     READ_WRITE)], boom)
+        t = runtime.launch("b", [RegionRequirement(piece(runtime, 1), "x",
+                                                   READ_WRITE)], ok)
+        assert t.task_id == 1
+        assert [x.task_id for x in runtime.tasks] == [0, 1]
+
+    def test_mid_stream_failure_coherent_with_reference(self, runtime):
+        """Run a stream with one failing task; the surviving prefix+suffix
+        must equal the same stream executed eagerly without the failure."""
+        def add(k):
+            def body(arr):
+                arr += k
+            return body
+        runtime.launch("w0", [RegionRequirement(piece(runtime, 0), "x",
+                                                READ_WRITE)], add(10))
+        with pytest.raises(BodyFailed):
+            runtime.launch("bad", [RegionRequirement(piece(runtime, 0), "x",
+                                                     reduce("sum"))], boom)
+        runtime.launch("w1", [RegionRequirement(piece(runtime, 0), "x",
+                                                reduce("sum"))], add(100))
+        out = runtime.read_field("x")
+        assert list(out[:4]) == [110, 111, 112, 113]

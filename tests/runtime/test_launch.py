@@ -1,0 +1,104 @@
+"""Tests for index launches with projection functors."""
+
+import numpy as np
+import pytest
+
+from repro import (READ, READ_WRITE, Runtime, TaskError, reduce)
+from repro.runtime.launch import (IndexLaunchSpec, ProjectedRequirement,
+                                  identity_projection, partition_projection)
+
+from tests.conftest import fig1_initial, make_fig1_tree
+
+
+class TestProjections:
+    def test_identity(self):
+        tree, P, _ = make_fig1_tree()
+        proj = identity_projection(tree.root)
+        assert proj(0) is tree.root and proj(7) is tree.root
+
+    def test_partition_default(self):
+        tree, P, _ = make_fig1_tree()
+        proj = partition_projection(P)
+        assert proj(1) is P[1]
+
+    def test_partition_with_index_map(self):
+        tree, P, _ = make_fig1_tree()
+        proj = partition_projection(P, lambda i: (i + 1) % 3)
+        assert proj(2) is P[0]
+
+    def test_projected_requirement_at(self):
+        tree, P, _ = make_fig1_tree()
+        pr = ProjectedRequirement(partition_projection(P), "up", READ)
+        req = pr.at(2)
+        assert req.region is P[2] and req.field == "up"
+
+
+class TestIndexLaunchSpec:
+    def test_requires_requirements(self):
+        with pytest.raises(TaskError):
+            IndexLaunchSpec("empty", [])
+
+    def test_fig1_as_spec(self):
+        tree, P, G = make_fig1_tree()
+        rt = Runtime(tree, fig1_initial(tree))
+
+        def t1(p, g):
+            p += 1
+            g += 2
+        spec = IndexLaunchSpec(
+            "t1",
+            [ProjectedRequirement(partition_projection(P), "up",
+                                  READ_WRITE),
+             ProjectedRequirement(partition_projection(G), "down",
+                                  reduce("sum"))],
+            body_factory=lambda i: t1)
+        tasks = spec.launch(rt, range(3))
+        assert [t.name for t in tasks] == ["t1[0]", "t1[1]", "t1[2]"]
+        assert [t.point for t in tasks] == [0, 1, 2]
+        up = rt.read_field("up")
+        assert list(up) == [i + 1 for i in range(12)]
+
+    def test_ring_shift_projection(self):
+        """A neighbour-exchange pattern: each point reads its right
+        neighbour's piece — the projection functor shape Legion uses for
+        explicit ghost exchanges."""
+        tree, P, _ = make_fig1_tree()
+        rt = Runtime(tree, fig1_initial(tree))
+
+        def w(arr):
+            arr[:] = 5
+        # write all pieces, then read the shifted pieces: each read must
+        # depend on the shifted write
+        writes = IndexLaunchSpec(
+            "w", [ProjectedRequirement(partition_projection(P), "up",
+                                       READ_WRITE)],
+            body_factory=lambda i: w).launch(rt, range(3))
+        reads = IndexLaunchSpec(
+            "r", [ProjectedRequirement(
+                partition_projection(P, lambda i: (i + 1) % 3), "up",
+                READ)]).launch(rt, range(3))
+        for read in reads:
+            want_writer = writes[(read.point + 1) % 3].task_id
+            assert rt.graph.dependences_of(read.task_id) == {want_writer}
+
+    def test_broadcast_argument(self):
+        """An identity-projected read of the root is shared by all
+        points, serializing against nothing but writers."""
+        tree, P, _ = make_fig1_tree()
+        rt = Runtime(tree, fig1_initial(tree))
+        spec = IndexLaunchSpec(
+            "observe",
+            [ProjectedRequirement(identity_projection(tree.root), "up",
+                                  READ)])
+        tasks = spec.launch(rt, range(3))
+        for t in tasks:
+            assert rt.graph.dependences_of(t.task_id) == set()
+
+    def test_bodiless(self):
+        tree, P, _ = make_fig1_tree()
+        rt = Runtime(tree, fig1_initial(tree))
+        spec = IndexLaunchSpec(
+            "noop", [ProjectedRequirement(partition_projection(P), "up",
+                                          READ)])
+        tasks = spec.launch(rt, range(3))
+        assert all(t.body is None for t in tasks)

@@ -1,0 +1,123 @@
+"""Tests for tasks, region requirements, and the aliasing restriction."""
+
+import numpy as np
+import pytest
+
+from repro import (READ, READ_WRITE, RegionRequirement, TaskError,
+                   TaskStream, reduce)
+from repro.runtime.task import Task, validate_requirements
+
+from tests.conftest import make_fig1_tree
+
+
+class TestRegionRequirement:
+    def test_unknown_field_rejected(self):
+        tree, P, _ = make_fig1_tree()
+        with pytest.raises(TaskError):
+            RegionRequirement(P[0], "sideways", READ)
+
+    def test_interferes(self):
+        tree, P, G = make_fig1_tree()
+        a = RegionRequirement(P[0], "up", READ_WRITE)
+        assert a.interferes(RegionRequirement(G[0], "up", READ))  # overlap at 3
+        assert not a.interferes(RegionRequirement(P[1], "up", READ_WRITE))
+        assert not a.interferes(RegionRequirement(P[0], "down", READ_WRITE))
+        b = RegionRequirement(P[0], "up", READ)
+        assert not b.interferes(RegionRequirement(G[0], "up", READ))
+
+
+class TestTaskValidation:
+    def test_requires_requirements(self):
+        with pytest.raises(TaskError):
+            Task(0, "empty", ())
+
+    def test_aliased_interfering_args_rejected(self):
+        """Paper section 4: region arguments must be disjoint unless both
+        read or both reduce with the same operator."""
+        tree, P, G = make_fig1_tree()
+        with pytest.raises(TaskError):
+            validate_requirements([
+                RegionRequirement(P[0], "up", READ_WRITE),
+                RegionRequirement(G[0], "up", READ)])
+
+    def test_aliased_reads_allowed(self):
+        tree, P, G = make_fig1_tree()
+        validate_requirements([
+            RegionRequirement(P[0], "up", READ),
+            RegionRequirement(G[0], "up", READ)])
+
+    def test_aliased_same_reductions_allowed(self):
+        tree, P, G = make_fig1_tree()
+        validate_requirements([
+            RegionRequirement(P[0], "up", reduce("sum")),
+            RegionRequirement(G[0], "up", reduce("sum"))])
+
+    def test_aliased_different_reductions_rejected(self):
+        tree, P, G = make_fig1_tree()
+        with pytest.raises(TaskError):
+            validate_requirements([
+                RegionRequirement(P[0], "up", reduce("sum")),
+                RegionRequirement(G[0], "up", reduce("max"))])
+
+    def test_different_fields_always_allowed(self):
+        tree, P, G = make_fig1_tree()
+        validate_requirements([
+            RegionRequirement(P[0], "up", READ_WRITE),
+            RegionRequirement(G[0], "down", READ_WRITE)])
+
+    def test_mixed_trees_rejected(self):
+        tree1, P1, _ = make_fig1_tree()
+        tree2, P2, _ = make_fig1_tree()
+        with pytest.raises(TaskError):
+            validate_requirements([
+                RegionRequirement(P1[0], "up", READ),
+                RegionRequirement(P2[1], "up", READ)])
+
+
+class TestTaskStream:
+    def test_dense_ids(self):
+        tree, P, _ = make_fig1_tree()
+        stream = TaskStream()
+        t0 = stream.append("a", [RegionRequirement(P[0], "up", READ)])
+        t1 = stream.append("b", [RegionRequirement(P[1], "up", READ)])
+        assert (t0.task_id, t1.task_id) == (0, 1)
+        assert len(stream) == 2
+        assert stream[1] is t1
+        assert [t.name for t in stream] == ["a", "b"]
+
+    def test_extend_from_renumbers(self):
+        tree, P, _ = make_fig1_tree()
+        a, b = TaskStream(), TaskStream()
+        a.append("x", [RegionRequirement(P[0], "up", READ)])
+        b.append("y", [RegionRequirement(P[1], "up", READ)])
+        a.extend_from(b)
+        assert [t.task_id for t in a] == [0, 1]
+        assert a[1].name == "y"
+
+
+class TestFieldGroups:
+    def test_for_fields_expands(self):
+        tree, P, _ = make_fig1_tree()
+        reqs = RegionRequirement.for_fields(P[0], ("up", "down"), READ_WRITE)
+        assert [r.field for r in reqs] == ["up", "down"]
+        assert all(r.region is P[0] for r in reqs)
+        validate_requirements(reqs)
+
+    def test_for_fields_empty_rejected(self):
+        tree, P, _ = make_fig1_tree()
+        with pytest.raises(TaskError):
+            RegionRequirement.for_fields(P[0], (), READ_WRITE)
+
+    def test_for_fields_in_launch(self):
+        import numpy as np
+        from repro import Runtime
+        from tests.conftest import fig1_initial
+        tree, P, _ = make_fig1_tree()
+        rt = Runtime(tree, fig1_initial(tree))
+
+        def body(up, down):
+            up += 1
+            down[:] = up
+        rt.launch("both", RegionRequirement.for_fields(
+            P[0], ("up", "down"), READ_WRITE), body)
+        assert list(rt.read_field("down")[:4]) == [1, 2, 3, 4]

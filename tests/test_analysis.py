@@ -1,0 +1,60 @@
+"""Tests for the validation and metrics helpers."""
+
+import numpy as np
+import pytest
+
+from repro import (READ_WRITE, CoherenceError, IndexSpace, RegionRequirement,
+                   RegionTree, TaskStream)
+from repro.analysis import compare_algorithms
+
+
+def make_program():
+    tree = RegionTree(8, {"x": np.int64})
+    halves = tree.root.create_partition(
+        "H", [IndexSpace.from_range(0, 4), IndexSpace.from_range(4, 8)],
+        disjoint=True, complete=True)
+    stream = TaskStream()
+
+    def w(arr):
+        arr[:] = 7
+    stream.append("w", [RegionRequirement(halves[0], "x", READ_WRITE)], w)
+    return tree, {"x": np.zeros(8, dtype=np.int64)}, stream
+
+
+class TestCompareAlgorithms:
+    def test_returns_run_per_algorithm(self):
+        tree, initial, stream = make_program()
+        runs = compare_algorithms(tree, initial, stream)
+        assert set(runs) == {"painter", "tree_painter", "warnock",
+                             "raycast", "zbuffer"}
+        for run in runs.values():
+            assert list(run.fields["x"][:4]) == [7] * 4
+            assert len(run.graph) == 1
+
+    def test_subset_of_algorithms(self):
+        tree, initial, stream = make_program()
+        runs = compare_algorithms(tree, initial, stream,
+                                  algorithms=["raycast"])
+        assert set(runs) == {"raycast"}
+
+    def test_detects_value_divergence(self):
+        """A deliberately broken body that behaves differently per replay
+        must be caught."""
+        tree = RegionTree(4, {"x": np.int64})
+        part = tree.root.create_partition(
+            "P", [IndexSpace.from_range(0, 4)])
+        stream = TaskStream()
+        calls = {"n": 0}
+
+        def nondeterministic(arr):
+            calls["n"] += 1
+            arr[:] = calls["n"]
+        stream.append("bad", [RegionRequirement(part[0], "x", READ_WRITE)],
+                      nondeterministic)
+        with pytest.raises(CoherenceError, match="diverges"):
+            compare_algorithms(tree, {"x": np.zeros(4, dtype=np.int64)},
+                               stream)
+
+    def test_float_tolerance_mode(self):
+        tree, initial, stream = make_program()
+        compare_algorithms(tree, {"x": np.zeros(8)}, stream, exact=False)

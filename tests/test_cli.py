@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "N [12 elems]" in out
+        assert "wave" in out
+        assert "up   =" in out
+
+
+class TestValidate:
+    def test_validate_circuit(self, capsys):
+        assert main(["validate", "--app", "circuit", "--pieces", "3",
+                     "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "raycast" in out and "values ✓" in out
+        assert "agree with the sequential reference" in out
+
+    def test_validate_pennant(self, capsys):
+        assert main(["validate", "--app", "pennant", "--pieces", "2",
+                     "--iterations", "1"]) == 0
+
+
+class TestFigure:
+    def test_small_figure(self, capsys):
+        assert main(["figure", "fig16", "--max-nodes", "4",
+                     "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# fig16")
+        assert "raycast_dcr" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestArtifact:
+    def test_table(self, capsys):
+        assert main(["artifact", "--app", "stencil", "--reps", "2"]) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert lines[0].split("\t")[0] == "system"
+        # 5 systems × 2 nodes × 2 reps
+        assert len(lines) == 1 + 5 * 2 * 2
+        assert any(line.startswith("neweqcr_dcr") for line in lines)
+
+
+class TestInspect:
+    def test_eqset_dump(self, capsys):
+        assert main(["inspect", "--app", "circuit", "--algorithm",
+                     "raycast", "--pieces", "3", "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "equivalence sets" in out
+        assert "metered operations:" in out
+
+    def test_painter_dump(self, capsys):
+        assert main(["inspect", "--app", "circuit", "--algorithm",
+                     "tree_painter", "--pieces", "2",
+                     "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "history items" in out
+
+    def test_dot_output(self, capsys):
+        assert main(["inspect", "--app", "stencil", "--pieces", "2",
+                     "--iterations", "1", "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestInspectZBuffer:
+    def test_zbuffer_dump(self, capsys):
+        from repro.cli import main
+        assert main(["inspect", "--app", "circuit", "--algorithm",
+                     "zbuffer", "--pieces", "2", "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "interned access sets" in out

@@ -1,0 +1,65 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=240)
+    assert result.returncode == 0, \
+        f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    return result.stdout
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "algorithm_comparison.py", "stencil_demo.py",
+            "weak_scaling.py", "custom_reduction.py",
+            "traced_parallel_heat.py", "distributed_demo.py"} <= names
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "final field values" in out
+    assert "wave 0: t1[0], t1[1], t1[2]" in out
+
+
+def test_algorithm_comparison():
+    out = run_example("algorithm_comparison.py", "4")
+    assert "all algorithms match the sequential reference" in out
+    assert "raycast" in out and "eqsets" in out
+
+
+def test_stencil_demo():
+    out = run_example("stencil_demo.py", "4", "4")
+    assert "validated 4 iterations against direct NumPy" in out
+
+
+def test_weak_scaling():
+    out = run_example("weak_scaling.py", "4")
+    assert "# fig13" in out and "# fig16" in out
+
+
+def test_custom_reduction():
+    out = run_example("custom_reduction.py")
+    assert "parallel waves" in out
+    assert "serialized" in out
+
+
+def test_distributed_demo():
+    out = run_example("distributed_demo.py", "3")
+    assert "replicas agree" in out
+    assert "sequential reference ✓" in out
+
+
+def test_traced_parallel_heat():
+    out = run_example("traced_parallel_heat.py", "4", "6")
+    assert "1 capture" in out
+    assert "validated 6 diffusion steps" in out

@@ -1,0 +1,61 @@
+"""Tests for privileges and the interference relation (section 4)."""
+
+import pytest
+
+from repro import READ, READ_WRITE, Privilege, PrivilegeError, interferes, \
+    reduce
+from repro.privileges import PrivilegeKind
+from repro.reductions import SUM
+
+
+class TestConstruction:
+    def test_constants(self):
+        assert READ.is_read and not READ.is_write and not READ.is_reduce
+        assert READ_WRITE.is_write and not READ_WRITE.is_read
+
+    def test_reduce_factory(self):
+        r = reduce("sum")
+        assert r.is_reduce and r.redop is SUM
+        assert reduce(SUM).redop is SUM
+
+    def test_reduce_requires_operator(self):
+        with pytest.raises(PrivilegeError):
+            Privilege(PrivilegeKind.REDUCE)
+
+    def test_non_reduce_rejects_operator(self):
+        with pytest.raises(PrivilegeError):
+            Privilege(PrivilegeKind.READ, SUM)
+
+    def test_repr(self):
+        assert repr(READ) == "read"
+        assert repr(READ_WRITE) == "read-write"
+        assert repr(reduce("sum")) == "reduce(sum)"
+
+
+class TestInterference:
+    """Section 4: the only non-interfering combinations are read/read and
+    reduce_f/reduce_f with the same operator."""
+
+    def test_read_read_ok(self):
+        assert not interferes(READ, READ)
+
+    def test_same_reduction_ok(self):
+        assert not interferes(reduce("sum"), reduce("sum"))
+
+    def test_different_reductions_interfere(self):
+        assert interferes(reduce("sum"), reduce("max"))
+
+    @pytest.mark.parametrize("other", [READ, reduce("sum"), READ_WRITE])
+    def test_write_interferes_with_everything(self, other):
+        assert interferes(READ_WRITE, other)
+        assert interferes(other, READ_WRITE)
+
+    def test_read_vs_reduce_interferes(self):
+        assert interferes(READ, reduce("sum"))
+        assert interferes(reduce("sum"), READ)
+
+    def test_symmetry(self):
+        privs = [READ, READ_WRITE, reduce("sum"), reduce("max")]
+        for a in privs:
+            for b in privs:
+                assert interferes(a, b) == interferes(b, a)

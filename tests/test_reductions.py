@@ -1,0 +1,72 @@
+"""Tests for the reduction-operator registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import PrivilegeError, ReductionOp, get_reduction, \
+    known_reductions, register_reduction
+from repro.reductions import BITAND, BITOR, MAX, MIN, PROD, SUM
+
+
+class TestBuiltins:
+    def test_registry_contents(self):
+        assert {"sum", "prod", "min", "max", "bitor", "bitand"} <= \
+            set(known_reductions())
+
+    def test_lookup(self):
+        assert get_reduction("sum") is SUM
+        assert get_reduction("min") is MIN
+
+    def test_unknown_raises(self):
+        with pytest.raises(PrivilegeError):
+            get_reduction("xor")
+
+    @pytest.mark.parametrize("op", [SUM, PROD, MAX, MIN])
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=8))
+    def test_identity_law(self, op, xs):
+        arr = np.asarray(xs)
+        ident = op.identity_array(arr.size)
+        assert np.array_equal(op.fold(arr, ident), arr)
+
+    @pytest.mark.parametrize("op", [BITOR, BITAND])
+    @given(st.lists(st.integers(0, 2**20), min_size=1, max_size=8))
+    def test_bitwise_identity_law(self, op, xs):
+        arr = np.asarray(xs, dtype=np.int64)
+        ident = op.identity_array(arr.size, np.int64)
+        assert np.array_equal(op.fold(arr, ident), arr)
+
+    def test_fold_semantics(self):
+        a = np.array([1.0, 5.0, -2.0])
+        b = np.array([4.0, 2.0, -3.0])
+        assert np.array_equal(SUM.fold(a, b), [5.0, 7.0, -5.0])
+        assert np.array_equal(PROD.fold(a, b), [4.0, 10.0, 6.0])
+        assert np.array_equal(MIN.fold(a, b), [1.0, 2.0, -3.0])
+        assert np.array_equal(MAX.fold(a, b), [4.0, 5.0, -2.0])
+
+    def test_identity_array_dtype(self):
+        out = SUM.identity_array(3, np.int64)
+        assert out.dtype == np.int64 and list(out) == [0, 0, 0]
+
+
+class TestRegistration:
+    def test_duplicate_rejected(self):
+        with pytest.raises(PrivilegeError):
+            register_reduction(ReductionOp("sum", lambda a, b: a + b, 0))
+
+    def test_replace_allowed(self):
+        op = ReductionOp("sum", lambda a, b: a + b, 0)
+        register_reduction(op, replace=True)
+        assert get_reduction("sum") is op
+        # restore the canonical instance for other tests
+        register_reduction(SUM, replace=True)
+
+    def test_custom_operator(self):
+        name = "test_absmax"
+        if name not in known_reductions():
+            register_reduction(ReductionOp(
+                name, lambda a, b: np.maximum(np.abs(a), np.abs(b)), 0))
+        op = get_reduction(name)
+        assert np.array_equal(
+            op.fold(np.array([-5.0, 1.0]), np.array([3.0, -2.0])),
+            [5.0, 2.0])

@@ -1,0 +1,96 @@
+"""Tests for the rendering helpers."""
+
+import numpy as np
+
+from repro import Runtime
+from repro.analysis.render import (dependence_dot, render_eqset_map,
+                                   render_machine_timeline,
+                                   render_region_tree, render_waves,
+                                   summarize_costs)
+
+from tests.conftest import fig1_initial, fig1_stream, make_fig1_tree
+
+
+class TestRegionTreeRendering:
+    def test_structure_present(self):
+        tree, P, G = make_fig1_tree()
+        text = render_region_tree(tree)
+        assert "N [12 elems]" in text
+        assert "◬ P (disjoint+complete)" in text
+        assert "◬ G (aliased+incomplete)" in text
+        assert "N.P[0] [4 elems]" in text
+        assert text.count("◬") == 2
+
+    def test_nested(self):
+        tree, P, _ = make_fig1_tree()
+        from repro import IndexSpace
+        P[0].create_partition("Q", [IndexSpace.from_range(0, 2)])
+        text = render_region_tree(tree)
+        assert "N.P[0].Q[0]" in text
+
+
+class TestScheduleRendering:
+    def setup_method(self):
+        tree, P, G = make_fig1_tree()
+        self.rt = Runtime(tree, fig1_initial(tree))
+        self.rt.replay(fig1_stream(tree, P, G, 1))
+
+    def test_waves(self):
+        text = render_waves(self.rt.tasks, self.rt.graph)
+        lines = text.splitlines()
+        assert lines[0].startswith("wave   0: t1[0], t1[1], t1[2]")
+        assert len(lines) == 2
+
+    def test_dot(self):
+        dot = dependence_dot(self.rt.tasks, self.rt.graph, title="fig5")
+        assert dot.startswith('digraph "fig5"')
+        assert dot.rstrip().endswith("}")
+        assert '"t0" [label="t1[0]"];' in dot
+        # an edge from phase 1 into phase 2
+        assert any(f'"t{a}" -> "t{b}";' in dot
+                   for a in (0, 1, 2) for b in (3, 4, 5))
+        assert "rank=same" in dot
+
+
+class TestEqsetMap:
+    def test_map_covers_all_elements(self):
+        tree, P, G = make_fig1_tree()
+        rt = Runtime(tree, fig1_initial(tree), algorithm="raycast")
+        rt.replay(fig1_stream(tree, P, G, 1))
+        text = render_eqset_map(rt.algorithm_for("up"))
+        assert len(text) == 12
+        assert "?" not in text
+
+    def test_wrapping(self):
+        tree, P, G = make_fig1_tree()
+        rt = Runtime(tree, fig1_initial(tree), algorithm="warnock")
+        rt.replay(fig1_stream(tree, P, G, 1))
+        text = render_eqset_map(rt.algorithm_for("up"), width=4)
+        assert len(text.splitlines()) == 3
+
+    def test_distinct_sets_distinct_glyphs(self):
+        tree, P, G = make_fig1_tree()
+        rt = Runtime(tree, fig1_initial(tree), algorithm="raycast")
+        rt.replay(fig1_stream(tree, P, G, 1))
+        text = render_eqset_map(rt.algorithm_for("up"))
+        n_sets = rt.algorithm_for("up").num_equivalence_sets()
+        assert len(set(text)) == n_sets
+
+
+class TestMisc:
+    def test_timeline(self):
+        text = render_machine_timeline(np.array([1.0, 0.5, 0.0]), scale=10)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+        assert lines[2].count("#") == 0
+
+    def test_timeline_empty(self):
+        assert render_machine_timeline(np.array([])) == ""
+
+    def test_cost_summary(self):
+        text = summarize_costs({"entries_scanned": 1200, "splits": 3})
+        assert text.splitlines()[0].startswith("entries_scanned")
+        assert "1,200" in text
+        assert summarize_costs({}) == "(no metered operations)"

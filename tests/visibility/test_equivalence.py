@@ -1,0 +1,256 @@
+"""The central correctness battery: every algorithm == the reference.
+
+Section 3.1 defines coherence via the blending function ``B`` applied in
+global-clock order — which is exactly what the sequential reference
+executor computes.  These tests replay scripted and randomly generated task
+streams through all four algorithm implementations and require
+
+1. bit-exact final field values (integer dtypes), and
+2. dependence soundness: every oracle interference pair covered by a path
+   in the reported dependence graph.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import (ALGORITHMS, READ, READ_WRITE, IndexSpace,
+                   RegionRequirement, RegionTree, Runtime, TaskStream,
+                   oracle_dependences, reduce)
+from repro.analysis import compare_algorithms
+from repro.runtime.dependence import schedule_levels
+
+from tests.conftest import (fig1_initial, fig1_stream, make_fig1_tree,
+                            random_multifield_programs, random_programs)
+
+ALL = list(ALGORITHMS)
+
+
+class TestFig1Program:
+    """The running example of the paper (Figures 1 and 5)."""
+
+    def test_all_algorithms_match_reference(self):
+        tree, P, G = make_fig1_tree()
+        stream = fig1_stream(tree, P, G, iterations=3)
+        compare_algorithms(tree, fig1_initial(tree), stream)
+
+    @pytest.mark.parametrize("algo", ALL)
+    def test_fig5_parallel_schedule(self, algo):
+        """Section 3.2: tasks t0–2, t3–5, t6–8 form three parallel waves."""
+        tree, P, G = make_fig1_tree()
+        stream = fig1_stream(tree, P, G, iterations=1)
+        # add the second loop iteration's first phase: tasks t6-t8
+        def t1_body(pup, gdown):
+            pup += 1
+            gdown += 2
+        for i in range(3):
+            stream.append(f"t1b[{i}]",
+                          [RegionRequirement(P[i], "up", READ_WRITE),
+                           RegionRequirement(G[i], "down", reduce("sum"))],
+                          t1_body)
+        rt = Runtime(tree, fig1_initial(tree), algorithm=algo)
+        rt.replay(stream)
+        waves = schedule_levels(rt.graph)
+        assert waves == [[0, 1, 2], [3, 4, 5], [6, 7, 8]]
+
+    @pytest.mark.parametrize("algo", ALL)
+    def test_fig5_t6_dependences(self, algo):
+        """t6 depends on t3–5 (reads values reduced through the ghost
+        partition); t3 depends on t0–2 — section 3.2's worked example."""
+        tree, P, G = make_fig1_tree()
+        stream = fig1_stream(tree, P, G, iterations=2)
+        rt = Runtime(tree, fig1_initial(tree), algorithm=algo)
+        rt.replay(stream)
+        # t6 = first t1 of iteration 2 (rw P[0].up, reduce G[0].down)
+        t6_deps = rt.graph.ancestors_of(6)
+        assert {3, 4, 5} <= t6_deps
+        t3_deps = rt.graph.ancestors_of(3)
+        assert {0, 1, 2} <= t3_deps
+
+    def test_oracle_matches_paper_narrative(self):
+        tree, P, G = make_fig1_tree()
+        stream = fig1_stream(tree, P, G, iterations=1)
+        oracle = oracle_dependences(list(stream))
+        # within each phase no dependences
+        for phase in ([0, 1, 2], [3, 4, 5]):
+            for a in phase:
+                for b in phase:
+                    assert (a, b) not in oracle
+        # t2 phase reads/writes data produced by t1 phase
+        assert any((a, b) in oracle for a in (0, 1, 2) for b in (3, 4, 5))
+
+
+class TestScriptedCases:
+    """Hand-written cases covering specific interleavings."""
+
+    def make_tree(self, n=16):
+        tree = RegionTree(n, {"x": np.int64})
+        quarters = tree.root.create_partition(
+            "Q", [IndexSpace.from_range(i * (n // 4), (i + 1) * (n // 4))
+                  for i in range(4)], disjoint=True, complete=True)
+        return tree, quarters
+
+    def run(self, tree, stream):
+        initial = {"x": np.arange(tree.root.space.size, dtype=np.int64)}
+        return compare_algorithms(tree, initial, stream)
+
+    def test_write_then_read_root(self):
+        tree, Q = self.make_tree()
+        stream = TaskStream()
+
+        def bump(arr):
+            arr += 100
+        stream.append("w", [RegionRequirement(Q[1], "x", READ_WRITE)], bump)
+        stream.append("r", [RegionRequirement(tree.root, "x", READ)], None)
+        runs = self.run(tree, stream)
+        for run in runs.values():
+            assert run.graph.dependences_of(1) == {0}
+
+    def test_reduction_folded_across_write(self):
+        """Lazy reductions must fold onto the latest write, not the initial
+        values."""
+        tree, Q = self.make_tree()
+        stream = TaskStream()
+
+        def write7(arr):
+            arr[:] = 7
+
+        def add3(arr):
+            arr += 3
+        stream.append("w", [RegionRequirement(Q[0], "x", READ_WRITE)], write7)
+        stream.append("r+", [RegionRequirement(Q[0], "x", reduce("sum"))],
+                      add3)
+        stream.append("obs", [RegionRequirement(Q[0], "x", READ)], None)
+        runs = self.run(tree, stream)
+        rt = runs["raycast"].runtime
+        assert list(rt.read_field("x")[:4]) == [10, 10, 10, 10]
+
+    def test_two_reductions_then_read(self):
+        tree, Q = self.make_tree()
+        stream = TaskStream()
+
+        def add(k):
+            def body(arr):
+                arr += k
+            return body
+        stream.append("r1", [RegionRequirement(Q[0], "x", reduce("sum"))],
+                      add(5))
+        stream.append("r2", [RegionRequirement(Q[0], "x", reduce("sum"))],
+                      add(7))
+        stream.append("obs", [RegionRequirement(tree.root, "x", READ)], None)
+        runs = self.run(tree, stream)
+        for run in runs.values():
+            # the reductions commute: no dependence between them
+            assert run.graph.dependences_of(1) == set()
+            assert run.graph.dependences_of(2) == {0, 1}
+
+    def test_different_reduction_ops_serialize(self):
+        tree, Q = self.make_tree()
+        stream = TaskStream()
+
+        def add(arr):
+            arr += 5
+
+        def mx(arr):
+            np.maximum(arr, 9, out=arr)
+        stream.append("sum", [RegionRequirement(Q[0], "x", reduce("sum"))],
+                      add)
+        stream.append("max", [RegionRequirement(Q[0], "x", reduce("max"))],
+                      mx)
+        stream.append("obs", [RegionRequirement(tree.root, "x", READ)], None)
+        runs = self.run(tree, stream)
+        for run in runs.values():
+            assert run.graph.dependences_of(1) == {0}
+
+    def test_write_after_read_dependence(self):
+        tree, Q = self.make_tree()
+        stream = TaskStream()
+
+        def write1(arr):
+            arr[:] = 1
+        stream.append("rd", [RegionRequirement(Q[2], "x", READ)], None)
+        stream.append("wr", [RegionRequirement(Q[2], "x", READ_WRITE)],
+                      write1)
+        runs = self.run(tree, stream)
+        for name, run in runs.items():
+            assert run.graph.dependences_of(1) == {0}, name
+
+    def test_partial_overlap_write_chain(self):
+        """Writes through overlapping, dynamically-built regions."""
+        tree = RegionTree(12, {"x": np.int64})
+        a = IndexSpace.from_range(0, 8)
+        b = IndexSpace.from_range(4, 12)
+        over = tree.root.create_partition("O", [a, b])
+        stream = TaskStream()
+
+        def writer(v):
+            def body(arr):
+                arr[:] = v
+            return body
+        stream.append("w1", [RegionRequirement(over[0], "x", READ_WRITE)],
+                      writer(1))
+        stream.append("w2", [RegionRequirement(over[1], "x", READ_WRITE)],
+                      writer(2))
+        stream.append("obs", [RegionRequirement(tree.root, "x", READ)], None)
+        runs = self.run(tree, stream)
+        rt = runs["warnock"].runtime
+        assert list(rt.read_field("x")) == [1] * 4 + [2] * 8
+        for run in runs.values():
+            assert run.graph.dependences_of(1) == {0}
+
+    def test_sparse_aliased_regions(self):
+        tree = RegionTree(20, {"x": np.int64})
+        evens = IndexSpace.from_indices(list(range(0, 20, 2)))
+        threes = IndexSpace.from_indices(list(range(0, 20, 3)))
+        part = tree.root.create_partition("S", [evens, threes])
+        stream = TaskStream()
+
+        def w(arr):
+            arr[:] = -1
+
+        def add(arr):
+            arr += 10
+        stream.append("w", [RegionRequirement(part[0], "x", READ_WRITE)], w)
+        stream.append("a", [RegionRequirement(part[1], "x", reduce("sum"))],
+                      add)
+        stream.append("obs", [RegionRequirement(tree.root, "x", READ)], None)
+        self.run(tree, stream)
+
+    def test_deep_tree_access(self):
+        tree, Q = self.make_tree(16)
+        sub = Q[0].create_partition(
+            "S", [IndexSpace.from_range(0, 2), IndexSpace.from_range(2, 4)],
+            disjoint=True, complete=True)
+        stream = TaskStream()
+
+        def w(arr):
+            arr[:] = 5
+        stream.append("deep", [RegionRequirement(sub[1], "x", READ_WRITE)], w)
+        stream.append("shallow", [RegionRequirement(Q[0], "x", READ)], None)
+        stream.append("root", [RegionRequirement(tree.root, "x", READ_WRITE)],
+                      w)
+        stream.append("deep2", [RegionRequirement(sub[0], "x", READ)], None)
+        runs = self.run(tree, stream)
+        for name, run in runs.items():
+            assert run.graph.dependences_of(1) == {0}, name
+            assert run.graph.dependences_of(3) == {2}, name
+
+
+class TestRandomPrograms:
+    @settings(max_examples=120, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    @given(random_programs())
+    def test_all_algorithms_agree(self, program):
+        tree, initial, stream = program
+        compare_algorithms(tree, initial, stream)
+
+    @settings(max_examples=80, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    @given(random_multifield_programs())
+    def test_multifield_multirequirement_agree(self, program):
+        """Tasks with several requirements over two fields, including the
+        legal aliased combinations of section 4."""
+        tree, initial, stream = program
+        compare_algorithms(tree, initial, stream)

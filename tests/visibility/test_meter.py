@@ -1,0 +1,63 @@
+"""Tests for the cost meter."""
+
+from repro import CostMeter
+
+
+class TestCostMeter:
+    def test_count_accumulates(self):
+        m = CostMeter()
+        m.count("e")
+        m.count("e", 4)
+        assert m.counters["e"] == 5
+        assert m.snapshot() == {"e": 5}
+
+    def test_task_brackets(self):
+        m = CostMeter()
+        m.count("warmup", 10)
+        m.touch(("obj", 1))
+        m.begin_task()
+        m.count("e", 3)
+        m.touch(("obj", 2))
+        cost = m.end_task()
+        assert cost.counters == {"e": 3}
+        assert cost.touches == frozenset([("obj", 2)])
+        assert cost.total_ops == 3
+        # lifetime counters keep everything
+        assert m.counters["warmup"] == 10
+        assert ("obj", 1) in m.touches
+
+    def test_empty_task(self):
+        m = CostMeter()
+        m.begin_task()
+        cost = m.end_task()
+        assert cost.counters == {} and cost.touches == frozenset()
+        assert cost.total_ops == 0
+
+    def test_repeated_touch_dedup(self):
+        m = CostMeter()
+        m.begin_task()
+        m.touch("x")
+        m.touch("x")
+        assert m.end_task().touches == frozenset(["x"])
+
+    def test_reset(self):
+        m = CostMeter()
+        m.count("e")
+        m.touch("x")
+        m.reset()
+        assert not m.counters and not m.touches
+
+    def test_repr(self):
+        m = CostMeter()
+        m.count("entries_scanned", 7)
+        assert "entries_scanned=7" in repr(m)
+
+    def test_runtime_meter_sharing(self):
+        """All per-field algorithm instances share the runtime's meter."""
+        import numpy as np
+        from repro import Runtime
+        from tests.conftest import fig1_initial, make_fig1_tree
+        tree, _, _ = make_fig1_tree()
+        rt = Runtime(tree, fig1_initial(tree))
+        assert rt.algorithm_for("up").meter is rt.meter
+        assert rt.algorithm_for("down").meter is rt.meter

@@ -1,0 +1,128 @@
+"""Stateful property test: the runtime tracks the reference *continuously*.
+
+A hypothesis rule-based state machine drives four runtimes (one per
+algorithm) and the sequential reference executor through an arbitrary
+interleaving of task launches, partition creations, and observations; after
+*every* step the observable state must agree.  This catches bugs that only
+appear under unusual interleavings (e.g. reading between a reduction and
+the next write, or partitioning mid-stream).
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import (Bundle, RuleBasedStateMachine, initialize,
+                                 invariant, rule)
+from hypothesis import strategies as st
+
+from repro import (ALGORITHMS, READ, READ_WRITE, IndexSpace,
+                   RegionRequirement, RegionTree, Runtime, reduce)
+from repro.runtime.executor import SequentialExecutor
+from repro.runtime.task import Task
+
+N = 24
+
+
+class RuntimeVsReference(RuleBasedStateMachine):
+    regions = Bundle("regions")
+
+    @initialize(target=regions)
+    def setup(self):
+        self.tree = RegionTree(N, {"x": np.int64, "y": np.int64})
+        initial = {"x": np.arange(N, dtype=np.int64),
+                   "y": np.arange(N, dtype=np.int64) * 3}
+        self.reference = SequentialExecutor(self.tree, initial)
+        self.runtimes = {name: Runtime(self.tree, initial, algorithm=name)
+                         for name in ALGORITHMS}
+        self.counter = 0
+        self.part_counter = 0
+        return self.tree.root
+
+    # ------------------------------------------------------------------
+    @rule(target=regions, region=regions,
+          data=st.data())
+    def create_partition(self, region, data):
+        if region.space.size < 2 or len(region.partitions) >= 2:
+            return region
+        self.part_counter += 1
+        k = data.draw(st.integers(1, 3))
+        subs = []
+        for _ in range(k):
+            size = data.draw(st.integers(1, region.space.size))
+            start = data.draw(st.integers(0, region.space.size - size))
+            subs.append(IndexSpace(region.space.indices[start:start + size],
+                                   trusted=True))
+        part = region.create_partition(f"p{self.part_counter}", subs)
+        return part.subregions[data.draw(st.integers(0, k - 1))]
+
+    def _privilege_and_body(self, kind, seed):
+        if kind == "read":
+            return READ, None
+        if kind == "write":
+            def write_body(arr, seed=seed):
+                arr[:] = arr * 2 + seed
+            return READ_WRITE, write_body
+        if kind == "sum":
+            def sum_body(arr, seed=seed):
+                arr += seed
+            return reduce("sum"), sum_body
+
+        def min_body(arr, seed=seed):
+            np.minimum(arr, seed, out=arr)
+        return reduce("min"), min_body
+
+    @rule(region=regions,
+          field=st.sampled_from(["x", "y"]),
+          kind=st.sampled_from(["read", "write", "sum", "min"]))
+    def launch(self, region, field, kind):
+        self.counter += 1
+        seed = self.counter
+        privilege, body = self._privilege_and_body(kind, seed)
+        reqs = [RegionRequirement(region, field, privilege)]
+        self.reference.run(Task(self.counter, f"t{seed}", tuple(reqs), body))
+        for rt in self.runtimes.values():
+            rt.launch(f"t{seed}", reqs, body)
+
+    @rule(region=regions,
+          kind_x=st.sampled_from(["read", "write", "sum", "min"]),
+          kind_y=st.sampled_from(["read", "write", "sum", "min"]))
+    def launch_two_fields(self, region, kind_x, kind_y):
+        """A task touching both fields of the same region at once."""
+        self.counter += 1
+        seed = self.counter
+        px, bx = self._privilege_and_body(kind_x, seed)
+        py, by = self._privilege_and_body(kind_y, seed + 1)
+
+        def body(arr_x, arr_y):
+            if bx is not None:
+                bx(arr_x)
+            if by is not None:
+                by(arr_y)
+        reqs = [RegionRequirement(region, "x", px),
+                RegionRequirement(region, "y", py)]
+        self.reference.run(Task(self.counter, f"m{seed}", tuple(reqs), body))
+        for rt in self.runtimes.values():
+            rt.launch(f"m{seed}", reqs, body)
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def all_agree_with_reference(self):
+        if not hasattr(self, "reference"):
+            return
+        for field in ("x", "y"):
+            want = self.reference.field(field)
+            for name, rt in self.runtimes.items():
+                got = rt.read_field(field)
+                assert np.array_equal(got, want), (name, field, got, want)
+
+    @invariant()
+    def structural_invariants_hold(self):
+        if not hasattr(self, "runtimes"):
+            return
+        for name in ("warnock", "raycast"):
+            for field in ("x", "y"):
+                self.runtimes[name].algorithm_for(field).check_invariants()
+
+
+RuntimeVsReference.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None)
+TestRuntimeVsReference = RuntimeVsReference.TestCase

@@ -1,0 +1,162 @@
+"""Structural tests for Warnock's algorithm (section 6, Figures 9/10)."""
+
+import numpy as np
+import pytest
+
+from repro import (READ, READ_WRITE, CoherenceError, IndexSpace,
+                   RegionRequirement, Runtime, WarnockAlgorithm, reduce)
+from repro.visibility.eqset import EquivalenceSet, RefinementTreeStore
+
+from tests.conftest import fig1_initial, fig1_stream, make_fig1_tree
+
+
+class TestEquivalenceSetObject:
+    def test_split_partitions_domain(self):
+        s = EquivalenceSet(IndexSpace.from_range(0, 10))
+        s.record(READ_WRITE, np.arange(10), 0)
+        inside, outside = s.split(IndexSpace.from_range(3, 7))
+        assert list(inside.space) == [3, 4, 5, 6]
+        assert list(outside.space) == [0, 1, 2, 7, 8, 9]
+        assert list(inside.history[0].values) == [3, 4, 5, 6]
+        assert list(outside.history[0].values) == [0, 1, 2, 7, 8, 9]
+
+    def test_split_contained_returns_none_remainder(self):
+        s = EquivalenceSet(IndexSpace.from_range(0, 4))
+        inside, outside = s.split(IndexSpace.from_range(0, 10))
+        assert inside is s and outside is None
+
+    def test_split_requires_overlap(self):
+        s = EquivalenceSet(IndexSpace.from_range(0, 4))
+        with pytest.raises(CoherenceError):
+            s.split(IndexSpace.from_range(10, 12))
+
+    def test_write_clears_history(self):
+        s = EquivalenceSet(IndexSpace.from_range(0, 3))
+        s.record(READ_WRITE, np.zeros(3), 0)
+        s.record(reduce("sum"), np.ones(3), 1)
+        s.record(READ, None, 2)
+        assert len(s.history) == 3
+        s.record(READ_WRITE, np.full(3, 7.0), 3)
+        assert len(s.history) == 1
+        assert s.history[0].task_id == 3
+
+    def test_misaligned_values_rejected(self):
+        s = EquivalenceSet(IndexSpace.from_range(0, 3))
+        with pytest.raises(CoherenceError):
+            s.record(READ_WRITE, np.zeros(2), 0)
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(CoherenceError):
+            EquivalenceSet(IndexSpace.empty())
+
+    def test_paint_folds_reductions(self):
+        s = EquivalenceSet(IndexSpace.from_range(0, 3))
+        s.record(READ_WRITE, np.array([1.0, 2.0, 3.0]), 0)
+        s.record(reduce("sum"), np.array([10.0, 10.0, 10.0]), 1)
+        assert list(s.paint(np.float64)) == [11.0, 12.0, 13.0]
+
+
+class TestRefinementStore:
+    def make(self, n=16):
+        root = EquivalenceSet(IndexSpace.from_range(0, n))
+        root.record(READ_WRITE, np.arange(n, dtype=np.int64), -1)
+        return RefinementTreeStore(root)
+
+    def test_locate_whole(self):
+        store = self.make()
+        sets = store.locate(IndexSpace.from_range(0, 16))
+        assert len(sets) == 1
+        store.check_invariants(IndexSpace.from_range(0, 16))
+
+    def test_locate_refines(self):
+        store = self.make()
+        sets = store.locate(IndexSpace.from_range(4, 8))
+        assert len(sets) == 1 and list(sets[0].space) == [4, 5, 6, 7]
+        assert len(store.all_sets()) == 2
+        store.check_invariants(IndexSpace.from_range(0, 16))
+
+    def test_monotone_refinement_only(self):
+        store = self.make()
+        store.locate(IndexSpace.from_range(0, 8))
+        store.locate(IndexSpace.from_range(4, 12))
+        store.locate(IndexSpace.from_range(0, 8))  # repeat: no new splits
+        assert len(store.all_sets()) == 4  # [0,4) [4,8) [8,12) [12,16)
+        store.check_invariants(IndexSpace.from_range(0, 16))
+
+    def test_memoization_returns_same_sets(self):
+        store = self.make()
+        first = store.locate(IndexSpace.from_range(4, 8), region_uid=7)
+        second = store.locate(IndexSpace.from_range(4, 8), region_uid=7)
+        assert [s.uid for s in first] == [s.uid for s in second]
+
+    def test_memo_survives_later_refinement(self):
+        store = self.make()
+        store.locate(IndexSpace.from_range(0, 8), region_uid=1)
+        # an overlapping query splits the memoized leaf
+        store.locate(IndexSpace.from_range(6, 10), region_uid=2)
+        sets = store.locate(IndexSpace.from_range(0, 8), region_uid=1)
+        covered = IndexSpace.union_all([s.space for s in sets])
+        assert covered == IndexSpace.from_range(0, 8)
+
+    def test_tree_depth(self):
+        store = self.make()
+        for i in range(0, 16, 2):
+            store.locate(IndexSpace.from_range(i, i + 2))
+        assert store.tree_depth() >= 2
+
+
+class TestWarnockOnFig1:
+    def test_fig10_eqset_refinement(self):
+        """Figure 10: after one loop iteration, the equivalence sets of the
+        up field are the P pieces refined by their ghost overlaps, and the
+        second iteration adds no further refinements."""
+        tree, P, G = make_fig1_tree()
+        rt = Runtime(tree, fig1_initial(tree), algorithm="warnock")
+        rt.replay(fig1_stream(tree, P, G, iterations=1))
+        algo = rt.algorithm_for("up")
+        assert isinstance(algo, WarnockAlgorithm)
+        count_after_one = algo.num_equivalence_sets()
+        algo.check_invariants()
+
+        # every equivalence set is contained in exactly one P piece
+        for s in algo.store.all_sets():
+            assert sum(s.space.issubset(p.space) for p in P) == 1
+
+        rt.replay(fig1_stream(tree, P, G, iterations=1))
+        assert algo.num_equivalence_sets() == count_after_one
+        algo.check_invariants()
+
+    def test_eqsets_never_coalesce(self):
+        """Warnock only refines — set count is monotone nondecreasing."""
+        tree, P, G = make_fig1_tree()
+        rt = Runtime(tree, fig1_initial(tree), algorithm="warnock")
+        counts = []
+        algo = rt.algorithm_for("up")
+        for _ in range(3):
+            rt.replay(fig1_stream(tree, P, G, iterations=1))
+            counts.append(algo.num_equivalence_sets())
+        assert counts == sorted(counts)
+
+    def test_invariants_under_overlapping_partitions(self):
+        tree = RegionTreeFactory.overlapping()
+        rt = Runtime(tree, {"x": np.zeros(20, dtype=np.int64)},
+                     algorithm="warnock")
+        part = tree.root.partition("S")
+
+        def w(arr):
+            arr[:] = 1
+        rt.launch("a", [RegionRequirement(part[0], "x", READ_WRITE)], w)
+        rt.launch("b", [RegionRequirement(part[1], "x", READ_WRITE)], w)
+        algo = rt.algorithm_for("x")
+        algo.check_invariants()
+
+
+class RegionTreeFactory:
+    @staticmethod
+    def overlapping():
+        from repro import RegionTree
+        tree = RegionTree(20, {"x": np.int64})
+        tree.root.create_partition(
+            "S", [IndexSpace.from_indices(list(range(0, 20, 2))),
+                  IndexSpace.from_indices(list(range(0, 20, 3)))])
+        return tree
