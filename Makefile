@@ -2,11 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick report examples clean help
+.PHONY: install test check lint bench bench-quick report examples clean help
 
 help:
 	@echo "install      editable install (offline-friendly)"
 	@echo "test         run the full test suite"
+	@echo "check        lint (bytecode compile) + tier-1 tests (CI entry)"
 	@echo "bench        regenerate every figure + ablation (1-512 nodes)"
 	@echo "bench-quick  same sweep capped at 64 nodes"
 	@echo "report       assemble benchmarks/results into markdown"
@@ -18,6 +19,12 @@ install:
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+
+check: lint
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

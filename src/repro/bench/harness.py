@@ -19,6 +19,7 @@ from repro.apps.base import Application
 from repro.machine.costmodel import CostModel
 from repro.machine.simulator import SimResult, simulate_app
 from repro.machine.topology import MachineSpec
+from repro.visibility.meter import PhaseProfile
 
 #: The five configurations of section 8's figures, in legend order.
 PAPER_CONFIGS: tuple[tuple[str, bool], ...] = (
@@ -99,4 +100,86 @@ def sweep_to_rows(sweep: dict[tuple[str, int], SimResult],
 def render_rows(rows: Sequence[BenchRow]) -> str:
     """Render rows as the artifact's parse_results.py TSV table."""
     header = "system\tnodes\tprocs_per_node\trep\tinit_time\telapsed_time"
+    return "\n".join([header, *(r.tsv() for r in rows)])
+
+
+# ----------------------------------------------------------------------
+# parallel shard-analysis benchmark (honest wall clock, not simulated)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ParallelAnalysisRow:
+    """One backend × shard-count cell of the parallel-analysis bench.
+
+    ``analyze_time``/``verify_time`` are wall-clock seconds from the
+    :class:`PhaseProfile`; ``shard_time_max`` is the slowest single
+    shard's analysis window; ``ship_bytes`` counts pickled payload moved
+    to worker processes; ``speedup`` is serial analyze time over this
+    backend's (1.0 for the serial row itself).
+    """
+
+    backend: str
+    shards: int
+    tasks: int
+    analyze_time: float
+    shard_time_max: float
+    verify_time: float
+    ship_bytes: int
+    speedup: float
+    fingerprint: str
+
+    def tsv(self) -> str:
+        return (f"{self.backend}\t{self.shards}\t{self.tasks}\t"
+                f"{self.analyze_time:.6f}\t{self.shard_time_max:.6f}\t"
+                f"{self.verify_time:.6f}\t{self.ship_bytes}\t"
+                f"{self.speedup:.3f}\t{self.fingerprint[:16]}")
+
+
+def run_parallel_analysis(app_factory: Callable[[int], Application],
+                          shards: int = 8,
+                          backends: Sequence[str] = ("serial", "thread",
+                                                     "process"),
+                          steady_iterations: int = 3,
+                          algorithm: str = "raycast"
+                          ) -> list[ParallelAnalysisRow]:
+    """Benchmark the replicated shard analysis across execution backends.
+
+    Runs the same application stream through every backend at the given
+    shard count, with deterministic-merge verification on; returns one
+    row per backend, including the cross-checked analysis fingerprint
+    (all rows must agree — the caller should assert it).
+    """
+    from repro.distributed import ShardedRuntime
+    from repro.runtime.task import TaskStream
+
+    rows: list[ParallelAnalysisRow] = []
+    serial_time: Optional[float] = None
+    for backend in backends:
+        app = app_factory(shards)
+        stream = TaskStream()
+        stream.extend_from(app.init_stream())
+        for _ in range(steady_iterations):
+            stream.extend_from(app.iteration_stream())
+        profile = PhaseProfile()
+        with ShardedRuntime(app.tree, app.initial, shards=shards,
+                            algorithm=algorithm, backend=backend,
+                            profile=profile) as srt:
+            reports = srt.analyze(stream)
+        analyze = profile.stat("analyze").seconds
+        if serial_time is None:
+            serial_time = analyze
+        rows.append(ParallelAnalysisRow(
+            backend=backend, shards=shards, tasks=len(stream),
+            analyze_time=analyze,
+            shard_time_max=max(r.seconds for r in reports),
+            verify_time=profile.stat("verify").seconds,
+            ship_bytes=profile.stat("ship").bytes,
+            speedup=serial_time / analyze if analyze > 0 else float("inf"),
+            fingerprint=reports[0].fingerprint))
+    return rows
+
+
+def render_parallel_rows(rows: Sequence[ParallelAnalysisRow]) -> str:
+    """TSV table for the parallel-analysis bench (one row per backend)."""
+    header = ("backend\tshards\ttasks\tanalyze_time\tshard_time_max\t"
+              "verify_time\tship_bytes\tspeedup\tfingerprint")
     return "\n".join([header, *(r.tsv() for r in rows)])

@@ -29,6 +29,8 @@ SECTIONS: tuple[tuple[str, str], ...] = (
     ("ablation_memo.tsv", "Ablation — §6.1 equivalence-set memoization"),
     ("ablation_comm.tsv", "Ablation — implicit cross-shard communication"),
     ("ablation_zbuffer.tsv", "Ablation — z-buffer precision/distribution trade"),
+    ("parallel_analysis.tsv",
+     "Parallel shard analysis — backend wall clock (analysis/merge/ship)"),
 )
 
 

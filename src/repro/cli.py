@@ -17,6 +17,10 @@ Commands
 ``inspect``
     Run an application under one algorithm and dump its structures:
     equivalence-set map, cost-meter summary, and optional DOT graph.
+``analyze``
+    Run the control-replicated dependence analysis of an application on
+    a parallel backend (``--parallel N``), verify the deterministic
+    merge, and optionally print per-phase perf counters (``--profile``).
 """
 
 from __future__ import annotations
@@ -65,6 +69,26 @@ def _build_parser() -> argparse.ArgumentParser:
     ins.add_argument("--iterations", type=int, default=2)
     ins.add_argument("--dot", action="store_true",
                      help="emit the dependence graph as Graphviz DOT")
+
+    ana = sub.add_parser("analyze",
+                         help="replicated analysis on a parallel backend")
+    ana.add_argument("--app", choices=["stencil", "circuit", "pennant"],
+                     default="stencil")
+    ana.add_argument("--algorithm",
+                     choices=["painter", "tree_painter", "warnock",
+                              "raycast", "zbuffer"], default="raycast")
+    ana.add_argument("--pieces", type=int, default=4)
+    ana.add_argument("--iterations", type=int, default=3)
+    ana.add_argument("--shards", type=int, default=4,
+                     help="control-replicated shard count")
+    ana.add_argument("--parallel", type=int, default=1, metavar="N",
+                     help="analysis workers (1 = serial backend)")
+    ana.add_argument("--backend", choices=["serial", "thread", "process"],
+                     default=None,
+                     help="force a backend (default: process when "
+                          "--parallel > 1, else serial)")
+    ana.add_argument("--profile", action="store_true",
+                     help="print per-phase perf counters")
 
     rep = sub.add_parser("report",
                          help="assemble benchmark results into markdown")
@@ -212,6 +236,50 @@ def _cmd_inspect(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    from repro.distributed import DeterminismError, ShardedRuntime
+    from repro.errors import MachineError
+    from repro.runtime.tracing import signature_digest
+
+    backend = args.backend
+    if backend is None:
+        backend = "process" if args.parallel > 1 else "serial"
+    app = _make_app(args.app, args.pieces)
+    stream = _full_stream(app, args.iterations)
+    workers = (f", {args.parallel} workers"
+               if args.parallel > 1 and backend != "serial" else "")
+    print(f"analyzing {args.app} ({args.pieces} pieces, {len(stream)} "
+          f"tasks, stream {signature_digest(stream)[:12]}) under "
+          f"{args.algorithm}: {args.shards} shards, {backend} backend"
+          + workers)
+    try:
+        with ShardedRuntime(app.tree, app.initial, shards=args.shards,
+                            algorithm=args.algorithm, backend=backend,
+                            max_workers=args.parallel) as srt:
+            try:
+                reports = srt.analyze(stream)
+            except DeterminismError as exc:
+                print(f"DIVERGED: {exc}", file=sys.stderr)
+                for divergence in exc.divergences:
+                    print(f"  {divergence}", file=sys.stderr)
+                return 1
+            for report in reports:
+                print(f"  shard {report.shard}: fingerprint "
+                      f"{report.fingerprint[:16]}  "
+                      f"analysis {report.seconds:.4f}s")
+            graph = srt.graph
+            print(f"merge verified: {len(reports)} identical analyses "
+                  f"({len(graph)} tasks, {graph.edge_count()} edges, "
+                  f"critical path {graph.critical_path_length()})")
+            if args.profile:
+                print()
+                print(srt.profile.render())
+    except MachineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_report(args) -> int:
     from pathlib import Path
 
@@ -243,6 +311,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_artifact(args)
     if args.command == "inspect":
         return _cmd_inspect(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     if args.command == "report":
         return _cmd_report(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -17,8 +17,26 @@ PPoPP 2021], executably:
 The message log makes communication volume a measurable quantity
 (`benchmarks/test_ablation_comm.py` reports bytes per iteration for the
 three benchmark applications).
+
+The replicated analyses themselves run on a pluggable executor
+(:mod:`repro.distributed.backends`: serial / thread pool / process pool
+with pickled task-stream shipping) followed by a deterministic-merge
+verification step (:mod:`repro.distributed.verify`) that hashes each
+shard's dependence graph and equivalence-set refinement trace and fails
+fast with a structured diff on divergence.
 """
 
+from repro.distributed.backends import (BACKENDS, AnalysisBackend,
+                                        ProcessBackend, SerialBackend,
+                                        ThreadBackend, make_backend)
 from repro.distributed.sharded import MessageLog, ShardedRuntime
+from repro.distributed.verify import (DeterminismError, ShardReport,
+                                      analysis_fingerprint,
+                                      graph_fingerprint,
+                                      structure_fingerprint)
 
-__all__ = ["MessageLog", "ShardedRuntime"]
+__all__ = ["MessageLog", "ShardedRuntime", "AnalysisBackend", "BACKENDS",
+           "SerialBackend", "ThreadBackend", "ProcessBackend",
+           "make_backend", "DeterminismError", "ShardReport",
+           "analysis_fingerprint", "graph_fingerprint",
+           "structure_fingerprint"]

@@ -1,0 +1,453 @@
+"""Pluggable execution backends for replicated shard analysis.
+
+:class:`~repro.distributed.sharded.ShardedRuntime` must run the same
+dependence analysis once per control-replicated shard (the DCR contract).
+The analyses are completely independent — they share no mutable state and
+must reach bit-identical conclusions — so they are embarrassingly
+parallel.  This module provides three interchangeable ways to run them:
+
+* :class:`SerialBackend` — one after another, in-process (the reference
+  semantics, and the fastest option for tiny streams);
+* :class:`ThreadBackend` — a thread pool over in-process replicas (cheap
+  to set up; NumPy kernels release the GIL, pure-Python scan code does
+  not);
+* :class:`ProcessBackend` — persistent worker processes, one hosting each
+  remote replica, fed by *pickled task-stream shipping*: region trees and
+  task streams are encoded into a compact picklable form (task bodies are
+  never shipped — replica analysis runs with ``body=None``), structural
+  deltas (partitions created since the last ship) ride along, and each
+  worker returns only its analysis fingerprint and timing.  Dependence
+  dumps for divergence diffs are fetched lazily, on mismatch.
+
+Every backend returns per-shard :class:`~repro.distributed.verify.ShardReport`
+rows; the deterministic-merge verification over them lives in
+:mod:`repro.distributed.verify`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import MachineError
+from repro.geometry.index_space import IndexSpace
+from repro.privileges import READ, READ_WRITE, Privilege, reduce
+from repro.regions.tree import RegionTree
+from repro.runtime.context import Runtime
+from repro.runtime.task import RegionRequirement, TaskStream
+from repro.distributed.verify import ShardReport, analysis_fingerprint
+
+#: Registry names accepted by :func:`make_backend`.
+BACKENDS = ("serial", "thread", "process")
+
+
+# ----------------------------------------------------------------------
+# picklable task-stream encoding
+# ----------------------------------------------------------------------
+def encode_privilege(privilege: Privilege) -> tuple:
+    """A picklable privilege descriptor (reduction ops hold lambdas, so
+    ship the registry name instead of the object)."""
+    if privilege.is_reduce:
+        assert privilege.redop is not None
+        return ("reduce", privilege.redop.name)
+    return ("kind", "read" if privilege.is_read else "read-write")
+
+
+def decode_privilege(desc: tuple) -> Privilege:
+    tag, value = desc
+    if tag == "reduce":
+        return reduce(value)
+    return READ if value == "read" else READ_WRITE
+
+
+def encode_tasks(stream: TaskStream) -> list[tuple]:
+    """Encode a stream for shipping: names, region uids, fields,
+    privilege descriptors and points — everything the analysis observes,
+    nothing it does not (bodies stay behind)."""
+    return [(task.name,
+             tuple((req.region.uid, req.field,
+                    encode_privilege(req.privilege))
+                   for req in task.requirements),
+             task.point)
+            for task in stream]
+
+
+def encode_structure(tree: RegionTree, known_regions: int) -> list[tuple]:
+    """Structural delta: every partition whose subregions were created at
+    or after region index ``known_regions``, in creation order.
+
+    Replaying these records on a replica of the tree reproduces the same
+    regions with the same uids (uids are assigned densely in creation
+    order), so shipped task encodings resolve on the worker side.
+    """
+    records: list[tuple] = []
+    seen: set[int] = set()
+    for region in tree.regions[known_regions:]:
+        part = region.parent_partition
+        assert part is not None  # only the root has no parent partition
+        key = id(part)
+        if key in seen:
+            continue
+        seen.add(key)
+        records.append((part.parent.uid, part.name,
+                        [sub.space.indices for sub in part.subregions],
+                        part.disjoint, part.complete))
+    return records
+
+
+def apply_structure(regions_by_uid: dict, records: Sequence[tuple]) -> None:
+    """Replay shipped partition-creation records onto a tree replica."""
+    for parent_uid, name, index_arrays, disjoint, complete in records:
+        parent = regions_by_uid[parent_uid]
+        part = parent.create_partition(
+            name, [IndexSpace(arr, trusted=True) for arr in index_arrays],
+            disjoint=disjoint, complete=complete)
+        for sub in part.subregions:
+            regions_by_uid[sub.uid] = sub
+
+
+def decode_requirements(task_record: tuple,
+                        regions_by_uid: dict) -> list[RegionRequirement]:
+    _, reqs, _ = task_record
+    return [RegionRequirement(regions_by_uid[uid], field,
+                              decode_privilege(priv))
+            for uid, field, priv in reqs]
+
+
+# ----------------------------------------------------------------------
+# backend protocol
+# ----------------------------------------------------------------------
+class AnalysisBackend(ABC):
+    """Runs the N replicated analyses of each executed stream.
+
+    Replica 0 — the *reference* — always lives in the calling process so
+    that :attr:`ShardedRuntime.graph` and the analysis meter stay directly
+    observable; backends differ in where replicas 1..N-1 run.
+    """
+
+    #: Registry name, overridden by each concrete backend.
+    name = "abstract"
+
+    def __init__(self, tree: RegionTree,
+                 initial: Mapping[str, np.ndarray],
+                 algorithm: str, replicas: int) -> None:
+        if replicas < 1:
+            raise MachineError("need at least one analysis replica")
+        self.tree = tree
+        self.algorithm = algorithm
+        self.replicas = replicas
+        self.reference = Runtime(tree, initial, algorithm=algorithm)
+        self._tasks_analyzed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def tasks_analyzed(self) -> int:
+        """Tasks analyzed so far (the base id of the next stream)."""
+        return self._tasks_analyzed
+
+    def analyze(self, stream: TaskStream) -> list[ShardReport]:
+        """Run the stream's analysis on every replica; returns one report
+        per replica, ordered by shard id (shard 0 first)."""
+        base = self._tasks_analyzed
+        count = len(stream)
+        reports = self._analyze_replicas(stream, base, count)
+        self._tasks_analyzed += count
+        return reports
+
+    def _analyze_reference(self, stream: TaskStream, base: int,
+                           count: int) -> ShardReport:
+        start = time.perf_counter()
+        for task in stream:
+            self.reference.launch(task.name, task.requirements, None,
+                                  task.point)
+        seconds = time.perf_counter() - start
+        return ShardReport(0, analysis_fingerprint(self.reference, base,
+                                                   count), seconds)
+
+    @abstractmethod
+    def _analyze_replicas(self, stream: TaskStream, base: int,
+                          count: int) -> list[ShardReport]:
+        """Run the analysis everywhere and report per-shard results."""
+
+    @abstractmethod
+    def dump_dependences(self, shard: int, base: int,
+                         count: int) -> list[tuple[int, ...]]:
+        """One shard's sorted dependence lists for a task-id window
+        (divergence diagnostics; the happy path never calls this)."""
+
+    def close(self) -> None:
+        """Release any workers; idempotent."""
+
+    @property
+    def shipped_bytes(self) -> int:
+        """Total pickled payload shipped to remote replicas so far."""
+        return 0
+
+    def __enter__(self) -> "AnalysisBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _InProcessBackend(AnalysisBackend):
+    """Shared machinery for backends whose replicas are local Runtimes."""
+
+    def __init__(self, tree, initial, algorithm, replicas) -> None:
+        super().__init__(tree, initial, algorithm, replicas)
+        self._others = [Runtime(tree, initial, algorithm=algorithm)
+                        for _ in range(replicas - 1)]
+
+    def _runtime_of(self, shard: int) -> Runtime:
+        return self.reference if shard == 0 else self._others[shard - 1]
+
+    def _analyze_one(self, shard: int, stream: TaskStream, base: int,
+                     count: int) -> ShardReport:
+        if shard == 0:
+            return self._analyze_reference(stream, base, count)
+        runtime = self._others[shard - 1]
+        start = time.perf_counter()
+        for task in stream:
+            runtime.launch(task.name, task.requirements, None, task.point)
+        seconds = time.perf_counter() - start
+        return ShardReport(shard, analysis_fingerprint(runtime, base, count),
+                           seconds)
+
+    def dump_dependences(self, shard, base, count):
+        graph = self._runtime_of(shard).graph
+        return [tuple(sorted(graph.dependences_of(t)))
+                for t in range(base, base + count)]
+
+
+class SerialBackend(_InProcessBackend):
+    """The reference backend: replicas analyzed one after another."""
+
+    name = "serial"
+
+    def _analyze_replicas(self, stream, base, count):
+        return [self._analyze_one(shard, stream, base, count)
+                for shard in range(self.replicas)]
+
+
+class ThreadBackend(_InProcessBackend):
+    """Replica analyses on a thread pool.
+
+    Replicas share no mutable state (each owns its coherence-algorithm
+    instances, meter and graph; the region tree is only read during
+    analysis), so the analyses are safe to interleave.
+    """
+
+    name = "thread"
+
+    def __init__(self, tree, initial, algorithm, replicas,
+                 max_workers: Optional[int] = None) -> None:
+        super().__init__(tree, initial, algorithm, replicas)
+        workers = max(1, min(replicas, max_workers or replicas))
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="shard-analysis")
+
+    def _analyze_replicas(self, stream, base, count):
+        futures = [self._pool.submit(self._analyze_one, shard, stream,
+                                     base, count)
+                   for shard in range(self.replicas)]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+# ----------------------------------------------------------------------
+# process backend: persistent workers + pickled task-stream shipping
+# ----------------------------------------------------------------------
+def _worker_main(conn, payload: bytes) -> None:  # pragma: no cover - subprocess
+    """Worker loop: host one or more replica runtimes, analyze shipped
+    streams, reply with fingerprints (and dependence dumps on request)."""
+    tree, initial, algorithm, shards = pickle.loads(payload)
+    runtimes = {shard: Runtime(tree, initial, algorithm=algorithm)
+                for shard in shards}
+    regions_by_uid = {region.uid: region for region in tree.regions}
+    base = 0
+    try:
+        while True:
+            msg = pickle.loads(conn.recv_bytes())
+            try:
+                if msg[0] == "analyze":
+                    _, structure, tasks = msg
+                    apply_structure(regions_by_uid, structure)
+                    count = len(tasks)
+                    results = []
+                    for shard, runtime in runtimes.items():
+                        start = time.perf_counter()
+                        for record in tasks:
+                            name, _, point = record
+                            runtime.launch(
+                                name,
+                                decode_requirements(record, regions_by_uid),
+                                None, point)
+                        seconds = time.perf_counter() - start
+                        results.append(
+                            (shard,
+                             analysis_fingerprint(runtime, base, count),
+                             seconds))
+                    base += count
+                    conn.send_bytes(pickle.dumps(("ok", results)))
+                elif msg[0] == "dump":
+                    _, shard, lo, n = msg
+                    graph = runtimes[shard].graph
+                    deps = [tuple(sorted(graph.dependences_of(t)))
+                            for t in range(lo, lo + n)]
+                    conn.send_bytes(pickle.dumps(("ok", deps)))
+                elif msg[0] == "stop":
+                    return
+                else:
+                    conn.send_bytes(pickle.dumps(
+                        ("error", f"unknown command {msg[0]!r}")))
+            except Exception as exc:
+                conn.send_bytes(pickle.dumps(("error", repr(exc))))
+    except (EOFError, OSError, KeyboardInterrupt):
+        return
+
+
+class ProcessBackend(AnalysisBackend):
+    """Replicas 1..N-1 hosted in persistent worker processes.
+
+    Workers receive the region tree and initial values once (pickled, at
+    spawn) and per-``execute`` payloads containing the structural delta
+    plus the encoded task stream; they return fingerprints and per-shard
+    analysis seconds.  ``max_workers`` caps the process count — with
+    fewer workers than remote replicas, workers host several replicas
+    each and analyze them sequentially.
+    """
+
+    name = "process"
+
+    def __init__(self, tree, initial, algorithm, replicas,
+                 max_workers: Optional[int] = None,
+                 start_method: Optional[str] = None) -> None:
+        super().__init__(tree, initial, algorithm, replicas)
+        import multiprocessing as mp
+
+        if start_method is None:
+            start_method = ("fork" if "fork" in mp.get_all_start_methods()
+                            else "spawn")
+        self._shipped = 0
+        self._known_regions = len(tree.regions)
+        self._workers: list[tuple] = []  # (process, connection, shard ids)
+        remote = list(range(1, replicas))
+        if not remote:
+            return
+        ctx = mp.get_context(start_method)
+        workers = max(1, min(len(remote), max_workers or len(remote)))
+        initial = {name: np.asarray(values).copy()
+                   for name, values in initial.items()}
+        groups = [remote[k::workers] for k in range(workers)]
+        for shards in groups:
+            parent_conn, child_conn = ctx.Pipe()
+            payload = pickle.dumps((tree, initial, algorithm, shards))
+            self._shipped += len(payload)
+            proc = ctx.Process(target=_worker_main,
+                               args=(child_conn, payload), daemon=True)
+            proc.start()
+            child_conn.close()
+            self._workers.append((proc, parent_conn, shards))
+
+    # ------------------------------------------------------------------
+    @property
+    def shipped_bytes(self) -> int:
+        return self._shipped
+
+    def _request(self, conn, message: tuple):
+        blob = pickle.dumps(message)
+        self._shipped += len(blob)
+        try:
+            conn.send_bytes(blob)
+            status, result = pickle.loads(conn.recv_bytes())
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            raise MachineError(
+                f"analysis worker died mid-request: {exc!r}") from exc
+        if status != "ok":
+            raise MachineError(f"analysis worker failed: {result}")
+        return result
+
+    def _analyze_replicas(self, stream, base, count):
+        structure = encode_structure(self.tree, self._known_regions)
+        self._known_regions = len(self.tree.regions)
+        message = ("analyze", structure, encode_tasks(stream))
+        # ship to every worker first, then run the local reference while
+        # the workers analyze concurrently, then collect
+        for _, conn, _ in self._workers:
+            blob = pickle.dumps(message)
+            self._shipped += len(blob)
+            try:
+                conn.send_bytes(blob)
+            except (OSError, BrokenPipeError) as exc:
+                raise MachineError(
+                    f"analysis worker died mid-request: {exc!r}") from exc
+        reports = [self._analyze_reference(stream, base, count)]
+        for proc, conn, shards in self._workers:
+            try:
+                status, result = pickle.loads(conn.recv_bytes())
+            except (EOFError, OSError) as exc:
+                raise MachineError(
+                    f"analysis worker died mid-request: {exc!r}") from exc
+            if status != "ok":
+                raise MachineError(f"analysis worker failed: {result}")
+            for shard, fingerprint, seconds in result:
+                reports.append(ShardReport(shard, fingerprint, seconds))
+        reports.sort(key=lambda r: r.shard)
+        return reports
+
+    def dump_dependences(self, shard, base, count):
+        if shard == 0:
+            graph = self.reference.graph
+            return [tuple(sorted(graph.dependences_of(t)))
+                    for t in range(base, base + count)]
+        for _, conn, shards in self._workers:
+            if shard in shards:
+                return self._request(conn, ("dump", shard, base, count))
+        raise MachineError(f"no worker hosts shard {shard}")
+
+    def close(self) -> None:
+        for proc, conn, _ in self._workers:
+            try:
+                conn.send_bytes(pickle.dumps(("stop",)))
+            except (OSError, BrokenPipeError):
+                pass
+            conn.close()
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=5)
+        self._workers = []
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+def make_backend(spec: str | AnalysisBackend, tree: RegionTree,
+                 initial: Mapping[str, np.ndarray], algorithm: str,
+                 replicas: int,
+                 max_workers: Optional[int] = None) -> AnalysisBackend:
+    """Build an analysis backend from a registry name (or pass through an
+    already-constructed instance)."""
+    if isinstance(spec, AnalysisBackend):
+        return spec
+    if spec == "serial":
+        return SerialBackend(tree, initial, algorithm, replicas)
+    if spec == "thread":
+        return ThreadBackend(tree, initial, algorithm, replicas,
+                             max_workers=max_workers)
+    if spec == "process":
+        return ProcessBackend(tree, initial, algorithm, replicas,
+                              max_workers=max_workers)
+    raise MachineError(
+        f"unknown analysis backend {spec!r}; known: {BACKENDS}")

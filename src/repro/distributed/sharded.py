@@ -4,11 +4,16 @@ The control-replication contract: ``shards`` replicas each observe the
 *entire* task stream and run the full dynamic analysis; a sharding
 functor assigns each task to the one shard that executes it.  Because
 every replica must independently reach the same dependence conclusions,
-:class:`ShardedRuntime` re-runs the analysis once per shard and verifies
-the graphs are identical — the determinism obligation DCR places on the
-analyses this repository reproduces (and a strong regression test for
-them: any hidden iteration-order nondeterminism in an algorithm fails the
-check).
+:class:`ShardedRuntime` runs the analysis once per shard — serially, on a
+thread pool, or on worker processes (see
+:mod:`repro.distributed.backends`) — and performs a deterministic-merge
+verification: each shard's dependence graph and equivalence-set
+refinement trace are hashed, the digests compared, and any divergence
+fails fast with a structured per-task diff
+(:mod:`repro.distributed.verify`).  That is the determinism obligation
+DCR places on the analyses this repository reproduces, converted into an
+enforced, observable property (and a strong regression test: any hidden
+iteration-order nondeterminism in an algorithm fails the check).
 
 Execution is distributed: each shard owns a local copy of the fields, a
 per-element *owner map* records which shard last produced each element,
@@ -19,20 +24,26 @@ model — the machine simulator covers timing), so eager pulls see exactly
 the sequentially-consistent values; the final distributed state is
 gathered by owner and compared against the sequential reference in the
 tests.
+
+Every phase is metered through a :class:`~repro.visibility.meter.PhaseProfile`:
+wall-clock analysis time per shard, merge/verify time, bytes shipped to
+worker processes, and sharded-execution time.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Optional, Sequence
+from typing import Mapping, Optional
 
 import numpy as np
 
+from repro.distributed.backends import AnalysisBackend, make_backend
+from repro.distributed.verify import ShardReport, check_reports
 from repro.errors import MachineError, TaskError
 from repro.machine.dcr import ShardingFunctor, dcr_sharding
 from repro.regions.tree import RegionTree
-from repro.runtime.context import Runtime
 from repro.runtime.task import Task, TaskStream
+from repro.visibility.meter import PhaseProfile
 
 
 @dataclass
@@ -72,13 +83,25 @@ class ShardedRuntime:
         Task → shard functor; defaults to the canonical
         ``point % shards``.
     verify_replicas:
-        Check that all replicas computed identical dependence graphs
-        after every executed stream (DCR's determinism contract).
+        Check that all replicas computed identical dependence graphs and
+        refinement traces after every executed stream (DCR's determinism
+        contract).
     replicate_analysis:
         When False, run the analysis on a single replica only (execution
         stays sharded).  Use for communication measurements at scale,
         where N full analysis replicas would only burn time re-proving
         determinism.
+    backend:
+        Analysis execution backend: ``"serial"`` (default), ``"thread"``,
+        ``"process"``, or a prebuilt
+        :class:`~repro.distributed.backends.AnalysisBackend`.
+    max_workers:
+        Concurrency cap for the thread/process backends (defaults to one
+        worker per remote replica).
+    profile:
+        Optional shared :class:`PhaseProfile`; created when omitted.
+        Records ``analyze`` (total), ``analyze.shard<i>`` (per shard),
+        ``verify``, ``execute`` times and ``ship`` bytes.
     """
 
     def __init__(self, tree: RegionTree,
@@ -87,7 +110,10 @@ class ShardedRuntime:
                  algorithm: str = "raycast",
                  sharding: Optional[ShardingFunctor] = None,
                  verify_replicas: bool = True,
-                 replicate_analysis: bool = True) -> None:
+                 replicate_analysis: bool = True,
+                 backend: str | AnalysisBackend = "serial",
+                 max_workers: Optional[int] = None,
+                 profile: Optional[PhaseProfile] = None) -> None:
         if shards < 1:
             raise MachineError("need at least one shard")
         self.tree = tree
@@ -95,9 +121,10 @@ class ShardedRuntime:
         self.sharding = sharding if sharding is not None \
             else dcr_sharding(shards)
         self.verify_replicas = verify_replicas and replicate_analysis
+        self.profile = profile if profile is not None else PhaseProfile()
         replicas = shards if replicate_analysis else 1
-        self._replicas = [Runtime(tree, initial, algorithm=algorithm)
-                          for _ in range(replicas)]
+        self._backend = make_backend(backend, tree, initial, algorithm,
+                                     replicas, max_workers=max_workers)
         root_size = tree.root.space.size
         # shard-local memory: values[s] is shard s's copy of each field
         self._values: dict[str, np.ndarray] = {}
@@ -116,45 +143,68 @@ class ShardedRuntime:
 
     # ------------------------------------------------------------------
     @property
+    def backend(self) -> AnalysisBackend:
+        """The analysis execution backend."""
+        return self._backend
+
+    @property
     def graph(self):
         """The (replica-0) dependence graph."""
-        return self._replicas[0].graph
+        return self._backend.reference.graph
 
     @property
     def analysis_meter(self):
         """Replica 0's cost meter (all replicas do identical work)."""
-        return self._replicas[0].meter
+        return self._backend.reference.meter
+
+    def close(self) -> None:
+        """Release backend workers (no-op for in-process backends)."""
+        self._backend.close()
+
+    def __enter__(self) -> "ShardedRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
-    def execute(self, stream: TaskStream) -> None:
+    def analyze(self, stream: TaskStream) -> list[ShardReport]:
+        """Run the replicated analysis of one stream (no execution).
+
+        Analyzes the stream on every replica through the configured
+        backend, then performs the deterministic-merge verification.
+        Returns the per-shard reports (fingerprint, analysis seconds,
+        shipped bytes); raises
+        :class:`~repro.distributed.verify.DeterminismError` on
+        divergence.  Bodies are not run during analysis — values are
+        owned by the sharded execution.
+        """
+        base = self._backend.tasks_analyzed
+        shipped_before = self._backend.shipped_bytes
+        with self.profile.phase("analyze"):
+            reports = self._backend.analyze(stream)
+        for report in reports:
+            self.profile.add_time(f"analyze.shard{report.shard}",
+                                  report.seconds)
+        self.profile.add_bytes("ship",
+                               self._backend.shipped_bytes - shipped_before)
+        if self.verify_replicas and len(reports) > 1:
+            with self.profile.phase("verify"):
+                check_reports(
+                    reports,
+                    lambda shard: self._backend.dump_dependences(
+                        shard, base, len(stream)),
+                    base)
+        return reports
+
+    def execute(self, stream: TaskStream) -> list[ShardReport]:
         """Analyze the stream on every replica, execute it sharded."""
-        # 1. replicated analysis (bodies are not run during analysis —
-        #    values are owned by the sharded execution below)
-        base = self._executed
-        for replica in self._replicas:
+        reports = self.analyze(stream)
+        with self.profile.phase("execute"):
             for task in stream:
-                replica.launch(task.name, task.requirements, None,
-                               task.point)
-        if self.verify_replicas and len(self._replicas) > 1:
-            self._check_replica_agreement(base, len(stream))
-
-        # 2. sharded execution in program order with explicit pulls
-        for task in stream:
-            self._execute_one(task, self.sharding(task))
+                self._execute_one(task, self.sharding(task))
         self._executed += len(stream)
-
-    def _check_replica_agreement(self, base: int, count: int) -> None:
-        reference = self._replicas[0].graph
-        for s, replica in enumerate(self._replicas[1:], start=1):
-            for tid in range(base, base + count):
-                a = reference.dependences_of(tid)
-                b = replica.graph.dependences_of(tid)
-                if a != b:
-                    raise MachineError(
-                        f"control replication broken: shard 0 and shard "
-                        f"{s} disagree on task {tid}'s dependences "
-                        f"({sorted(a)} vs {sorted(b)}) — the analysis is "
-                        "not deterministic")
+        return reports
 
     # ------------------------------------------------------------------
     def _pull(self, field_name: str, positions: np.ndarray,
@@ -221,6 +271,14 @@ class ShardedRuntime:
         return {name: self.gather_field(name)
                 for name in self.tree.field_space.names}
 
+    def state_fingerprint(self) -> str:
+        """Digest of the gathered (globally coherent) field values —
+        comparable against :meth:`SequentialExecutor.fingerprint`."""
+        from repro.distributed.verify import fields_fingerprint
+
+        return fields_fingerprint(self.gather_fields())
+
     def __repr__(self) -> str:
         return (f"ShardedRuntime(shards={self.shards}, "
+                f"backend={type(self._backend).name!r}, "
                 f"executed={self._executed}, messages={self.log.messages})")

@@ -1,0 +1,203 @@
+"""Deterministic-merge verification for replicated analyses.
+
+DCR (section 4 of the paper, and Bauer et al., PPoPP 2021) only works if
+every control-replicated shard independently reproduces an *identical*
+dependence analysis.  When the per-shard analyses run concurrently
+(:mod:`repro.distributed.backends`) that obligation becomes the merge
+step's correctness condition, so it is enforced, not assumed: each shard
+hashes its dependence graph *and* its equivalence-set refinement state
+(via :meth:`~repro.visibility.base.CoherenceAlgorithm.structure_tokens`
+plus the cost-meter event counts, which record the refinement trace —
+``eqsets_split``, ``eqsets_coalesced``, ...), the merge compares the
+fingerprints, and a mismatch fails fast with a structured per-task diff
+rather than a silent wrong answer.
+
+Fingerprints are SHA-256 over a canonical byte encoding, so they are
+stable across processes, machines and Python hash randomization — the
+same digests back the differential determinism tests that run one
+analysis at several shard counts and backends and require bit-identical
+hashes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+from repro.errors import MachineError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.context import Runtime
+    from repro.runtime.dependence import DependenceGraph
+
+
+def _hash_tokens(h: "hashlib._Hash", token) -> None:
+    """Feed one (possibly nested) token into a hash, type-tagged so that
+    e.g. the int 1 and the string "1" cannot collide."""
+    if isinstance(token, bytes):
+        h.update(b"b" + len(token).to_bytes(8, "little") + token)
+    elif isinstance(token, str):
+        _hash_tokens(h, token.encode("utf-8"))
+    elif isinstance(token, bool):
+        h.update(b"B1" if token else b"B0")
+    elif isinstance(token, int):
+        h.update(b"i" + str(token).encode())
+    elif token is None:
+        h.update(b"n")
+    elif isinstance(token, (tuple, list)):
+        h.update(b"t" + len(token).to_bytes(8, "little"))
+        for item in token:
+            _hash_tokens(h, item)
+    else:
+        _hash_tokens(h, repr(token))
+
+
+def fingerprint_tokens(*tokens) -> str:
+    """SHA-256 hex digest of a canonical encoding of nested tokens."""
+    h = hashlib.sha256()
+    for token in tokens:
+        _hash_tokens(h, token)
+    return h.hexdigest()
+
+
+def graph_fingerprint(graph: "DependenceGraph", start: int = 0,
+                      count: Optional[int] = None) -> str:
+    """Digest of one dependence-graph section.
+
+    ``start``/``count`` select the tasks of one executed stream so that
+    repeated ``execute`` calls can be verified incrementally; the ids and
+    their sorted dependence sets are hashed in program order.
+    """
+    ids = graph.task_ids
+    if count is not None:
+        ids = [t for t in ids if start <= t < start + count]
+    return fingerprint_tokens(
+        [(tid, tuple(sorted(graph.dependences_of(tid)))) for tid in ids])
+
+
+def structure_fingerprint(runtime: "Runtime") -> str:
+    """Digest of a runtime's analysis structure and refinement trace.
+
+    Combines every field's :meth:`structure_tokens` with the cost meter's
+    event counts (the counts of ``eqsets_split``/``eqsets_coalesced``/...
+    are a digest of the refinement *trace*, not just its final state).
+    """
+    per_field = [runtime.algorithm_for(name).structure_tokens()
+                 for name in runtime.tree.field_space.names]
+    counters = tuple(sorted(runtime.meter.snapshot().items()))
+    return fingerprint_tokens(per_field, counters)
+
+
+def analysis_fingerprint(runtime: "Runtime", start: int = 0,
+                         count: Optional[int] = None) -> str:
+    """The full per-shard digest the merge step compares."""
+    return fingerprint_tokens(graph_fingerprint(runtime.graph, start, count),
+                              structure_fingerprint(runtime))
+
+
+def fields_fingerprint(fields) -> str:
+    """Digest of a ``{name: ndarray}`` mapping of field values.
+
+    Used by the differential tests to compare distributed state against
+    the sequential reference without a field-by-field array comparison.
+    """
+    import numpy as np
+
+    return fingerprint_tokens(
+        [(name, np.asarray(fields[name]).tobytes())
+         for name in sorted(fields)])
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardReport:
+    """One shard's view of an analyzed stream, as returned by a backend.
+
+    ``seconds`` is the wall-clock analysis time measured where the replica
+    lives (in-process or inside a worker); ``shipped_bytes`` counts the
+    pickled payload that moved to reach it (0 for in-process replicas).
+    """
+
+    shard: int
+    fingerprint: str
+    seconds: float
+    shipped_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class TaskDivergence:
+    """One task two shards disagree on."""
+
+    task_id: int
+    shard: int
+    reference_deps: tuple[int, ...]
+    shard_deps: tuple[int, ...]
+
+    def __str__(self) -> str:
+        return (f"task {self.task_id}: shard 0 -> "
+                f"{list(self.reference_deps)}, shard {self.shard} -> "
+                f"{list(self.shard_deps)}")
+
+
+class DeterminismError(MachineError):
+    """Raised when replicated analyses diverge (DCR contract violation).
+
+    Carries the structured evidence: which shards' fingerprints differ
+    and, when dependence dumps are available, the exact per-task diff.
+    """
+
+    def __init__(self, message: str,
+                 mismatched_shards: Sequence[int] = (),
+                 divergences: Sequence[TaskDivergence] = ()) -> None:
+        super().__init__(message)
+        self.mismatched_shards = tuple(mismatched_shards)
+        self.divergences = tuple(divergences)
+
+
+def diff_dependences(reference: Sequence[Sequence[int]],
+                     shard: int,
+                     candidate: Sequence[Sequence[int]],
+                     base: int) -> list[TaskDivergence]:
+    """Per-task diff between two shards' dependence dumps.
+
+    Both dumps list, for the ``len(reference)`` tasks starting at global
+    task id ``base``, the sorted dependences each shard recorded.
+    """
+    out: list[TaskDivergence] = []
+    for k, (a, b) in enumerate(zip(reference, candidate)):
+        if tuple(a) != tuple(b):
+            out.append(TaskDivergence(base + k, shard, tuple(a), tuple(b)))
+    return out
+
+
+def check_reports(reports: Sequence[ShardReport],
+                  dump: Callable[[int], Sequence[Sequence[int]]],
+                  base: int) -> None:
+    """The deterministic-merge step: compare every shard's fingerprint
+    against shard 0's and fail fast with a structured diff on divergence.
+
+    ``dump(shard)`` fetches a shard's per-task dependence lists for the
+    just-analyzed stream — only called on mismatch, so the happy path
+    ships fingerprints alone.
+    """
+    reference = reports[0]
+    mismatched = [r.shard for r in reports[1:]
+                  if r.fingerprint != reference.fingerprint]
+    if not mismatched:
+        return
+    reference_deps = dump(reference.shard)
+    divergences: list[TaskDivergence] = []
+    for shard in mismatched:
+        divergences.extend(
+            diff_dependences(reference_deps, shard, dump(shard), base))
+    detail = "; ".join(str(d) for d in divergences[:8])
+    if len(divergences) > 8:
+        detail += f"; ... {len(divergences) - 8} more"
+    if not divergences:
+        detail = ("dependence graphs agree — the analyses diverged in "
+                  "equivalence-set structure or metered refinement trace")
+    raise DeterminismError(
+        f"control replication broken: shard(s) {mismatched} disagree with "
+        f"shard 0 — the analysis is not deterministic ({detail})",
+        mismatched_shards=mismatched, divergences=divergences)

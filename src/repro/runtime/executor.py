@@ -80,3 +80,15 @@ class SequentialExecutor:
     def fields(self) -> dict[str, np.ndarray]:
         """Snapshot of every field."""
         return {k: v.copy() for k, v in self._fields.items()}
+
+    def fingerprint(self) -> str:
+        """Stable digest of the current field contents.
+
+        The differential tests compare this against
+        :meth:`ShardedRuntime.state_fingerprint` of a sharded run: equal
+        digests mean bit-identical distributed state without
+        materializing a field-by-field comparison.
+        """
+        from repro.distributed.verify import fields_fingerprint
+
+        return fields_fingerprint(self._fields)

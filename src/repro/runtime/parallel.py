@@ -29,6 +29,7 @@ from repro.errors import TaskError
 from repro.regions.tree import RegionTree
 from repro.runtime.dependence import DependenceGraph
 from repro.runtime.task import Task
+from repro.visibility.meter import PhaseProfile
 
 
 @dataclass
@@ -70,13 +71,24 @@ class ParallelExecutor:
 
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[Task], graph: DependenceGraph,
-            log: Optional[ExecutionLog] = None) -> None:
+            log: Optional[ExecutionLog] = None,
+            profile: Optional[PhaseProfile] = None) -> None:
         """Execute every task, releasing each when its dependences finish.
 
         ``graph`` must contain exactly the tasks' ids.  Raises if the
         graph references unknown tasks or contains a cycle (impossible for
         graphs built by the runtime, possible for hand-built ones).
+        ``profile``, when given, records the run under the
+        ``parallel.execute`` phase (wall clock and task count).
         """
+        if profile is not None:
+            with profile.phase("parallel.execute"):
+                self._run(tasks, graph, log)
+            return
+        self._run(tasks, graph, log)
+
+    def _run(self, tasks: Sequence[Task], graph: DependenceGraph,
+             log: Optional[ExecutionLog] = None) -> None:
         by_id = {t.task_id: t for t in tasks}
         if set(by_id) != set(graph.task_ids):
             raise TaskError("graph and task list disagree on task ids")

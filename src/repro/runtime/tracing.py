@@ -57,6 +57,18 @@ def trace_signature(stream: TaskStream) -> tuple:
     return tuple(out)
 
 
+def signature_digest(stream: TaskStream) -> str:
+    """Process-stable hex digest of :func:`trace_signature`.
+
+    Tuples hash differently across processes (Python hash randomization),
+    so the parallel analysis path and the CLI identify streams by this
+    digest instead when labelling reports.
+    """
+    from repro.distributed.verify import fingerprint_tokens
+
+    return fingerprint_tokens(trace_signature(stream))
+
+
 @dataclass
 class RecordedTrace:
     """One captured trace: its fingerprint and dependence template."""

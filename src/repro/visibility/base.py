@@ -129,6 +129,41 @@ class CoherenceAlgorithm(ABC):
         assert privilege.redop is not None
         return privilege.redop.identity_array(n, self.dtype)
 
+    def structure_tokens(self) -> tuple:
+        """Stable, hashable description of the current analysis structure.
+
+        DCR's determinism contract requires every control-replicated shard
+        to evolve *identical* analysis state, not merely identical
+        dependence graphs; the parallel shard-analysis executor hashes
+        these tokens (see :mod:`repro.distributed.verify`) to enforce it.
+        The default introspects the structures each algorithm exposes:
+        equivalence-set stores (Warnock, ray casting — the set
+        decomposition plus the refinement trace each history encodes),
+        history lengths (painter), composite-view item counts
+        (tree painter) and interned access sets (z-buffer).
+        """
+        tokens: list = [type(self).name, self.field]
+        store = getattr(self, "store", None)
+        if store is not None and hasattr(store, "all_sets"):
+            for eqset in sorted(store.all_sets(),
+                                key=lambda s: (s.space.bounds, s.space.size)):
+                entries = tuple(
+                    (repr(entry.privilege), entry.task_id,
+                     tuple(sorted(entry.collapsed_ids)),
+                     entry.domain.bounds if hasattr(entry, "domain")
+                     else None)
+                    for entry in eqset.history)
+                tokens.append(("eqset", eqset.space.bounds,
+                               eqset.space.size,
+                               eqset.space.indices.tobytes(), entries))
+        elif hasattr(self, "total_items"):
+            tokens.append(("view_items", self.total_items()))
+        elif hasattr(self, "history_length"):
+            tokens.append(("history", self.history_length))
+        elif hasattr(self, "interned_sets"):
+            tokens.append(("interned", self.interned_sets()))
+        return tuple(tokens)
+
     def _check_commit_values(self, privilege: Privilege,
                              region: Region,
                              values: Optional[np.ndarray]) -> Optional[np.ndarray]:

@@ -25,9 +25,11 @@ Event vocabulary (shared by all algorithms)
 
 from __future__ import annotations
 
+import time
 from collections import Counter
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import Hashable, Iterator
 
 
 @dataclass(frozen=True)
@@ -101,3 +103,100 @@ class CostMeter:
     def __repr__(self) -> str:
         top = ", ".join(f"{k}={v}" for k, v in self.counters.most_common(4))
         return f"CostMeter({top})"
+
+
+@dataclass
+class PhaseStat:
+    """Accumulated wall-clock and data-volume totals for one named phase."""
+
+    calls: int = 0
+    seconds: float = 0.0
+    bytes: int = 0
+
+
+class PhaseProfile:
+    """Wall-clock perf counters for multi-phase operations.
+
+    Where :class:`CostMeter` counts *algorithmic* operations (deterministic,
+    replayable onto the machine simulator), a phase profile records *honest
+    wall-clock time and data volume* per named phase of a real execution —
+    the parallel shard-analysis executor uses one to attribute time to
+    analysis (per shard), merge/verify, shipping, and sharded execution.
+
+    Phase names are hierarchical by convention (``"analyze"``,
+    ``"analyze.shard3"``); :meth:`render` groups them lexicographically.
+    """
+
+    def __init__(self) -> None:
+        self._stats: dict[str, PhaseStat] = {}
+
+    # ------------------------------------------------------------------
+    def stat(self, name: str) -> PhaseStat:
+        """The (created-on-demand) accumulator for one phase."""
+        try:
+            return self._stats[name]
+        except KeyError:
+            stat = self._stats[name] = PhaseStat()
+            return stat
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[PhaseStat]:
+        """Time one phase occurrence with a context manager."""
+        start = time.perf_counter()
+        stat = self.stat(name)
+        try:
+            yield stat
+        finally:
+            stat.calls += 1
+            stat.seconds += time.perf_counter() - start
+
+    def add_time(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Credit externally measured time (e.g. from a worker process)."""
+        stat = self.stat(name)
+        stat.calls += calls
+        stat.seconds += seconds
+
+    def add_bytes(self, name: str, n: int) -> None:
+        """Credit data volume (e.g. pickled bytes shipped to a worker)."""
+        self.stat(name).bytes += n
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, PhaseStat]:
+        """Copy of every phase's totals."""
+        return {name: PhaseStat(s.calls, s.seconds, s.bytes)
+                for name, s in self._stats.items()}
+
+    def merge(self, other: "PhaseProfile") -> None:
+        """Fold another profile's totals into this one."""
+        for name, s in other._stats.items():
+            stat = self.stat(name)
+            stat.calls += s.calls
+            stat.seconds += s.seconds
+            stat.bytes += s.bytes
+
+    def reset(self) -> None:
+        self._stats.clear()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stats
+
+    def render(self) -> str:
+        """Aligned text table of every phase, sorted by name."""
+        if not self._stats:
+            return "(no phases recorded)"
+        rows = [("phase", "calls", "seconds", "bytes")]
+        for name in sorted(self._stats):
+            s = self._stats[name]
+            rows.append((name, str(s.calls), f"{s.seconds:.6f}",
+                         str(s.bytes) if s.bytes else "-"))
+        widths = [max(len(r[k]) for r in rows) for k in range(4)]
+        return "\n".join(
+            "  ".join(col.ljust(w) if k == 0 else col.rjust(w)
+                      for k, (col, w) in enumerate(zip(row, widths)))
+            for row in rows)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}={s.seconds:.3f}s" for name, s in
+            sorted(self._stats.items()))
+        return f"PhaseProfile({inner})"

@@ -4,11 +4,24 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import settings
 from hypothesis import strategies as st
 
 from repro import (READ, READ_WRITE, Extent, IndexSpace, RegionRequirement,
                    RegionTree, TaskStream, reduce)
 from repro.privileges import Privilege
+
+# ----------------------------------------------------------------------
+# shared hypothesis profile
+# ----------------------------------------------------------------------
+# One place pins the suite-wide policy instead of per-file settings:
+# derandomized runs (CI must be reproducible — a flaking random example
+# would poison the determinism guarantees this suite exists to check) and
+# no deadline (wall-clock per example varies wildly across the CI matrix
+# and under coverage).  Per-test @settings(...) still override counts;
+# unspecified fields inherit from this profile.
+settings.register_profile("repro", derandomize=True, deadline=None)
+settings.load_profile("repro")
 
 
 # ----------------------------------------------------------------------

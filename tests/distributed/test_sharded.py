@@ -30,14 +30,29 @@ class TestReplicaDeterminism:
     def test_divergence_detected(self):
         """A deliberately shard-dependent sharding of the *analysis* is
         impossible through the public API, so fake a divergence by
-        mutating one replica's graph record."""
+        mutating one replica's graph record and re-running the merge."""
+        from repro.distributed.verify import (DeterminismError, ShardReport,
+                                              analysis_fingerprint,
+                                              check_reports)
         tree, P, G = make_fig1_tree()
         srt = ShardedRuntime(tree, fig1_initial(tree), shards=2)
         srt.execute(fig1_stream(tree, P, G, 1))
         # tamper with replica 1's recorded dependences
-        srt._replicas[1].graph._deps[3] = frozenset()
-        with pytest.raises(MachineError, match="not deterministic"):
-            srt._check_replica_agreement(0, 6)
+        backend = srt.backend
+        backend._others[0].graph._deps[3] = frozenset()
+        reports = [
+            ShardReport(s, analysis_fingerprint(backend._runtime_of(s), 0, 6),
+                        0.0)
+            for s in range(2)]
+        with pytest.raises(MachineError, match="not deterministic") as info:
+            check_reports(
+                reports,
+                lambda shard: backend.dump_dependences(shard, 0, 6), 0)
+        exc = info.value
+        assert isinstance(exc, DeterminismError)
+        assert exc.mismatched_shards == (1,)
+        assert any(d.task_id == 3 and d.shard_deps == ()
+                   for d in exc.divergences)
 
 
 class TestShardedExecution:
@@ -149,7 +164,7 @@ class TestShardedProperty:
     analyses must agree and the gathered distributed state must equal
     sequential execution, for every shard count."""
 
-    @settings(max_examples=25, deadline=None,
+    @settings(max_examples=25,
               suppress_health_check=[HealthCheck.too_slow,
                                      HealthCheck.data_too_large])
     @given(random_programs(), st.integers(1, 4))

@@ -62,7 +62,7 @@ class TestBVHBasics:
 
 
 class TestBVHProperties:
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     @given(st.lists(nonempty_index_spaces(128), min_size=1, max_size=25),
            nonempty_index_spaces(128))
     def test_query_superset_of_exact(self, spaces, probe):
@@ -73,7 +73,7 @@ class TestBVHProperties:
         candidates = set(bvh.query(probe))
         assert exact <= candidates
 
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     @given(st.lists(nonempty_index_spaces(128), min_size=1, max_size=25),
            nonempty_index_spaces(128))
     def test_query_exact_matches_bruteforce(self, spaces, probe):
@@ -82,3 +82,58 @@ class TestBVHProperties:
             bvh.insert(s, i)
         want = [i for i, s in enumerate(spaces) if s.overlaps(probe)]
         assert sorted(bvh.query_exact(probe)) == sorted(want)
+
+
+#: A "rectangle" in the 1-D linearized space: an inclusive [lo, hi] interval.
+def rectangles(limit=128):
+    return st.tuples(st.integers(0, limit - 1),
+                     st.integers(0, limit - 1)).map(sorted)
+
+
+class TestBVHRectangleDifferential:
+    """Random rectangle sets: every query answer must equal the
+    brute-force scan over the live items (dense intervals make the
+    conservative bounding-interval answer exact, so equality — not just
+    superset — is required)."""
+
+    @settings(max_examples=50)
+    @given(st.lists(rectangles(), min_size=1, max_size=40), rectangles())
+    def test_query_interval_matches_bruteforce(self, rects, probe):
+        bvh = BVH(leaf_capacity=2)
+        for i, (lo, hi) in enumerate(rects):
+            bvh.insert(IndexSpace.from_range(lo, hi + 1), i)
+        plo, phi = probe
+        want = sorted(i for i, (lo, hi) in enumerate(rects)
+                      if lo <= phi and plo <= hi)
+        assert sorted(bvh.query_interval(plo, phi)) == want
+
+    @settings(max_examples=30)
+    @given(st.lists(rectangles(), min_size=2, max_size=30),
+           st.data())
+    def test_interleaved_removals_match_bruteforce(self, rects, data):
+        bvh = BVH(leaf_capacity=2)
+        for i, (lo, hi) in enumerate(rects):
+            bvh.insert(IndexSpace.from_range(lo, hi + 1), i)
+        live = dict(enumerate(rects))
+        victims = data.draw(st.lists(
+            st.sampled_from(sorted(live)), max_size=len(live) - 1,
+            unique=True))
+        for victim in victims:
+            assert bvh.remove(victim)
+            del live[victim]
+        plo, phi = data.draw(rectangles())
+        want = sorted(i for i, (lo, hi) in live.items()
+                      if lo <= phi and plo <= hi)
+        assert sorted(bvh.query_interval(plo, phi)) == want
+        assert len(bvh) == len(live)
+
+    @settings(max_examples=30)
+    @given(st.lists(nonempty_index_spaces(96), min_size=1, max_size=25),
+           nonempty_index_spaces(96))
+    def test_query_exact_matches_bruteforce_sparse(self, spaces, probe):
+        """Sparse spaces too: query_exact is the true-overlap scan."""
+        bvh = BVH(leaf_capacity=2)
+        for i, s in enumerate(spaces):
+            bvh.insert(s, i)
+        want = sorted(i for i, s in enumerate(spaces) if s.overlaps(probe))
+        assert sorted(bvh.query_exact(probe)) == want

@@ -56,7 +56,7 @@ class TestKDTreeBasics:
 
 
 class TestKDTreeProperties:
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     @given(st.lists(nonempty_index_spaces(128), min_size=1, max_size=30),
            nonempty_index_spaces(128))
     def test_query_superset_of_exact(self, spaces, probe):
@@ -66,7 +66,7 @@ class TestKDTreeProperties:
         exact = {i for i, s in enumerate(spaces) if s.overlaps(probe)}
         assert exact <= set(kd.query(probe))
 
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     @given(st.lists(nonempty_index_spaces(64), min_size=2, max_size=20),
            st.data())
     def test_remove_then_query(self, spaces, data):
@@ -77,3 +77,49 @@ class TestKDTreeProperties:
         hits = kd.query(IndexSpace.from_range(0, 64))
         assert victim not in hits
         assert len(kd) == len(spaces) - 1
+
+
+#: A "rectangle" in the 1-D linearized space: an inclusive [lo, hi] interval.
+def rectangles(limit=128):
+    return st.tuples(st.integers(0, limit - 1),
+                     st.integers(0, limit - 1)).map(sorted)
+
+
+class TestKDTreeRectangleDifferential:
+    """Random rectangle sets against the brute-force scan.  Dense
+    intervals make the K-d tree's conservative bounding-interval answer
+    exact, so the query must *equal* the scan — and spanning items that
+    live in both subtrees must still be reported exactly once."""
+
+    @settings(max_examples=50)
+    @given(st.lists(rectangles(), min_size=1, max_size=40), rectangles())
+    def test_query_interval_matches_bruteforce(self, rects, probe):
+        kd = KDTree(0, 127, leaf_capacity=2)
+        for i, (lo, hi) in enumerate(rects):
+            kd.insert(IndexSpace.from_range(lo, hi + 1), i)
+        plo, phi = probe
+        want = sorted(i for i, (lo, hi) in enumerate(rects)
+                      if lo <= phi and plo <= hi)
+        assert sorted(kd.query_interval(plo, phi)) == want
+
+    @settings(max_examples=30)
+    @given(st.lists(rectangles(), min_size=2, max_size=30),
+           st.data())
+    def test_interleaved_removals_match_bruteforce(self, rects, data):
+        kd = KDTree(0, 127, leaf_capacity=2)
+        ids = {}
+        live = {}
+        for i, (lo, hi) in enumerate(rects):
+            ids[i] = kd.insert(IndexSpace.from_range(lo, hi + 1), i)
+            live[i] = (lo, hi)
+        victims = data.draw(st.lists(
+            st.sampled_from(sorted(live)), max_size=len(live) - 1,
+            unique=True))
+        for victim in victims:
+            assert kd.remove(ids[victim]) == victim
+            del live[victim]
+        plo, phi = data.draw(rectangles())
+        want = sorted(i for i, (lo, hi) in live.items()
+                      if lo <= phi and plo <= hi)
+        assert sorted(kd.query_interval(plo, phi)) == want
+        assert len(kd) == len(live)

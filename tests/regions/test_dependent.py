@@ -42,7 +42,7 @@ class TestPartitionByField:
         with pytest.raises(RegionTreeError):
             partition_by_field(tree.root, "C", np.array([0, 1]))
 
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     @given(st.lists(st.integers(0, 3), min_size=4, max_size=12))
     def test_property_disjoint_cover(self, colors):
         tree = make_tree(len(colors))

@@ -144,7 +144,7 @@ class TestTraversal:
         tree.root.create_partition("half", [IndexSpace.from_range(0, 4)])
         assert tree.find_disjoint_complete_partition() is None
 
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     @given(random_trees())
     def test_random_trees_wellformed(self, tree):
         for region in tree.walk():

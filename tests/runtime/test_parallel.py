@@ -158,7 +158,7 @@ class TestParallelProperty:
     """Any dependence-respecting schedule of a random program must match
     sequential execution (the executable definition of graph soundness)."""
 
-    @settings(max_examples=20, deadline=None,
+    @settings(max_examples=20,
               suppress_health_check=[HealthCheck.too_slow,
                                      HealthCheck.data_too_large])
     @given(random_programs(), st.sampled_from(["raycast", "warnock",

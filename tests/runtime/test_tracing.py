@@ -194,7 +194,7 @@ class TestTracingProperty:
     checked here are value equality and transitive oracle coverage.
     """
 
-    @settings(max_examples=25, deadline=None,
+    @settings(max_examples=25,
               suppress_health_check=[HealthCheck.too_slow,
                                      HealthCheck.data_too_large])
     @given(random_trees(), st.data())

@@ -84,3 +84,31 @@ class TestInspectZBuffer:
                      "zbuffer", "--pieces", "2", "--iterations", "1"]) == 0
         out = capsys.readouterr().out
         assert "interned access sets" in out
+
+
+class TestAnalyze:
+    def test_serial_analyze(self, capsys):
+        assert main(["analyze", "--app", "stencil", "--pieces", "2",
+                     "--iterations", "1", "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "serial backend" in out
+        assert "shard 0: fingerprint" in out
+        assert "merge verified: 2 identical analyses" in out
+
+    def test_parallel_profile(self, capsys):
+        assert main(["analyze", "--app", "stencil", "--pieces", "2",
+                     "--iterations", "1", "--shards", "3",
+                     "--parallel", "2", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "process backend, 2 workers" in out
+        assert "merge verified: 3 identical analyses" in out
+        # per-phase perf counters from the PhaseProfile
+        assert "analyze.shard2" in out
+        assert "verify" in out and "ship" in out
+
+    def test_thread_backend_forced(self, capsys):
+        assert main(["analyze", "--app", "circuit", "--pieces", "2",
+                     "--iterations", "1", "--shards", "2",
+                     "--backend", "thread", "--algorithm", "warnock"]) == 0
+        out = capsys.readouterr().out
+        assert "thread backend" in out

@@ -237,7 +237,7 @@ class TestScriptedCases:
 
 
 class TestRandomPrograms:
-    @settings(max_examples=120, deadline=None,
+    @settings(max_examples=120,
               suppress_health_check=[HealthCheck.too_slow,
                                      HealthCheck.data_too_large])
     @given(random_programs())
@@ -245,7 +245,7 @@ class TestRandomPrograms:
         tree, initial, stream = program
         compare_algorithms(tree, initial, stream)
 
-    @settings(max_examples=80, deadline=None,
+    @settings(max_examples=80,
               suppress_health_check=[HealthCheck.too_slow,
                                      HealthCheck.data_too_large])
     @given(random_multifield_programs())

@@ -1,11 +1,14 @@
 """Stateful property test: the runtime tracks the reference *continuously*.
 
 A hypothesis rule-based state machine drives four runtimes (one per
-algorithm) and the sequential reference executor through an arbitrary
-interleaving of task launches, partition creations, and observations; after
-*every* step the observable state must agree.  This catches bugs that only
-appear under unusual interleavings (e.g. reading between a reduction and
-the next write, or partitioning mid-stream).
+algorithm), two :class:`ShardedRuntime` instances (2 and 4 shards, with
+replica verification on), and the sequential reference executor through
+an arbitrary interleaving of task launches, partition creations, and
+observations; after *every* step the observable state must agree.  This
+catches bugs that only appear under unusual interleavings (e.g. reading
+between a reduction and the next write, or partitioning mid-stream) —
+and, for the sharded runtimes, any step-granular divergence between the
+distributed owner-map execution and sequential semantics.
 """
 
 import numpy as np
@@ -15,11 +18,13 @@ from hypothesis.stateful import (Bundle, RuleBasedStateMachine, initialize,
 from hypothesis import strategies as st
 
 from repro import (ALGORITHMS, READ, READ_WRITE, IndexSpace,
-                   RegionRequirement, RegionTree, Runtime, reduce)
+                   RegionRequirement, RegionTree, Runtime, TaskStream, reduce)
+from repro.distributed import ShardedRuntime
 from repro.runtime.executor import SequentialExecutor
 from repro.runtime.task import Task
 
 N = 24
+SHARD_COUNTS = (2, 4)
 
 
 class RuntimeVsReference(RuleBasedStateMachine):
@@ -33,9 +38,20 @@ class RuntimeVsReference(RuleBasedStateMachine):
         self.reference = SequentialExecutor(self.tree, initial)
         self.runtimes = {name: Runtime(self.tree, initial, algorithm=name)
                          for name in ALGORITHMS}
+        self.sharded = {shards: ShardedRuntime(self.tree, initial,
+                                               shards=shards)
+                        for shards in SHARD_COUNTS}
         self.counter = 0
         self.part_counter = 0
         return self.tree.root
+
+    def _run_sharded(self, name, reqs, body):
+        """Feed one task through every sharded runtime; the point spreads
+        consecutive tasks across shards via the canonical functor."""
+        for srt in self.sharded.values():
+            stream = TaskStream()
+            stream.append(name, reqs, body, point=self.counter)
+            srt.execute(stream)  # verifies replica agreement per step
 
     # ------------------------------------------------------------------
     @rule(target=regions, region=regions,
@@ -81,6 +97,7 @@ class RuntimeVsReference(RuleBasedStateMachine):
         self.reference.run(Task(self.counter, f"t{seed}", tuple(reqs), body))
         for rt in self.runtimes.values():
             rt.launch(f"t{seed}", reqs, body)
+        self._run_sharded(f"t{seed}", reqs, body)
 
     @rule(region=regions,
           kind_x=st.sampled_from(["read", "write", "sum", "min"]),
@@ -102,6 +119,7 @@ class RuntimeVsReference(RuleBasedStateMachine):
         self.reference.run(Task(self.counter, f"m{seed}", tuple(reqs), body))
         for rt in self.runtimes.values():
             rt.launch(f"m{seed}", reqs, body)
+        self._run_sharded(f"m{seed}", reqs, body)
 
     # ------------------------------------------------------------------
     @invariant()
@@ -113,6 +131,10 @@ class RuntimeVsReference(RuleBasedStateMachine):
             for name, rt in self.runtimes.items():
                 got = rt.read_field(field)
                 assert np.array_equal(got, want), (name, field, got, want)
+            for shards, srt in self.sharded.items():
+                got = srt.gather_field(field)
+                assert np.array_equal(got, want), \
+                    (f"{shards} shards", field, got, want)
 
     @invariant()
     def structural_invariants_hold(self):
@@ -124,5 +146,5 @@ class RuntimeVsReference(RuleBasedStateMachine):
 
 
 RuntimeVsReference.TestCase.settings = settings(
-    max_examples=25, stateful_step_count=20, deadline=None)
+    max_examples=25, stateful_step_count=20)
 TestRuntimeVsReference = RuntimeVsReference.TestCase

@@ -23,7 +23,7 @@ class TestMaximalPrecision:
     positives — per-element tracking never over-approximates domains) and
     the occluded oracle pairs it prunes are always covered by a path."""
 
-    @settings(max_examples=60, deadline=None,
+    @settings(max_examples=60,
               suppress_health_check=[HealthCheck.too_slow,
                                      HealthCheck.data_too_large])
     @given(random_programs())
