@@ -2,12 +2,14 @@
 
 PYTHON ?= python
 
-.PHONY: install test check lint bench bench-quick report examples clean help
+.PHONY: install test check chaos lint bench bench-quick report examples \
+	clean help
 
 help:
 	@echo "install      editable install (offline-friendly)"
 	@echo "test         run the full test suite"
 	@echo "check        lint (bytecode compile) + tier-1 tests (CI entry)"
+	@echo "chaos        fault-injection / SIGKILL recovery matrix"
 	@echo "bench        regenerate every figure + ablation (1-512 nodes)"
 	@echo "bench-quick  same sweep capped at 64 nodes"
 	@echo "report       assemble benchmarks/results into markdown"
@@ -25,6 +27,9 @@ lint:
 
 check: lint
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+chaos:
+	PYTHONPATH=src $(PYTHON) -m pytest -m chaos -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

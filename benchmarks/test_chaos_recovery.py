@@ -1,0 +1,46 @@
+"""Chaos-recovery benchmark (seeded fault injection, honest wall clock).
+
+Analyzes the same stencil stream — window by window, so checkpoints and
+replay have stream boundaries — on the supervised process backend at a
+sweep of fault rates, and writes ``chaos_recovery.tsv``: injected faults
+seen, retries/respawns, tasks replayed from the last fingerprint-verified
+checkpoint, wall-clock recovery time, and whether the recovered run
+reproduced the fault-free fingerprint (it must, at every rate — that is
+the determinism contract that makes recovery a digest-checked replay).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import APPS
+from repro.bench.harness import render_chaos_rows, run_chaos_bench
+
+from benchmarks.conftest import write_result
+
+SHARDS = 4
+FAULT_RATES = (0.0, 0.05, 0.1, 0.2)
+SEED = 7
+
+
+@pytest.mark.benchmark(group="chaos-recovery")
+def test_chaos_recovery_sweep(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_chaos_bench(
+            lambda shards: APPS["stencil"](pieces=shards),
+            shards=SHARDS, fault_rates=FAULT_RATES, seed=SEED),
+        rounds=1, iterations=1)
+    text = render_chaos_rows(rows)
+    print("\n" + text)
+    write_result("chaos_recovery.tsv", text)
+
+    # every recovered run must reproduce the fault-free fingerprint
+    assert all(row.matches_baseline for row in rows), text
+    assert len({row.fingerprint for row in rows}) == 1, text
+    by_rate = {row.fault_rate: row for row in rows}
+    assert by_rate[0.0].faults == 0
+    assert by_rate[0.0].recovery_time == 0.0
+    # recovery only happens when faults were seen
+    for row in rows:
+        if row.faults == 0:
+            assert row.replayed_tasks == 0 and row.recovery_time == 0.0

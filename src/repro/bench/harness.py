@@ -183,3 +183,103 @@ def render_parallel_rows(rows: Sequence[ParallelAnalysisRow]) -> str:
     header = ("backend\tshards\ttasks\tanalyze_time\tshard_time_max\t"
               "verify_time\tship_bytes\tspeedup\tfingerprint")
     return "\n".join([header, *(r.tsv() for r in rows)])
+
+
+# ----------------------------------------------------------------------
+# chaos-recovery benchmark (seeded fault injection, honest wall clock)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChaosRow:
+    """One fault-rate cell of the chaos-recovery bench.
+
+    ``faults`` counts injected faults the supervisor detected;
+    ``recovery_time`` is wall-clock seconds spent inside recovery
+    (respawn + restore + replay); ``replayed_tasks`` counts task
+    launches re-analyzed during replay; ``matches_baseline`` records
+    whether the recovered run reproduced the fault-free fingerprint
+    (the whole point — it must always be 1).
+    """
+
+    fault_rate: float
+    shards: int
+    tasks: int
+    faults: int
+    retries: int
+    respawns: int
+    replayed_tasks: int
+    workers_lost: int
+    recovery_time: float
+    analyze_time: float
+    matches_baseline: int
+    fingerprint: str
+
+    def tsv(self) -> str:
+        return (f"{self.fault_rate:.3f}\t{self.shards}\t{self.tasks}\t"
+                f"{self.faults}\t{self.retries}\t{self.respawns}\t"
+                f"{self.replayed_tasks}\t{self.workers_lost}\t"
+                f"{self.recovery_time:.6f}\t{self.analyze_time:.6f}\t"
+                f"{self.matches_baseline}\t{self.fingerprint[:16]}")
+
+
+def run_chaos_bench(app_factory: Callable[[int], Application],
+                    shards: int = 4,
+                    fault_rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
+                    seed: int = 7,
+                    steady_iterations: int = 3,
+                    algorithm: str = "raycast",
+                    max_workers: Optional[int] = None,
+                    recv_timeout: float = 2.0,
+                    checkpoint_interval: int = 2
+                    ) -> list[ChaosRow]:
+    """Benchmark supervised recovery under seeded fault injection.
+
+    Analyzes the same application stream — one iteration window at a
+    time, so checkpoints and replay have stream boundaries to work with —
+    once per fault rate on the process backend, and compares every
+    recovered fingerprint against the fault-free (rate 0) baseline.
+    """
+    from repro.distributed import FaultPlan, ShardedRuntime
+    from repro.runtime.task import TaskStream
+
+    rows: list[ChaosRow] = []
+    baseline: Optional[str] = None
+    for rate in fault_rates:
+        app = app_factory(shards)
+        windows = [app.init_stream()]
+        windows += [app.iteration_stream() for _ in range(steady_iterations)]
+        faults = FaultPlan(seed=seed, rate=rate)
+        profile = PhaseProfile()
+        tasks = 0
+        with ShardedRuntime(app.tree, app.initial, shards=shards,
+                            algorithm=algorithm, backend="process",
+                            max_workers=max_workers, profile=profile,
+                            faults=faults, recv_timeout=recv_timeout,
+                            checkpoint_interval=checkpoint_interval) as srt:
+            for window in windows:
+                stream = TaskStream()
+                stream.extend_from(window)
+                tasks += len(stream)
+                reports = srt.analyze(stream)
+            recovery = srt.recovery.copy()
+        fingerprint = reports[0].fingerprint
+        if baseline is None:
+            baseline = fingerprint
+        rows.append(ChaosRow(
+            fault_rate=rate, shards=shards, tasks=tasks,
+            faults=recovery.total_faults, retries=recovery.retries,
+            respawns=recovery.respawns,
+            replayed_tasks=recovery.replayed_tasks,
+            workers_lost=recovery.workers_lost,
+            recovery_time=recovery.recovery_seconds,
+            analyze_time=profile.stat("analyze").seconds,
+            matches_baseline=int(fingerprint == baseline),
+            fingerprint=fingerprint))
+    return rows
+
+
+def render_chaos_rows(rows: Sequence[ChaosRow]) -> str:
+    """TSV table for the chaos-recovery bench (one row per fault rate)."""
+    header = ("fault_rate\tshards\ttasks\tfaults\tretries\trespawns\t"
+              "replayed_tasks\tworkers_lost\trecovery_time\tanalyze_time\t"
+              "matches_baseline\tfingerprint")
+    return "\n".join([header, *(r.tsv() for r in rows)])

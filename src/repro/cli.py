@@ -89,6 +89,17 @@ def _build_parser() -> argparse.ArgumentParser:
                           "--parallel > 1, else serial)")
     ana.add_argument("--profile", action="store_true",
                      help="print per-phase perf counters")
+    ana.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                     help="chaos mode: inject seeded deterministic worker "
+                          "faults (crashes, hangs, corrupt replies) and "
+                          "recover; forces the process backend")
+    ana.add_argument("--fault-rate", type=float, default=0.05, metavar="P",
+                     help="per-request fault probability in chaos mode "
+                          "(default 0.05)")
+    ana.add_argument("--recv-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="supervised receive timeout (default: 60, or 2 "
+                          "in chaos mode so injected hangs recover fast)")
 
     rep = sub.add_parser("report",
                          help="assemble benchmark results into markdown")
@@ -237,25 +248,41 @@ def _cmd_inspect(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
-    from repro.distributed import DeterminismError, ShardedRuntime
+    from repro.distributed import (DeterminismError, FaultPlan,
+                                   ShardedRuntime)
     from repro.errors import MachineError
     from repro.runtime.tracing import signature_digest
 
     backend = args.backend
     if backend is None:
         backend = "process" if args.parallel > 1 else "serial"
+    faults = None
+    recv_timeout = args.recv_timeout if args.recv_timeout is not None \
+        else 60.0
+    if args.chaos is not None:
+        if args.backend not in (None, "process"):
+            print("error: --chaos requires the process backend",
+                  file=sys.stderr)
+            return 2
+        backend = "process"
+        faults = FaultPlan(seed=args.chaos, rate=args.fault_rate)
+        if args.recv_timeout is None:
+            recv_timeout = 2.0
     app = _make_app(args.app, args.pieces)
     stream = _full_stream(app, args.iterations)
     workers = (f", {args.parallel} workers"
                if args.parallel > 1 and backend != "serial" else "")
+    chaos = (f", chaos seed {args.chaos} rate {args.fault_rate}"
+             if faults is not None else "")
     print(f"analyzing {args.app} ({args.pieces} pieces, {len(stream)} "
           f"tasks, stream {signature_digest(stream)[:12]}) under "
           f"{args.algorithm}: {args.shards} shards, {backend} backend"
-          + workers)
+          + workers + chaos)
     try:
         with ShardedRuntime(app.tree, app.initial, shards=args.shards,
                             algorithm=args.algorithm, backend=backend,
-                            max_workers=args.parallel) as srt:
+                            max_workers=args.parallel, faults=faults,
+                            recv_timeout=recv_timeout) as srt:
             try:
                 reports = srt.analyze(stream)
             except DeterminismError as exc:
@@ -271,6 +298,9 @@ def _cmd_analyze(args) -> int:
             print(f"merge verified: {len(reports)} identical analyses "
                   f"({len(graph)} tasks, {graph.edge_count()} edges, "
                   f"critical path {graph.critical_path_length()})")
+            if srt.recovery is not None and (faults is not None
+                                             or srt.recovery.has_activity):
+                print(f"recovery: {srt.recovery.render()}")
             if args.profile:
                 print()
                 print(srt.profile.render())

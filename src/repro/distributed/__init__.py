@@ -24,11 +24,25 @@ with pickled task-stream shipping) followed by a deterministic-merge
 verification step (:mod:`repro.distributed.verify`) that hashes each
 shard's dependence graph and equivalence-set refinement trace and fails
 fast with a structured diff on divergence.
+
+The process backend is *supervised* (:mod:`repro.distributed.faults`):
+worker crashes, hangs and corrupt replies are detected within a bounded
+receive timeout and recovered by respawn + checkpoint restore +
+deterministic replay of the journaled task stream — determinism is what
+makes recovery a digest-checked re-execution rather than a guess.  A
+seeded :class:`~repro.distributed.faults.FaultPlan` injects faults for
+chaos testing; a :class:`~repro.distributed.faults.RecoveryReport`
+counts everything the supervisor saw and did.
 """
 
 from repro.distributed.backends import (BACKENDS, AnalysisBackend,
                                         ProcessBackend, SerialBackend,
                                         ThreadBackend, make_backend)
+from repro.distributed.faults import (FAULT_KINDS, NO_FAULTS, CorruptReply,
+                                      FakeClock, FaultEvent, FaultPlan,
+                                      RecoveryReport, RetryPolicy,
+                                      SystemClock, WorkerCrashed, WorkerFault,
+                                      WorkerHung, WorkerLost)
 from repro.distributed.sharded import MessageLog, ShardedRuntime
 from repro.distributed.verify import (DeterminismError, ShardReport,
                                       analysis_fingerprint,
@@ -39,4 +53,8 @@ __all__ = ["MessageLog", "ShardedRuntime", "AnalysisBackend", "BACKENDS",
            "SerialBackend", "ThreadBackend", "ProcessBackend",
            "make_backend", "DeterminismError", "ShardReport",
            "analysis_fingerprint", "graph_fingerprint",
-           "structure_fingerprint"]
+           "structure_fingerprint",
+           "FAULT_KINDS", "NO_FAULTS", "FaultEvent", "FaultPlan",
+           "RecoveryReport", "RetryPolicy", "SystemClock", "FakeClock",
+           "WorkerFault", "WorkerCrashed", "WorkerHung", "CorruptReply",
+           "WorkerLost"]

@@ -26,6 +26,7 @@ rows; the deterministic-merge verification over them lives in
 
 from __future__ import annotations
 
+import os
 import pickle
 import time
 from abc import ABC, abstractmethod
@@ -40,6 +41,10 @@ from repro.privileges import READ, READ_WRITE, Privilege, reduce
 from repro.regions.tree import RegionTree
 from repro.runtime.context import Runtime
 from repro.runtime.task import RegionRequirement, TaskStream
+from repro.distributed.faults import (HANG_SECONDS, NO_FAULTS, CorruptReply,
+                                      FaultPlan, RecoveryReport, RetryPolicy,
+                                      SystemClock, WorkerCrashed, WorkerFault,
+                                      WorkerHung)
 from repro.distributed.verify import ShardReport, analysis_fingerprint
 
 #: Registry names accepted by :func:`make_backend`.
@@ -183,6 +188,16 @@ class AnalysisBackend(ABC):
     def close(self) -> None:
         """Release any workers; idempotent."""
 
+    def after_verified(self) -> None:
+        """Hook: the caller finished the deterministic-merge verification
+        of the last analyzed stream.  The process backend uses this to
+        take fingerprint-verified recovery checkpoints; in-process
+        backends need nothing."""
+
+    #: Supervision counters (:class:`RecoveryReport`); ``None`` for
+    #: backends that have no workers to supervise.
+    recovery: Optional[RecoveryReport] = None
+
     @property
     def shipped_bytes(self) -> int:
         """Total pickled payload shipped to remote replicas so far."""
@@ -262,143 +277,622 @@ class ThreadBackend(_InProcessBackend):
 
 
 # ----------------------------------------------------------------------
-# process backend: persistent workers + pickled task-stream shipping
+# process backend: persistent workers + pickled task-stream shipping,
+# supervised for fault tolerance
 # ----------------------------------------------------------------------
+class _Hosting:
+    """One self-contained group of replica runtimes (worker- or
+    parent-side): a private region-tree replica, one :class:`Runtime` per
+    hosted shard, and the stream base.  Checkpoint state is exactly
+    ``(tree, runtimes, base)`` — picklable because task bodies never
+    reach replicas and reduction operators pickle by registry name."""
+
+    def __init__(self, tree, runtimes: dict, base: int) -> None:
+        self.tree = tree
+        self.runtimes = runtimes
+        self.base = base
+        self.regions = {region.uid: region for region in tree.regions}
+
+    @classmethod
+    def fresh(cls, tree, initial, algorithm, shards) -> "_Hosting":
+        return cls(tree, {shard: Runtime(tree, initial, algorithm=algorithm)
+                          for shard in shards}, 0)
+
+    def state(self) -> tuple:
+        return (self.tree, self.runtimes, self.base)
+
+    def analyze(self, structure, tasks) -> list[tuple]:
+        apply_structure(self.regions, structure)
+        count = len(tasks)
+        results = []
+        for shard, runtime in self.runtimes.items():
+            start = time.perf_counter()
+            for record in tasks:
+                name, _, point = record
+                runtime.launch(name,
+                               decode_requirements(record, self.regions),
+                               None, point)
+            seconds = time.perf_counter() - start
+            results.append((shard,
+                            analysis_fingerprint(runtime, self.base, count),
+                            seconds))
+        self.base += count
+        return results
+
+    def dump(self, shard: int, lo: int, n: int) -> list[tuple]:
+        graph = self.runtimes[shard].graph
+        return [tuple(sorted(graph.dependences_of(t)))
+                for t in range(lo, lo + n)]
+
+    def digests(self) -> list[tuple]:
+        """Per-shard full-history fingerprints (restore verification)."""
+        return [(shard, analysis_fingerprint(runtime, 0, self.base))
+                for shard, runtime in self.runtimes.items()]
+
+
+def _restore_hostings(blob: bytes) -> list[_Hosting]:
+    return [_Hosting(tree, runtimes, base)
+            for tree, runtimes, base in pickle.loads(blob)]
+
+
+def _checkpoint_hostings(hostings: Sequence[_Hosting]) -> tuple:
+    blob = pickle.dumps([h.state() for h in hostings])
+    digests = [d for h in hostings for d in h.digests()]
+    return (hostings[0].base, blob, digests)
+
+
+def _dispatch(msg: tuple, hostings: list[_Hosting]) -> tuple:
+    """Handle one protocol message against a hosting set.  Shared by the
+    worker loop and the in-process fallback so degraded shards speak the
+    exact same protocol."""
+    try:
+        if msg[0] == "analyze":
+            _, structure, tasks = msg
+            results = []
+            for hosting in hostings:
+                results.extend(hosting.analyze(structure, tasks))
+            return ("ok", results)
+        if msg[0] == "dump":
+            _, shard, lo, n = msg
+            for hosting in hostings:
+                if shard in hosting.runtimes:
+                    return ("ok", hosting.dump(shard, lo, n))
+            return ("error", f"shard {shard} not hosted here")
+        if msg[0] == "digest":
+            digests = [d for h in hostings for d in h.digests()]
+            return ("ok", (hostings[0].base if hostings else 0, digests))
+        if msg[0] == "checkpoint":
+            return ("ok", _checkpoint_hostings(hostings))
+        if msg[0] == "adopt":
+            _, kind, blob, shards, entries = msg
+            if kind == "checkpoint":
+                adopted = _restore_hostings(blob)
+            else:  # genesis: rebuild from the spawn-time snapshot
+                tree, initial, algorithm = pickle.loads(blob)
+                adopted = [_Hosting.fresh(tree, initial, algorithm, shards)]
+            last = None
+            for _, structure, tasks in entries:
+                last = []
+                for hosting in adopted:
+                    last.extend(hosting.analyze(structure, tasks))
+            hostings.extend(adopted)
+            base, ckpt_blob, digests = _checkpoint_hostings(hostings)
+            return ("ok", (last, base, ckpt_blob, digests))
+        return ("error", f"unknown command {msg[0]!r}")
+    except Exception as exc:
+        return ("error", repr(exc))
+
+
 def _worker_main(conn, payload: bytes) -> None:  # pragma: no cover - subprocess
-    """Worker loop: host one or more replica runtimes, analyze shipped
-    streams, reply with fingerprints (and dependence dumps on request)."""
-    tree, initial, algorithm, shards = pickle.loads(payload)
-    runtimes = {shard: Runtime(tree, initial, algorithm=algorithm)
-                for shard in shards}
-    regions_by_uid = {region.uid: region for region in tree.regions}
-    base = 0
+    """Worker loop: host replica runtimes, analyze shipped streams, reply
+    with fingerprints; consult the shipped :class:`FaultPlan` before each
+    request (the no-op default never fires)."""
+    spec = pickle.loads(payload)
+    faults: FaultPlan = spec["faults"]
+    worker, incarnation = spec["worker"], spec["incarnation"]
+    if spec["mode"] == "restore":
+        hostings = _restore_hostings(spec["state"])
+    else:
+        tree, initial, algorithm = pickle.loads(spec["genesis"])
+        hostings = [_Hosting.fresh(tree, initial, algorithm, spec["shards"])]
+    op = 0
     try:
         while True:
             msg = pickle.loads(conn.recv_bytes())
-            try:
-                if msg[0] == "analyze":
-                    _, structure, tasks = msg
-                    apply_structure(regions_by_uid, structure)
-                    count = len(tasks)
-                    results = []
-                    for shard, runtime in runtimes.items():
-                        start = time.perf_counter()
-                        for record in tasks:
-                            name, _, point = record
-                            runtime.launch(
-                                name,
-                                decode_requirements(record, regions_by_uid),
-                                None, point)
-                        seconds = time.perf_counter() - start
-                        results.append(
-                            (shard,
-                             analysis_fingerprint(runtime, base, count),
-                             seconds))
-                    base += count
-                    conn.send_bytes(pickle.dumps(("ok", results)))
-                elif msg[0] == "dump":
-                    _, shard, lo, n = msg
-                    graph = runtimes[shard].graph
-                    deps = [tuple(sorted(graph.dependences_of(t)))
-                            for t in range(lo, lo + n)]
-                    conn.send_bytes(pickle.dumps(("ok", deps)))
-                elif msg[0] == "stop":
-                    return
-                else:
-                    conn.send_bytes(pickle.dumps(
-                        ("error", f"unknown command {msg[0]!r}")))
-            except Exception as exc:
-                conn.send_bytes(pickle.dumps(("error", repr(exc))))
+            if msg[0] == "stop":
+                return
+            event = faults.draw(worker, incarnation, op)
+            op += 1
+            if event is not None:
+                if event.kind == "crash":
+                    os._exit(23)
+                if event.kind == "hang":
+                    time.sleep(HANG_SECONDS)
+                    os._exit(24)
+                if event.kind in ("delay", "slow"):
+                    time.sleep(event.seconds or 0.01)
+            reply = _dispatch(msg, hostings)
+            if event is not None and event.kind == "drop":
+                continue
+            if event is not None and event.kind == "corrupt":
+                conn.send_bytes(b"\xde\xad\xbe\xef garbled frame")
+                continue
+            conn.send_bytes(pickle.dumps(reply))
     except (EOFError, OSError, KeyboardInterrupt):
         return
 
 
-class ProcessBackend(AnalysisBackend):
-    """Replicas 1..N-1 hosted in persistent worker processes.
+class _WorkerHandle:
+    """Parent-side bookkeeping for one supervised worker process."""
 
-    Workers receive the region tree and initial values once (pickled, at
-    spawn) and per-``execute`` payloads containing the structural delta
-    plus the encoded task stream; they return fingerprints and per-shard
-    analysis seconds.  ``max_workers`` caps the process count — with
-    fewer workers than remote replicas, workers host several replicas
-    each and analyze them sequentially.
+    remote = True
+
+    def __init__(self, worker_id: int, shards) -> None:
+        self.worker_id = worker_id
+        self.shards = list(shards)
+        self.proc = None
+        self.conn = None
+        self.incarnation = -1  # first spawn brings it to 0
+        #: Last verified checkpoint: (absolute journal index, state blob,
+        #: per-shard digests) — or None before the first checkpoint.
+        self.checkpoint: Optional[tuple] = None
+
+    @property
+    def checkpoint_index(self) -> int:
+        return self.checkpoint[0] if self.checkpoint is not None else 0
+
+
+class _LocalHandle:
+    """In-process fallback host for the replicas of a lost worker.
+    Speaks the worker protocol synchronously and cannot fault."""
+
+    remote = False
+
+    def __init__(self, hostings: list[_Hosting], shards) -> None:
+        self.hostings = hostings
+        self.shards = list(shards)
+
+    def request(self, msg: tuple) -> tuple:
+        return _dispatch(msg, self.hostings)
+
+
+class ProcessBackend(AnalysisBackend):
+    """Replicas 1..N-1 hosted in persistent, *supervised* worker
+    processes.
+
+    Workers receive a pickled genesis snapshot (region tree + initial
+    values) at spawn and per-``execute`` payloads containing the
+    structural delta plus the encoded task stream; they return
+    fingerprints and per-shard analysis seconds.  ``max_workers`` caps
+    the process count — with fewer workers than remote replicas, workers
+    host several replicas each and analyze them sequentially.
+
+    Fault tolerance: every receive is bounded by ``recv_timeout`` with
+    liveness probes every ``heartbeat`` seconds; a crash (EOF / dead
+    process), hang (timeout) or corrupt reply triggers recovery — kill,
+    exponential-backoff respawn (``retry``), restore from the last
+    verified checkpoint (digest-checked), and deterministic replay of
+    the journaled task stream since that checkpoint.  Checkpoints are
+    taken every ``checkpoint_interval`` verified streams (see
+    :meth:`after_verified`), and the journal is trimmed behind them.
+    When a worker exhausts its retries it is declared lost and its
+    replicas are *reassigned*: adopted by the least-loaded surviving
+    worker, or — when none exists — hosted in-process (graceful
+    degradation to serial-backend semantics).  All activity is counted
+    in :attr:`recovery` (:class:`RecoveryReport`).
+
+    ``faults`` injects deterministic failures for chaos testing
+    (:class:`FaultPlan`; the default never fires); ``clock`` makes the
+    backoff sleeps testable without real waiting.
     """
 
     name = "process"
 
     def __init__(self, tree, initial, algorithm, replicas,
                  max_workers: Optional[int] = None,
-                 start_method: Optional[str] = None) -> None:
+                 start_method: Optional[str] = None,
+                 faults: Optional[FaultPlan] = None,
+                 recv_timeout: Optional[float] = 60.0,
+                 heartbeat: float = 0.05,
+                 retry: Optional[RetryPolicy] = None,
+                 checkpoint_interval: int = 4,
+                 clock=None) -> None:
+        self._closed = False
+        self._handles: list = []
         super().__init__(tree, initial, algorithm, replicas)
         import multiprocessing as mp
 
         if start_method is None:
             start_method = ("fork" if "fork" in mp.get_all_start_methods()
                             else "spawn")
+        self._faults = faults if faults is not None else NO_FAULTS
+        self._recv_timeout = recv_timeout
+        self._heartbeat = heartbeat
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._checkpoint_interval = max(1, checkpoint_interval)
+        self._clock = clock if clock is not None else SystemClock()
+        self.recovery = RecoveryReport()
         self._shipped = 0
         self._known_regions = len(tree.regions)
-        self._workers: list[tuple] = []  # (process, connection, shard ids)
+        #: Journal of shipped analyze entries: (message, task count).
+        #: ``_journal_base`` is the absolute index of ``_journal[0]``
+        #: (entries behind every worker's checkpoint are trimmed).
+        self._journal: list[tuple] = []
+        self._journal_base = 0
+        self._streams_since_checkpoint = 0
         remote = list(range(1, replicas))
         if not remote:
             return
-        ctx = mp.get_context(start_method)
+        self._ctx = mp.get_context(start_method)
         workers = max(1, min(len(remote), max_workers or len(remote)))
         initial = {name: np.asarray(values).copy()
                    for name, values in initial.items()}
+        #: Spawn-time snapshot; respawns-from-scratch and genesis
+        #: adoptions reuse these exact bytes so every incarnation
+        #: observes the identical starting state.
+        self._genesis = pickle.dumps((tree, initial, algorithm))
         groups = [remote[k::workers] for k in range(workers)]
-        for shards in groups:
-            parent_conn, child_conn = ctx.Pipe()
-            payload = pickle.dumps((tree, initial, algorithm, shards))
-            self._shipped += len(payload)
-            proc = ctx.Process(target=_worker_main,
-                               args=(child_conn, payload), daemon=True)
-            proc.start()
-            child_conn.close()
-            self._workers.append((proc, parent_conn, shards))
+        for worker_id, shards in enumerate(groups):
+            handle = _WorkerHandle(worker_id, shards)
+            self._spawn(handle)
+            self._handles.append(handle)
 
+    # ------------------------------------------------------------------
+    # worker lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def handles(self) -> tuple:
+        """The live worker/local handles (tests and introspection)."""
+        return tuple(self._handles)
+
+    @property
+    def remote_handles(self) -> list:
+        return [h for h in self._handles if h.remote]
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any replicas fell back to in-process hosting."""
+        return any(not h.remote for h in self._handles)
+
+    def _spawn(self, handle: _WorkerHandle) -> None:
+        handle.incarnation += 1
+        parent_conn, child_conn = self._ctx.Pipe()
+        spec = {"faults": self._faults, "worker": handle.worker_id,
+                "incarnation": handle.incarnation}
+        if handle.checkpoint is not None:
+            spec.update(mode="restore", state=handle.checkpoint[1])
+        else:
+            spec.update(mode="fresh", genesis=self._genesis,
+                        shards=handle.shards)
+        payload = pickle.dumps(spec)
+        self._shipped += len(payload)
+        proc = self._ctx.Process(target=_worker_main,
+                                 args=(child_conn, payload), daemon=True)
+        proc.start()
+        child_conn.close()
+        handle.proc, handle.conn = proc, parent_conn
+        if handle.incarnation > 0:
+            self.recovery.respawns += 1
+        if handle.checkpoint is not None:
+            # verify the restored state against the checkpoint digests
+            # before trusting it with replay
+            base, digests = self._roundtrip(handle, ("digest",))
+            if sorted(digests) != sorted(handle.checkpoint[2]):
+                raise CorruptReply(
+                    f"worker {handle.worker_id} restored state digest "
+                    f"mismatch at base {base}")
+            self.recovery.restores += 1
+
+    def _kill(self, handle: _WorkerHandle) -> None:
+        proc, conn = handle.proc, handle.conn
+        handle.proc = handle.conn = None
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        if proc is not None:
+            try:
+                if proc.is_alive():
+                    proc.kill()
+                proc.join(timeout=5)
+            except (OSError, ValueError):  # pragma: no cover - defensive
+                pass
+
+    # ------------------------------------------------------------------
+    # supervised messaging
     # ------------------------------------------------------------------
     @property
     def shipped_bytes(self) -> int:
         return self._shipped
 
-    def _request(self, conn, message: tuple):
+    def _send(self, handle: _WorkerHandle, message: tuple) -> None:
         blob = pickle.dumps(message)
         self._shipped += len(blob)
         try:
-            conn.send_bytes(blob)
-            status, result = pickle.loads(conn.recv_bytes())
-        except (EOFError, OSError, BrokenPipeError) as exc:
-            raise MachineError(
-                f"analysis worker died mid-request: {exc!r}") from exc
+            handle.conn.send_bytes(blob)
+        except (OSError, BrokenPipeError, AttributeError) as exc:
+            raise WorkerCrashed(
+                f"worker {handle.worker_id} unreachable: {exc!r}") from exc
+
+    def _recv(self, handle: _WorkerHandle,
+              timeout: Optional[float] = None):
+        """Bounded receive: poll with ``heartbeat`` granularity, probing
+        worker liveness between polls; raises :class:`WorkerCrashed` on
+        death, :class:`WorkerHung` when the deadline passes."""
+        if timeout is None:
+            timeout = self._recv_timeout
+        deadline = (None if timeout is None
+                    else self._clock.monotonic() + timeout)
+        while True:
+            try:
+                if handle.conn.poll(self._heartbeat):
+                    return handle.conn.recv_bytes()
+            except (EOFError, OSError) as exc:
+                raise WorkerCrashed(
+                    f"worker {handle.worker_id} died mid-request: "
+                    f"{exc!r}") from exc
+            if handle.proc is not None and not handle.proc.is_alive():
+                try:  # drain a reply that raced the exit
+                    if handle.conn.poll(0):
+                        return handle.conn.recv_bytes()
+                except (EOFError, OSError):
+                    pass
+                raise WorkerCrashed(
+                    f"worker {handle.worker_id} died (exitcode "
+                    f"{handle.proc.exitcode})")
+            if deadline is not None and self._clock.monotonic() >= deadline:
+                raise WorkerHung(
+                    f"worker {handle.worker_id} sent no reply within "
+                    f"{timeout}s")
+
+    def _parse(self, handle: _WorkerHandle, blob: bytes):
+        try:
+            frame = pickle.loads(blob)
+            status, result = frame
+        except Exception as exc:
+            raise CorruptReply(
+                f"worker {handle.worker_id} reply failed to decode: "
+                f"{exc!r}") from exc
         if status != "ok":
             raise MachineError(f"analysis worker failed: {result}")
         return result
 
+    def _roundtrip(self, handle: _WorkerHandle, message: tuple,
+                   timeout: Optional[float] = None):
+        self._send(handle, message)
+        return self._parse(handle, self._recv(handle, timeout))
+
+    def _request(self, handle, message: tuple):
+        """One supervised request with recovery: local handles answer
+        synchronously; remote faults trigger the recovery path with the
+        request re-issued afterwards."""
+        if not handle.remote:
+            status, result = handle.request(message)
+            if status != "ok":
+                raise MachineError(f"analysis host failed: {result}")
+            return result
+        try:
+            return self._roundtrip(handle, message)
+        except WorkerFault as exc:
+            self.recovery.record_fault(exc.kind)
+            _, result = self._recover(handle, followup=message)
+            return result
+
+    # ------------------------------------------------------------------
+    # recovery: respawn + checkpoint restore + deterministic replay
+    # ------------------------------------------------------------------
+    def _journal_suffix(self, handle) -> list[tuple]:
+        return self._journal[handle.checkpoint_index - self._journal_base:]
+
+    def _replay(self, handle: _WorkerHandle):
+        """Replay every journaled stream since the handle's checkpoint;
+        returns the last entry's analyze results (None if nothing to
+        replay)."""
+        last = None
+        for entry, count in self._journal_suffix(handle):
+            last = self._roundtrip(handle, entry)
+            self.recovery.replayed_streams += 1
+            self.recovery.replayed_tasks += count * len(handle.shards)
+        return last
+
+    def _recover(self, handle: _WorkerHandle,
+                 followup: Optional[tuple] = None) -> tuple:
+        """Recover one faulted worker.  Returns ``(last_analyze_results,
+        followup_result)``; the first covers the newest journal entry
+        (the in-flight stream during analyze-path recovery), the second
+        answers ``followup`` when given.
+
+        Bounded retries with backoff; on exhaustion the worker is
+        declared lost and its replicas are reassigned (adoption by a
+        surviving worker, else in-process fallback).
+        """
+        start = time.perf_counter()
+        self.recovery.recoveries += 1
+        try:
+            for attempt in range(self._retry.max_retries + 1):
+                self.recovery.retries += 1
+                self._kill(handle)
+                delay = self._retry.delay(attempt)
+                if delay > 0:
+                    self._clock.sleep(delay)
+                try:
+                    self._spawn(handle)
+                    last = self._replay(handle)
+                    if followup is not None:
+                        return (last, self._roundtrip(handle, followup))
+                    return (last, None)
+                except WorkerFault as exc:
+                    self.recovery.record_fault(exc.kind)
+            self.recovery.workers_lost += 1
+            self._kill(handle)
+            return self._reassign(handle, followup)
+        finally:
+            self.recovery.recovery_seconds += time.perf_counter() - start
+
+    def _reassign(self, handle: _WorkerHandle,
+                  followup: Optional[tuple]) -> tuple:
+        """Permanent loss: move the handle's replicas to a surviving
+        worker (adoption) or in-process (local fallback)."""
+        self._handles.remove(handle)
+        survivors = self.remote_handles
+        if survivors:
+            target = min(survivors, key=lambda h: len(h.shards))
+            try:
+                return self._adopt(target, handle, followup)
+            except (WorkerFault, MachineError):
+                # adopter state is now unknown: kill it; its own
+                # recovery (from *its* checkpoint, which predates the
+                # adoption) runs lazily at its next request
+                self._kill(target)
+        self.recovery.local_fallbacks += 1
+        local = self._make_local(handle)
+        self._handles.append(local)
+        entries = self._journal_suffix(handle)
+        last = None
+        for entry, count in entries:
+            status, last = local.request(entry)
+            if status != "ok":
+                raise MachineError(f"analysis host failed: {last}")
+            self.recovery.replayed_streams += 1
+            self.recovery.replayed_tasks += count * len(handle.shards)
+        result = None
+        if followup is not None:
+            status, result = local.request(followup)
+            if status != "ok":
+                raise MachineError(f"analysis host failed: {result}")
+        return (last, result)
+
+    def _make_local(self, handle: _WorkerHandle) -> _LocalHandle:
+        if handle.checkpoint is not None:
+            hostings = _restore_hostings(handle.checkpoint[1])
+            digests = [d for h in hostings for d in h.digests()]
+            if sorted(digests) != sorted(handle.checkpoint[2]):
+                raise MachineError(
+                    f"checkpoint for worker {handle.worker_id} failed its "
+                    f"digest check; cannot fall back")
+            self.recovery.restores += 1
+        else:
+            tree, initial, algorithm = pickle.loads(self._genesis)
+            hostings = [_Hosting.fresh(tree, initial, algorithm,
+                                       handle.shards)]
+        return _LocalHandle(hostings, handle.shards)
+
+    def _adopt(self, target: _WorkerHandle, lost: _WorkerHandle,
+               followup: Optional[tuple]) -> tuple:
+        """Ship the lost worker's checkpoint (or genesis) plus journal
+        suffix to ``target``, which rebuilds and replays the replicas and
+        returns a fresh combined checkpoint — one atomic request."""
+        if lost.checkpoint is not None:
+            kind, blob = "checkpoint", lost.checkpoint[1]
+        else:
+            kind, blob = "genesis", self._genesis
+        entries = [entry for entry, _ in self._journal_suffix(lost)]
+        replayed = sum(count for _, count in self._journal_suffix(lost))
+        # adoption replays a whole journal suffix in one request: give it
+        # a proportionally longer deadline
+        timeout = (None if self._recv_timeout is None
+                   else self._recv_timeout * max(4, len(entries)))
+        last, base, ckpt_blob, digests = self._roundtrip(
+            target, ("adopt", kind, blob, lost.shards, entries), timeout)
+        self.recovery.adoptions += 1
+        self.recovery.replayed_streams += len(entries)
+        self.recovery.replayed_tasks += replayed * len(lost.shards)
+        target.shards = sorted(target.shards + lost.shards)
+        target.checkpoint = (self._journal_base + len(self._journal),
+                             ckpt_blob, digests)
+        if followup is not None:
+            return (last, self._roundtrip(target, followup))
+        return (last, None)
+
+    # ------------------------------------------------------------------
+    # checkpoints
+    # ------------------------------------------------------------------
+    def after_verified(self) -> None:
+        """Take fingerprint-verified recovery checkpoints every
+        ``checkpoint_interval`` streams and trim the journal behind
+        them (so recovery replays from the checkpoint, not task 0)."""
+        if not self.remote_handles:
+            if self._journal and not self.degraded:
+                self._journal_base += len(self._journal)
+                self._journal.clear()
+            return
+        self._streams_since_checkpoint += 1
+        if self._streams_since_checkpoint < self._checkpoint_interval:
+            return
+        self._streams_since_checkpoint = 0
+        for handle in list(self.remote_handles):
+            try:
+                base, blob, digests = self._request(handle, ("checkpoint",))
+            except MachineError:  # pragma: no cover - recovery exhausted
+                continue
+            if handle in self._handles:  # may have been lost during recovery
+                handle.checkpoint = (
+                    self._journal_base + len(self._journal), blob, digests)
+                self.recovery.checkpoints += 1
+        self._trim_journal()
+
+    def _trim_journal(self) -> None:
+        remote = self.remote_handles
+        if not remote:
+            return
+        floor = min(h.checkpoint_index for h in remote)
+        drop = floor - self._journal_base
+        if drop > 0:
+            del self._journal[:drop]
+            self._journal_base = floor
+
+    # ------------------------------------------------------------------
+    # the analysis fan-out
+    # ------------------------------------------------------------------
+    def _append_reports(self, reports: list, results) -> None:
+        for shard, fingerprint, seconds in results or ():
+            reports.append(ShardReport(shard, fingerprint, seconds))
+
     def _analyze_replicas(self, stream, base, count):
         structure = encode_structure(self.tree, self._known_regions)
         self._known_regions = len(self.tree.regions)
-        message = ("analyze", structure, encode_tasks(stream))
-        # ship to every worker first, then run the local reference while
-        # the workers analyze concurrently, then collect
-        for _, conn, _ in self._workers:
-            blob = pickle.dumps(message)
-            self._shipped += len(blob)
+        entry = ("analyze", structure, encode_tasks(stream))
+        if self.remote_handles:
+            self._journal.append((entry, count))
+        # phase 1: ship to every worker (failures recover later, in
+        # phase 4, once healthy pipes are drained)
+        pending: list[tuple] = []
+        for handle in self.remote_handles:
             try:
-                conn.send_bytes(blob)
-            except (OSError, BrokenPipeError) as exc:
-                raise MachineError(
-                    f"analysis worker died mid-request: {exc!r}") from exc
+                self._send(handle, entry)
+                pending.append((handle, True))
+            except WorkerFault:
+                self.recovery.record_fault("crash")
+                pending.append((handle, False))
+        locals_before = [h for h in self._handles if not h.remote]
+        # phase 2: the local reference analyzes while workers run
         reports = [self._analyze_reference(stream, base, count)]
-        for proc, conn, shards in self._workers:
+        # phase 3: collect replies; remember who faulted
+        faulted = []
+        for handle, sent in pending:
+            if not sent:
+                faulted.append(handle)
+                continue
             try:
-                status, result = pickle.loads(conn.recv_bytes())
-            except (EOFError, OSError) as exc:
-                raise MachineError(
-                    f"analysis worker died mid-request: {exc!r}") from exc
+                self._append_reports(
+                    reports, self._parse(handle, self._recv(handle)))
+            except WorkerFault as exc:
+                self.recovery.record_fault(exc.kind)
+                faulted.append(handle)
+        # phase 4: recover faulted workers one at a time (every healthy
+        # pipe is drained, so adoption requests cannot interleave with
+        # pending replies)
+        for handle in faulted:
+            last, _ = self._recover(handle)
+            self._append_reports(reports, last)
+        # phase 5: in-process fallback hosts (excluding ones recovery
+        # just created — their replay already covered this entry)
+        for handle in locals_before:
+            status, results = handle.request(entry)
             if status != "ok":
-                raise MachineError(f"analysis worker failed: {result}")
-            for shard, fingerprint, seconds in result:
-                reports.append(ShardReport(shard, fingerprint, seconds))
+                raise MachineError(f"analysis host failed: {results}")
+            self._append_reports(reports, results)
         reports.sort(key=lambda r: r.shard)
         return reports
 
@@ -407,28 +901,45 @@ class ProcessBackend(AnalysisBackend):
             graph = self.reference.graph
             return [tuple(sorted(graph.dependences_of(t)))
                     for t in range(base, base + count)]
-        for _, conn, shards in self._workers:
-            if shard in shards:
-                return self._request(conn, ("dump", shard, base, count))
+        for handle in self._handles:
+            if shard in handle.shards:
+                return self._request(handle, ("dump", shard, base, count))
         raise MachineError(f"no worker hosts shard {shard}")
 
+    # ------------------------------------------------------------------
     def close(self) -> None:
-        for proc, conn, _ in self._workers:
-            try:
-                conn.send_bytes(pickle.dumps(("stop",)))
-            except (OSError, BrokenPipeError):
-                pass
-            conn.close()
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - defensive
-                proc.terminate()
-                proc.join(timeout=5)
-        self._workers = []
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        for handle in getattr(self, "_handles", []):
+            if not getattr(handle, "remote", False):
+                continue
+            proc, conn = handle.proc, handle.conn
+            if conn is not None:
+                try:
+                    conn.send_bytes(pickle.dumps(("stop",)))
+                except Exception:
+                    pass
+                try:
+                    conn.close()
+                except Exception:  # pragma: no cover - defensive
+                    pass
+            if proc is not None:
+                try:
+                    proc.join(timeout=5)
+                    if proc.is_alive():  # pragma: no cover - defensive
+                        proc.terminate()
+                        proc.join(timeout=5)
+                except Exception:  # pragma: no cover - defensive
+                    pass
+        self._handles = []
 
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        # Interpreter shutdown may have torn down imports in arbitrary
+        # order: swallow everything, close() guards each step.
         try:
             self.close()
-        except Exception:
+        except BaseException:
             pass
 
 
@@ -436,18 +947,34 @@ class ProcessBackend(AnalysisBackend):
 def make_backend(spec: str | AnalysisBackend, tree: RegionTree,
                  initial: Mapping[str, np.ndarray], algorithm: str,
                  replicas: int,
-                 max_workers: Optional[int] = None) -> AnalysisBackend:
+                 max_workers: Optional[int] = None,
+                 faults: Optional[FaultPlan] = None,
+                 recv_timeout: Optional[float] = 60.0,
+                 heartbeat: float = 0.05,
+                 retry: Optional[RetryPolicy] = None,
+                 checkpoint_interval: int = 4,
+                 clock=None) -> AnalysisBackend:
     """Build an analysis backend from a registry name (or pass through an
-    already-constructed instance)."""
+    already-constructed instance).  The fault-tolerance knobs (``faults``,
+    ``recv_timeout``, ``heartbeat``, ``retry``, ``checkpoint_interval``,
+    ``clock``) apply to the process backend only — an *active* fault plan
+    on an in-process backend is a configuration error."""
     if isinstance(spec, AnalysisBackend):
         return spec
+    if spec == "process":
+        return ProcessBackend(tree, initial, algorithm, replicas,
+                              max_workers=max_workers, faults=faults,
+                              recv_timeout=recv_timeout,
+                              heartbeat=heartbeat, retry=retry,
+                              checkpoint_interval=checkpoint_interval,
+                              clock=clock)
+    if faults is not None and faults.active:
+        raise MachineError(
+            f"fault injection requires the process backend, not {spec!r}")
     if spec == "serial":
         return SerialBackend(tree, initial, algorithm, replicas)
     if spec == "thread":
         return ThreadBackend(tree, initial, algorithm, replicas,
                              max_workers=max_workers)
-    if spec == "process":
-        return ProcessBackend(tree, initial, algorithm, replicas,
-                              max_workers=max_workers)
     raise MachineError(
         f"unknown analysis backend {spec!r}; known: {BACKENDS}")

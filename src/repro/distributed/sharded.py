@@ -38,6 +38,7 @@ from typing import Mapping, Optional
 import numpy as np
 
 from repro.distributed.backends import AnalysisBackend, make_backend
+from repro.distributed.faults import FaultPlan, RecoveryReport, RetryPolicy
 from repro.distributed.verify import ShardReport, check_reports
 from repro.errors import MachineError, TaskError
 from repro.machine.dcr import ShardingFunctor, dcr_sharding
@@ -101,7 +102,18 @@ class ShardedRuntime:
     profile:
         Optional shared :class:`PhaseProfile`; created when omitted.
         Records ``analyze`` (total), ``analyze.shard<i>`` (per shard),
-        ``verify``, ``execute`` times and ``ship`` bytes.
+        ``verify``, ``execute`` times and ``ship`` bytes; supervised
+        backends additionally credit ``recover`` (wall-clock, one call
+        per recovery episode) and ``recover.<counter>`` occurrence
+        counts from the :class:`RecoveryReport` delta of each stream.
+    faults, recv_timeout, heartbeat, retry, checkpoint_interval, clock:
+        Fault-tolerance knobs forwarded to the process backend (see
+        :class:`~repro.distributed.backends.ProcessBackend`): a
+        deterministic :class:`FaultPlan` for chaos testing, the bounded
+        per-request receive timeout and liveness-probe period, the
+        recovery :class:`RetryPolicy`, how many verified streams elapse
+        between recovery checkpoints, and an injectable clock for
+        sleep-free tests.
     """
 
     def __init__(self, tree: RegionTree,
@@ -113,7 +125,13 @@ class ShardedRuntime:
                  replicate_analysis: bool = True,
                  backend: str | AnalysisBackend = "serial",
                  max_workers: Optional[int] = None,
-                 profile: Optional[PhaseProfile] = None) -> None:
+                 profile: Optional[PhaseProfile] = None,
+                 faults: Optional[FaultPlan] = None,
+                 recv_timeout: Optional[float] = 60.0,
+                 heartbeat: float = 0.05,
+                 retry: Optional[RetryPolicy] = None,
+                 checkpoint_interval: int = 4,
+                 clock=None) -> None:
         if shards < 1:
             raise MachineError("need at least one shard")
         self.tree = tree
@@ -124,7 +142,12 @@ class ShardedRuntime:
         self.profile = profile if profile is not None else PhaseProfile()
         replicas = shards if replicate_analysis else 1
         self._backend = make_backend(backend, tree, initial, algorithm,
-                                     replicas, max_workers=max_workers)
+                                     replicas, max_workers=max_workers,
+                                     faults=faults,
+                                     recv_timeout=recv_timeout,
+                                     heartbeat=heartbeat, retry=retry,
+                                     checkpoint_interval=checkpoint_interval,
+                                     clock=clock)
         root_size = tree.root.space.size
         # shard-local memory: values[s] is shard s's copy of each field
         self._values: dict[str, np.ndarray] = {}
@@ -157,6 +180,12 @@ class ShardedRuntime:
         """Replica 0's cost meter (all replicas do identical work)."""
         return self._backend.reference.meter
 
+    @property
+    def recovery(self) -> Optional[RecoveryReport]:
+        """Cumulative supervision counters (``None`` for in-process
+        backends, which have no workers to supervise)."""
+        return self._backend.recovery
+
     def close(self) -> None:
         """Release backend workers (no-op for in-process backends)."""
         self._backend.close()
@@ -181,6 +210,8 @@ class ShardedRuntime:
         """
         base = self._backend.tasks_analyzed
         shipped_before = self._backend.shipped_bytes
+        recovery_before = (self._backend.recovery.copy()
+                           if self._backend.recovery is not None else None)
         with self.profile.phase("analyze"):
             reports = self._backend.analyze(stream)
         for report in reports:
@@ -195,6 +226,17 @@ class ShardedRuntime:
                     lambda shard: self._backend.dump_dependences(
                         shard, base, len(stream)),
                     base)
+        # the stream's analysis is fingerprint-verified: let supervised
+        # backends checkpoint, then credit recovery activity to the
+        # profile as "recover" phases
+        self._backend.after_verified()
+        if recovery_before is not None:
+            delta = self._backend.recovery.delta(recovery_before)
+            if delta.recoveries or delta.recovery_seconds:
+                self.profile.add_time("recover", delta.recovery_seconds,
+                                      calls=delta.recoveries)
+            for counter, n in delta.counters().items():
+                self.profile.add_count(f"recover.{counter}", n)
         return reports
 
     def execute(self, stream: TaskStream) -> list[ShardReport]:

@@ -68,6 +68,13 @@ class ReductionOp:
     def __repr__(self) -> str:
         return f"ReductionOp({self.name!r})"
 
+    def __reduce__(self):
+        # Fold functions are often lambdas, which cannot pickle; operators
+        # are registry singletons, so pickle by name (required for the
+        # distributed checkpoint/restore path, which pickles analysis
+        # runtimes whose privileges reference these operators).
+        return (get_reduction, (self.name,))
+
 
 _REGISTRY: Dict[str, ReductionOp] = {}
 

@@ -160,6 +160,11 @@ class PhaseProfile:
         """Credit data volume (e.g. pickled bytes shipped to a worker)."""
         self.stat(name).bytes += n
 
+    def add_count(self, name: str, n: int = 1) -> None:
+        """Credit bare occurrences with no time or volume (e.g. recovery
+        counters: retries, replayed tasks)."""
+        self.stat(name).calls += n
+
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, PhaseStat]:
         """Copy of every phase's totals."""

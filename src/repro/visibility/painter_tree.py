@@ -106,10 +106,11 @@ class _NodeState:
         self.entries: list[PathItem] = []
         self.subtree_count = 0          # items in this subtree's raw histories
         self.priv_summary: set[PrivKey] = set()  # may be conservatively stale
-        # open (non-empty) children per partition: id(partition) -> {uid:
-        # Region}.  Hoisting only ever inspects open children, so launches
-        # stay O(open work) instead of O(machine).
-        self.open_children: dict[int, dict[int, Region]] = {}
+        # open (non-empty) children per partition: partition name (unique
+        # within the parent region, stable across pickling — unlike id())
+        # -> {uid: Region}.  Hoisting only ever inspects open children, so
+        # launches stay O(open work) instead of O(machine).
+        self.open_children: dict[str, dict[int, Region]] = {}
 
 
 class TreePainterAlgorithm(CoherenceAlgorithm):
@@ -158,7 +159,7 @@ class TreePainterAlgorithm(CoherenceAlgorithm):
         if part is None:
             return
         bucket = self._state(part.parent).open_children.setdefault(
-            id(part), {})
+            part.name, {})
         if new > 0:
             bucket[node.uid] = node
         else:

@@ -67,7 +67,7 @@ class ZBufferAlgorithm(CoherenceAlgorithm):
         self._intern: dict[frozenset, int] = {frozenset(): 0}
         # reduction operators seen, by identity
         self._ops: list = []
-        self._op_ids: dict[int, int] = {}
+        self._op_ids: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # interning helpers
@@ -111,7 +111,9 @@ class ZBufferAlgorithm(CoherenceAlgorithm):
                     deps.add(task_id)
 
     def _op_id(self, redop) -> int:
-        key = id(redop)
+        # registry name, not id(): operators pickle by name, so a restored
+        # (unpickled) analysis must map them to the same slots
+        key = redop.name
         opid = self._op_ids.get(key)
         if opid is None:
             opid = len(self._ops)

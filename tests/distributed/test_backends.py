@@ -118,9 +118,9 @@ class TestProcessBackend:
         tree, P, G = make_fig1_tree()
         with ShardedRuntime(tree, fig1_initial(tree), shards=5,
                             backend="process", max_workers=2) as srt:
-            assert len(srt.backend._workers) == 2
-            hosted = sorted(s for _, _, shards in srt.backend._workers
-                            for s in shards)
+            assert len(srt.backend.handles) == 2
+            hosted = sorted(s for handle in srt.backend.handles
+                            for s in handle.shards)
             assert hosted == [1, 2, 3, 4]
             reports = srt.execute(fig1_stream(tree, P, G, 1))
         assert [r.shard for r in reports] == [0, 1, 2, 3, 4]
@@ -142,7 +142,7 @@ class TestProcessBackend:
         srt.execute(fig1_stream(tree, P, G, 1))
         srt.close()
         srt.close()
-        assert srt.backend._workers == []
+        assert srt.backend.handles == ()
 
     def test_replication_disabled_spawns_no_workers(self):
         tree, P, G = make_fig1_tree()
@@ -150,7 +150,7 @@ class TestProcessBackend:
                             backend="process",
                             replicate_analysis=False) as srt:
             srt.execute(fig1_stream(tree, P, G, 1))
-            assert srt.backend._workers == []
+            assert srt.backend.handles == ()
             assert srt.profile.stat("ship").bytes == 0
 
 

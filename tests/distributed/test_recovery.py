@@ -1,0 +1,296 @@
+"""Supervision and recovery tests for the process backend.
+
+The determinism contract makes recovery checkable end-to-end: whatever
+faults are injected, the recovered run must reproduce the exact
+fingerprints of a fault-free run.  Every test here asserts that, plus
+the specific recovery machinery it exercises (timeout detection,
+checkpoint restore, journal replay, adoption, in-process fallback).
+
+Timeout-sensitive tests use a short real receive timeout (injected hangs
+park the worker for an hour — only the supervisor's deadline gets us
+out); backoff tests use crash faults with a fake clock so CI never
+sleeps.
+"""
+
+import pytest
+
+from repro.distributed import ShardedRuntime, make_backend
+from repro.distributed.backends import ProcessBackend
+from repro.distributed.faults import (FakeClock, FaultEvent, FaultPlan,
+                                      RetryPolicy)
+from repro.errors import MachineError
+
+from tests.conftest import fig1_initial, fig1_stream, make_fig1_tree
+
+#: Retry policy with tiny real delays (tests that use the real clock).
+FAST_RETRY = RetryPolicy(max_retries=2, base_delay=0.01, multiplier=2.0,
+                         max_delay=0.05)
+
+#: A plan that crashes worker 0 on every request of every incarnation:
+#: recovery can never succeed and the worker is declared lost.
+ALWAYS_CRASH_W0 = FaultPlan(events=tuple(
+    FaultEvent("crash", worker=0, op=op, incarnation=inc)
+    for inc in range(12) for op in range(60)))
+
+
+def run_windows(windows=4, iterations=1, **kwargs):
+    """Analyze ``windows`` fig1 streams through one ShardedRuntime;
+    returns (per-window fingerprints, recovery report, profile)."""
+    tree, P, G = make_fig1_tree()
+    srt = ShardedRuntime(tree, fig1_initial(tree), shards=4,
+                         checkpoint_interval=2, **kwargs)
+    with srt:
+        fingerprints = []
+        for _ in range(windows):
+            reports = srt.analyze(fig1_stream(tree, P, G, iterations))
+            assert len({r.fingerprint for r in reports}) == 1
+            fingerprints.append(reports[0].fingerprint)
+        recovery = srt.recovery.copy() if srt.recovery is not None else None
+    return fingerprints, recovery, srt.profile
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    fingerprints, _, _ = run_windows(backend="serial")
+    return fingerprints
+
+
+class TestFaultRecovery:
+    def test_fault_free_run_has_no_recovery_activity(self, baseline):
+        fingerprints, recovery, _ = run_windows(backend="process",
+                                                recv_timeout=10.0)
+        assert fingerprints == baseline
+        assert not recovery.has_activity
+        assert recovery.checkpoints > 0  # routine checkpointing ran
+
+    def test_crash_recovered_by_replay(self, baseline):
+        plan = FaultPlan(events=(FaultEvent("crash", worker=0, op=1),))
+        fingerprints, recovery, profile = run_windows(
+            backend="process", faults=plan, recv_timeout=10.0,
+            retry=FAST_RETRY)
+        assert fingerprints == baseline
+        assert recovery.faults == {"crash": 1}
+        assert recovery.respawns == 1
+        assert recovery.replayed_tasks > 0
+        assert recovery.workers_lost == 0
+        # the recovery surfaced into the profile as recover.* phases
+        assert profile.stat("recover").calls == 1
+        assert profile.stat("recover").seconds > 0
+        assert profile.stat("recover.fault.crash").calls == 1
+        assert profile.stat("recover.respawns").calls == 1
+
+    def test_corrupt_reply_recovered(self, baseline):
+        plan = FaultPlan(events=(FaultEvent("corrupt", worker=1, op=0),))
+        fingerprints, recovery, _ = run_windows(
+            backend="process", faults=plan, recv_timeout=10.0,
+            retry=FAST_RETRY)
+        assert fingerprints == baseline
+        assert recovery.faults == {"corrupt": 1}
+        assert recovery.respawns == 1
+
+    def test_hang_detected_by_receive_timeout(self, baseline):
+        """An injected hang parks the worker for an hour; only the
+        supervised receive deadline can detect it."""
+        plan = FaultPlan(events=(FaultEvent("hang", worker=0, op=2),))
+        fingerprints, recovery, _ = run_windows(
+            backend="process", faults=plan, recv_timeout=0.3,
+            retry=FAST_RETRY)
+        assert fingerprints == baseline
+        assert recovery.faults == {"hang": 1}
+        assert recovery.respawns == 1
+
+    def test_dropped_reply_recovered_as_hang(self, baseline):
+        plan = FaultPlan(events=(FaultEvent("drop", worker=0, op=1),))
+        fingerprints, recovery, _ = run_windows(
+            backend="process", faults=plan, recv_timeout=0.3,
+            retry=FAST_RETRY)
+        assert fingerprints == baseline
+        assert recovery.faults == {"hang": 1}  # parent can't tell apart
+
+    def test_delay_within_timeout_needs_no_recovery(self, baseline):
+        plan = FaultPlan(events=(
+            FaultEvent("delay", worker=0, op=1, seconds=0.05),))
+        fingerprints, recovery, _ = run_windows(
+            backend="process", faults=plan, recv_timeout=10.0)
+        assert fingerprints == baseline
+        assert not recovery.has_activity
+
+    def test_checkpoint_bounds_replay(self, baseline):
+        """A late crash replays from the last verified checkpoint, not
+        from task 0: with 6 windows, checkpoints every 2 and a crash in
+        the last window, the journal suffix is at most 2 windows deep."""
+        serial, _, _ = run_windows(windows=6, backend="serial")
+        plan = FaultPlan(events=(FaultEvent("crash", worker=0, op=5),))
+        fingerprints, recovery, _ = run_windows(
+            windows=6, backend="process", faults=plan,
+            recv_timeout=10.0, retry=FAST_RETRY)
+        assert fingerprints == serial
+        assert recovery.restores == 1  # respawned from a checkpoint
+        total = 6 * 12  # windows x tasks per fig1 window
+        assert 0 < recovery.replayed_tasks < total
+        assert recovery.checkpoints > 0
+
+    def test_chaos_rate_plan_matches_baseline(self, baseline):
+        fingerprints, recovery, _ = run_windows(
+            backend="process", faults=FaultPlan(seed=13, rate=0.2),
+            recv_timeout=0.5, retry=FAST_RETRY)
+        assert fingerprints == baseline
+
+
+class TestPermanentLoss:
+    def test_lost_worker_falls_back_in_process(self, baseline):
+        """Retries exhausted with no surviving worker: replicas move to
+        an in-process host and the run completes, degraded."""
+        fingerprints, recovery, _ = run_windows(
+            backend="process", max_workers=1, faults=ALWAYS_CRASH_W0,
+            recv_timeout=10.0, retry=FAST_RETRY)
+        assert fingerprints == baseline
+        assert recovery.workers_lost == 1
+        assert recovery.local_fallbacks == 1
+        assert recovery.retries == FAST_RETRY.max_retries + 1
+
+    def test_lost_worker_adopted_by_survivor(self, baseline):
+        """With a surviving worker, the lost worker's replicas are
+        adopted remotely instead of falling back in-process."""
+        tree, P, G = make_fig1_tree()
+        srt = ShardedRuntime(tree, fig1_initial(tree), shards=4,
+                             backend="process", max_workers=2,
+                             faults=ALWAYS_CRASH_W0, recv_timeout=10.0,
+                             retry=FAST_RETRY, checkpoint_interval=2)
+        with srt:
+            fingerprints = [
+                srt.analyze(fig1_stream(tree, P, G, 1))[0].fingerprint
+                for _ in range(4)]
+            recovery = srt.recovery.copy()
+            backend = srt.backend
+            assert len(backend.handles) == 1
+            assert sorted(backend.handles[0].shards) == [1, 2, 3]
+            assert not backend.degraded
+        assert fingerprints == baseline
+        assert recovery.adoptions == 1
+        assert recovery.workers_lost == 1
+        assert recovery.local_fallbacks == 0
+
+    def test_degraded_backend_keeps_verifying(self, baseline):
+        """After the fallback, later streams still analyze on every
+        replica and verify (the local host serves dumps too)."""
+        tree, P, G = make_fig1_tree()
+        srt = ShardedRuntime(tree, fig1_initial(tree), shards=4,
+                             backend="process", max_workers=1,
+                             faults=ALWAYS_CRASH_W0, recv_timeout=10.0,
+                             retry=FAST_RETRY, checkpoint_interval=2)
+        with srt:
+            first = srt.analyze(fig1_stream(tree, P, G, 1))
+            assert srt.backend.degraded
+            second = srt.analyze(fig1_stream(tree, P, G, 1))
+            assert len({r.fingerprint for r in second}) == 1
+            assert srt.backend.dump_dependences(1, 0, 6) == \
+                srt.backend.dump_dependences(0, 0, 6)
+        assert [first[0].fingerprint, second[0].fingerprint] == baseline[:2]
+
+
+class TestBackoff:
+    def test_backoff_delays_follow_policy_without_sleeping(self):
+        """Two consecutive crashes (incarnations 0 and 1) force recovery
+        attempts 0 and 1; the fake clock records exactly the policy's
+        attempt-1 delay and the test never really sleeps."""
+        clock = FakeClock()
+        retry = RetryPolicy(max_retries=3, base_delay=7.0, multiplier=3.0,
+                            max_delay=100.0)
+        plan = FaultPlan(events=(
+            FaultEvent("crash", worker=0, op=1, incarnation=0),
+            FaultEvent("crash", worker=0, op=0, incarnation=1),
+        ))
+        fingerprints, recovery, _ = run_windows(
+            windows=2, backend="process", faults=plan, recv_timeout=10.0,
+            retry=retry, clock=clock)
+        serial, _, _ = run_windows(windows=2, backend="serial")
+        assert fingerprints == serial
+        assert recovery.retries == 2
+        assert clock.sleeps == [retry.delay(1)]
+        assert clock.sleeps == [7.0]
+
+    def test_exhaustion_sleeps_every_backoff_step(self):
+        clock = FakeClock()
+        retry = RetryPolicy(max_retries=2, base_delay=1.0, multiplier=2.0,
+                            max_delay=10.0)
+        fingerprints, recovery, _ = run_windows(
+            windows=2, backend="process", max_workers=1,
+            faults=ALWAYS_CRASH_W0, recv_timeout=10.0, retry=retry,
+            clock=clock)
+        serial, _, _ = run_windows(windows=2, backend="serial")
+        assert fingerprints == serial
+        assert recovery.workers_lost == 1
+        assert clock.sleeps == [retry.delay(1), retry.delay(2)]
+
+
+class TestCheckpointRoundTrip:
+    @pytest.mark.parametrize("algo", ["painter", "tree_painter", "warnock",
+                                      "raycast", "zbuffer"])
+    def test_pickled_runtime_analyzes_identically(self, algo):
+        """The checkpoint contract, per algorithm: pickling a half-way
+        analysis state and continuing on the clone must reach the same
+        fingerprint as never pausing.  (Catches id()-keyed or otherwise
+        pickle-unstable algorithm state before the chaos matrix does.)"""
+        import pickle
+
+        from repro.distributed.verify import analysis_fingerprint
+        from repro.runtime.context import Runtime
+
+        tree, P, G = make_fig1_tree()
+        first = fig1_stream(tree, P, G, 1)
+        second = fig1_stream(tree, P, G, 1)
+        rt = Runtime(tree, fig1_initial(tree), algorithm=algo)
+        for task in first:
+            rt.launch(task.name, task.requirements, None, task.point)
+        tree2, rt2 = pickle.loads(pickle.dumps((tree, rt)))
+        regions2 = {r.uid: r for r in tree2.regions}
+        for task in second:
+            rt.launch(task.name, task.requirements, None, task.point)
+            reqs2 = [type(req)(regions2[req.region.uid], req.field,
+                               req.privilege) for req in task.requirements]
+            rt2.launch(task.name, reqs2, None, task.point)
+        total = len(first) + len(second)
+        assert analysis_fingerprint(rt2, 0, total) == \
+            analysis_fingerprint(rt, 0, total)
+
+
+class TestLifecycle:
+    def test_close_idempotent_after_recovery(self):
+        tree, P, G = make_fig1_tree()
+        plan = FaultPlan(events=(FaultEvent("crash", worker=0, op=1),))
+        srt = ShardedRuntime(tree, fig1_initial(tree), shards=3,
+                             backend="process", faults=plan,
+                             recv_timeout=10.0, retry=FAST_RETRY)
+        srt.analyze(fig1_stream(tree, P, G, 1))
+        srt.close()
+        srt.close()
+        assert srt.backend.handles == ()
+
+    def test_del_safe_before_and_after_close(self):
+        tree, _, _ = make_fig1_tree()
+        backend = ProcessBackend(tree, fig1_initial(tree), "raycast", 3)
+        backend.close()
+        backend.__del__()  # double close through the finalizer: no raise
+        backend2 = ProcessBackend(tree, fig1_initial(tree), "raycast", 3)
+        backend2.__del__()  # finalizer without explicit close: no raise
+        assert backend2._closed
+
+    def test_serial_backend_has_no_recovery_report(self):
+        tree, P, G = make_fig1_tree()
+        with ShardedRuntime(tree, fig1_initial(tree), shards=2,
+                            backend="serial") as srt:
+            srt.analyze(fig1_stream(tree, P, G, 1))
+            assert srt.recovery is None
+
+    def test_active_faults_rejected_on_in_process_backends(self):
+        tree, _, _ = make_fig1_tree()
+        plan = FaultPlan(seed=1, rate=0.5)
+        for backend in ("serial", "thread"):
+            with pytest.raises(MachineError, match="process backend"):
+                make_backend(backend, tree, fig1_initial(tree), "raycast",
+                             2, faults=plan)
+        # an inactive plan is fine anywhere
+        backend = make_backend("serial", tree, fig1_initial(tree),
+                               "raycast", 2, faults=FaultPlan())
+        assert backend.recovery is None
