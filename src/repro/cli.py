@@ -20,7 +20,12 @@ Commands
 ``analyze``
     Run the control-replicated dependence analysis of an application on
     a parallel backend (``--parallel N``), verify the deterministic
-    merge, and optionally print per-phase perf counters (``--profile``).
+    merge, and optionally print per-phase perf counters (``--profile``),
+    write a Perfetto trace (``--trace-out FILE.json``), or report the
+    longest weighted path through the task DAG (``--critical-path``).
+``prof``
+    Analyze a recorded trace file offline: span summary per category,
+    per-phase duration histograms, recovery incidents, critical path.
 """
 
 from __future__ import annotations
@@ -96,10 +101,26 @@ def _build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--fault-rate", type=float, default=0.05, metavar="P",
                      help="per-request fault probability in chaos mode "
                           "(default 0.05)")
+    ana.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="write a Chrome trace-event / Perfetto JSON "
+                          "timeline of the run to FILE")
+    ana.add_argument("--critical-path", action="store_true",
+                     help="print the longest weighted path through the "
+                          "analyzed task DAG with per-task and per-phase "
+                          "attribution")
     ana.add_argument("--recv-timeout", type=float, default=None,
                      metavar="SECONDS",
                      help="supervised receive timeout (default: 60, or 2 "
                           "in chaos mode so injected hangs recover fast)")
+
+    prof = sub.add_parser("prof",
+                          help="analyze a recorded trace file: span "
+                               "summary, per-phase histograms, critical "
+                               "path")
+    prof.add_argument("trace", help="trace-event JSON written by "
+                                    "analyze --trace-out")
+    prof.add_argument("--top", type=int, default=10, metavar="K",
+                      help="rows in the critical-path table (default 10)")
 
     rep = sub.add_parser("report",
                          help="assemble benchmark results into markdown")
@@ -248,6 +269,9 @@ def _cmd_inspect(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
+    import time
+
+    from repro import obs
     from repro.distributed import (DeterminismError, FaultPlan,
                                    ShardedRuntime)
     from repro.errors import MachineError
@@ -278,13 +302,17 @@ def _cmd_analyze(args) -> int:
           f"tasks, stream {signature_digest(stream)[:12]}) under "
           f"{args.algorithm}: {args.shards} shards, {backend} backend"
           + workers + chaos)
+    tracing = bool(args.trace_out or args.critical_path)
+    previous_tracer = obs.set_tracer(obs.Tracer()) if tracing else None
     try:
         with ShardedRuntime(app.tree, app.initial, shards=args.shards,
                             algorithm=args.algorithm, backend=backend,
                             max_workers=args.parallel, faults=faults,
                             recv_timeout=recv_timeout) as srt:
             try:
+                analyze_start = time.perf_counter()
                 reports = srt.analyze(stream)
+                analyze_seconds = time.perf_counter() - analyze_start
             except DeterminismError as exc:
                 print(f"DIVERGED: {exc}", file=sys.stderr)
                 for divergence in exc.divergences:
@@ -304,9 +332,84 @@ def _cmd_analyze(args) -> int:
             if args.profile:
                 print()
                 print(srt.profile.render())
+            if tracing:
+                buffer = obs.active_tracer().snapshot()
+                if args.trace_out:
+                    registry = obs.MetricsRegistry()
+                    srt.backend.reference.meter.publish_to(registry)
+                    srt.profile.publish_to(registry)
+                    if srt.recovery is not None:
+                        srt.recovery.publish_to(registry)
+                    seconds_hist = registry.histogram(
+                        "analysis.shard_seconds")
+                    for report in reports:
+                        seconds_hist.observe(report.seconds)
+                    path = obs.write_trace(args.trace_out, buffer, registry)
+                    print(f"trace written: {path} ({len(buffer.spans)} "
+                          f"spans, {len(buffer.instants)} instants)")
+                if args.critical_path:
+                    crit = obs.critical_path(buffer.spans, graph=graph)
+                    print()
+                    print(crit.render(top_k=10))
+                    print(f"(analyze wall-clock: {analyze_seconds:.6f}s)")
     except MachineError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if previous_tracer is not None:
+            obs.set_tracer(previous_tracer)
+    return 0
+
+
+def _cmd_prof(args) -> int:
+    import json
+
+    from repro import obs
+    from repro.obs.metrics import Histogram
+
+    try:
+        raw, spans = obs.load_trace(args.trace)
+    except FileNotFoundError:
+        print(f"error: no such trace file: {args.trace}", file=sys.stderr)
+        return 2
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    events = raw["traceEvents"]
+    instants = [e for e in events if e.get("ph") == "i"]
+    print(f"{args.trace}: {len(events)} events, {len(spans)} spans, "
+          f"{len(instants)} instants")
+
+    # per-category summary + duration histogram
+    by_cat: dict[str, list] = {}
+    for span in spans:
+        by_cat.setdefault(span.category or "uncategorized",
+                          []).append(span)
+    rows = [("category", "spans", "seconds")]
+    for cat in sorted(by_cat):
+        total = sum(s.duration for s in by_cat[cat])
+        rows.append((cat, str(len(by_cat[cat])), f"{total:.6f}"))
+    widths = [max(len(r[k]) for r in rows) for k in range(3)]
+    for row in rows:
+        print("  " + "  ".join(
+            col.ljust(w) if k == 0 else col.rjust(w)
+            for k, (col, w) in enumerate(zip(row, widths))))
+    print()
+    print("span-duration histograms:")
+    for cat in sorted(by_cat):
+        hist = Histogram(cat, {})
+        for span in by_cat[cat]:
+            hist.observe(span.duration)
+        print(f"{cat}:")
+        print(hist.render())
+    if instants:
+        print()
+        print("instant events:")
+        for event in instants:
+            detail = {k: v for k, v in (event.get("args") or {}).items()}
+            print(f"  {event['ts'] / 1e6:.6f}s  {event['name']}  {detail}")
+    print()
+    print(obs.critical_path(spans).render(top_k=args.top))
     return 0
 
 
@@ -343,6 +446,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_inspect(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "prof":
+        return _cmd_prof(args)
     if args.command == "report":
         return _cmd_report(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def cli() -> None:
+    """Console-script entry point (``repro-cli``)."""
+    raise SystemExit(main())

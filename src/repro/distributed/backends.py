@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.errors import MachineError
 from repro.geometry.index_space import IndexSpace
+from repro.obs import tracer as obs
 from repro.privileges import READ, READ_WRITE, Privilege, reduce
 from repro.regions.tree import RegionTree
 from repro.runtime.context import Runtime
@@ -167,9 +168,14 @@ class AnalysisBackend(ABC):
     def _analyze_reference(self, stream: TaskStream, base: int,
                            count: int) -> ShardReport:
         start = time.perf_counter()
-        for task in stream:
-            self.reference.launch(task.name, task.requirements, None,
-                                  task.point)
+        # The reference replica is always shard 0 on the driver: pin its
+        # span attribution so even serial runs carry shard-tagged events.
+        with obs.active_tracer().scope(tid=0), \
+                obs.span("analyze.shard0", "distributed.replica",
+                         shard=0, tasks=count):
+            for task in stream:
+                self.reference.launch(task.name, task.requirements, None,
+                                      task.point)
         seconds = time.perf_counter() - start
         return ShardReport(0, analysis_fingerprint(self.reference, base,
                                                    count), seconds)
@@ -227,8 +233,12 @@ class _InProcessBackend(AnalysisBackend):
             return self._analyze_reference(stream, base, count)
         runtime = self._others[shard - 1]
         start = time.perf_counter()
-        for task in stream:
-            runtime.launch(task.name, task.requirements, None, task.point)
+        with obs.active_tracer().scope(pid=shard + 1, tid=shard), \
+                obs.span(f"analyze.shard{shard}", "distributed.replica",
+                         shard=shard, tasks=count):
+            for task in stream:
+                runtime.launch(task.name, task.requirements, None,
+                               task.point)
         seconds = time.perf_counter() - start
         return ShardReport(shard, analysis_fingerprint(runtime, base, count),
                            seconds)
@@ -307,11 +317,17 @@ class _Hosting:
         results = []
         for shard, runtime in self.runtimes.items():
             start = time.perf_counter()
-            for record in tasks:
-                name, _, point = record
-                runtime.launch(name,
-                               decode_requirements(record, self.regions),
-                               None, point)
+            # Shard attribution for the active tracer: hosted replicas
+            # record as pid shard+1 / tid shard, whether the hosting
+            # lives in a worker process or the parent fallback.
+            with obs.active_tracer().scope(pid=shard + 1, tid=shard), \
+                    obs.span(f"analyze.shard{shard}", "distributed.replica",
+                             shard=shard, tasks=count):
+                for record in tasks:
+                    name, _, point = record
+                    runtime.launch(name,
+                                   decode_requirements(record, self.regions),
+                                   None, point)
             seconds = time.perf_counter() - start
             results.append((shard,
                             analysis_fingerprint(runtime, self.base, count),
@@ -347,7 +363,10 @@ def _dispatch(msg: tuple, hostings: list[_Hosting]) -> tuple:
     exact same protocol."""
     try:
         if msg[0] == "analyze":
-            _, structure, tasks = msg
+            # msg[3], when present, is the tracing flag — consumed by the
+            # worker loop, irrelevant here (parent-side fallback hostings
+            # record straight into the parent's active tracer).
+            structure, tasks = msg[1], msg[2]
             results = []
             for hosting in hostings:
                 results.extend(hosting.analyze(structure, tasks))
@@ -371,7 +390,8 @@ def _dispatch(msg: tuple, hostings: list[_Hosting]) -> tuple:
                 tree, initial, algorithm = pickle.loads(blob)
                 adopted = [_Hosting.fresh(tree, initial, algorithm, shards)]
             last = None
-            for _, structure, tasks in entries:
+            for entry in entries:
+                structure, tasks = entry[1], entry[2]
                 last = []
                 for hosting in adopted:
                     last.extend(hosting.analyze(structure, tasks))
@@ -390,6 +410,11 @@ def _worker_main(conn, payload: bytes) -> None:  # pragma: no cover - subprocess
     spec = pickle.loads(payload)
     faults: FaultPlan = spec["faults"]
     worker, incarnation = spec["worker"], spec["incarnation"]
+    # A fresh, disabled tracer: under the fork start method the child
+    # would otherwise inherit the parent's enabled tracer *and* its
+    # buffered events.  Analyze requests flip it on per message.
+    worker_tracer = obs.Tracer(enabled=False)
+    obs.set_tracer(worker_tracer)
     if spec["mode"] == "restore":
         hostings = _restore_hostings(spec["state"])
     else:
@@ -411,7 +436,15 @@ def _worker_main(conn, payload: bytes) -> None:  # pragma: no cover - subprocess
                     os._exit(24)
                 if event.kind in ("delay", "slow"):
                     time.sleep(event.seconds or 0.01)
+            trace = msg[0] == "analyze" and len(msg) > 3 and bool(msg[3])
+            worker_tracer.enabled = trace
             reply = _dispatch(msg, hostings)
+            if trace and reply[0] == "ok":
+                # Ship the recorded spans with the reply, stamped with
+                # this worker's clock so the parent can align offsets.
+                buffer = worker_tracer.drain()
+                reply = ("ok", (reply[1], tuple(buffer.spans),
+                                worker_tracer.clock.monotonic()))
             if event is not None and event.kind == "drop":
                 continue
             if event is not None and event.kind == "corrupt":
@@ -573,6 +606,8 @@ class ProcessBackend(AnalysisBackend):
         handle.proc, handle.conn = proc, parent_conn
         if handle.incarnation > 0:
             self.recovery.respawns += 1
+            obs.instant("respawn", "recovery", worker=handle.worker_id,
+                        incarnation=handle.incarnation)
         if handle.checkpoint is not None:
             # verify the restored state against the checkpoint digests
             # before trusting it with replay
@@ -676,6 +711,8 @@ class ProcessBackend(AnalysisBackend):
             return self._roundtrip(handle, message)
         except WorkerFault as exc:
             self.recovery.record_fault(exc.kind)
+            obs.instant(f"fault.{exc.kind}", "recovery",
+                        worker=handle.worker_id)
             _, result = self._recover(handle, followup=message)
             return result
 
@@ -689,8 +726,12 @@ class ProcessBackend(AnalysisBackend):
         """Replay every journaled stream since the handle's checkpoint;
         returns the last entry's analyze results (None if nothing to
         replay)."""
+        entries = self._journal_suffix(handle)
+        if entries:
+            obs.instant("replay", "recovery", worker=handle.worker_id,
+                        streams=len(entries))
         last = None
-        for entry, count in self._journal_suffix(handle):
+        for entry, count in entries:
             last = self._roundtrip(handle, entry)
             self.recovery.replayed_streams += 1
             self.recovery.replayed_tasks += count * len(handle.shards)
@@ -746,6 +787,8 @@ class ProcessBackend(AnalysisBackend):
                 # adoption) runs lazily at its next request
                 self._kill(target)
         self.recovery.local_fallbacks += 1
+        obs.instant("local_fallback", "recovery", worker=handle.worker_id,
+                    shards=list(handle.shards))
         local = self._make_local(handle)
         self._handles.append(local)
         entries = self._journal_suffix(handle)
@@ -796,6 +839,8 @@ class ProcessBackend(AnalysisBackend):
         last, base, ckpt_blob, digests = self._roundtrip(
             target, ("adopt", kind, blob, lost.shards, entries), timeout)
         self.recovery.adoptions += 1
+        obs.instant("adopt", "recovery", worker=target.worker_id,
+                    lost=lost.worker_id, shards=list(lost.shards))
         self.recovery.replayed_streams += len(entries)
         self.recovery.replayed_tasks += replayed * len(lost.shards)
         target.shards = sorted(target.shards + lost.shards)
@@ -845,14 +890,39 @@ class ProcessBackend(AnalysisBackend):
     # ------------------------------------------------------------------
     # the analysis fan-out
     # ------------------------------------------------------------------
+    def _ingest_analyze(self, results):
+        """Normalize one analyze result: either the bare result rows
+        (parent-side hostings, adoption replays) or the worker-reply
+        triple ``(rows, spans, worker_clock_now)``.  Shipped spans are
+        clock-offset-aligned into the driver's timeline, absorbed into
+        the active tracer, and returned grouped by shard."""
+        by_shard: dict[int, list] = {}
+        if (isinstance(results, tuple) and len(results) == 3
+                and isinstance(results[0], list)):
+            rows, spans, worker_now = results
+            if spans:
+                tracer = obs.active_tracer()
+                offset = tracer.clock.monotonic() - worker_now
+                spans = [s.shifted(offset) for s in spans]
+                tracer.absorb(spans)
+                for span in spans:
+                    by_shard.setdefault(span.tid, []).append(span)
+        else:
+            rows = results
+        return rows, by_shard
+
     def _append_reports(self, reports: list, results) -> None:
-        for shard, fingerprint, seconds in results or ():
-            reports.append(ShardReport(shard, fingerprint, seconds))
+        rows, spans_by_shard = self._ingest_analyze(results)
+        for shard, fingerprint, seconds in rows or ():
+            reports.append(ShardReport(
+                shard, fingerprint, seconds,
+                spans=tuple(spans_by_shard.get(shard, ()))))
 
     def _analyze_replicas(self, stream, base, count):
         structure = encode_structure(self.tree, self._known_regions)
         self._known_regions = len(self.tree.regions)
-        entry = ("analyze", structure, encode_tasks(stream))
+        entry = ("analyze", structure, encode_tasks(stream),
+                 obs.active_tracer().enabled)
         if self.remote_handles:
             self._journal.append((entry, count))
         # phase 1: ship to every worker (failures recover later, in
@@ -864,6 +934,8 @@ class ProcessBackend(AnalysisBackend):
                 pending.append((handle, True))
             except WorkerFault:
                 self.recovery.record_fault("crash")
+                obs.instant("fault.crash", "recovery",
+                            worker=handle.worker_id)
                 pending.append((handle, False))
         locals_before = [h for h in self._handles if not h.remote]
         # phase 2: the local reference analyzes while workers run
@@ -879,6 +951,8 @@ class ProcessBackend(AnalysisBackend):
                     reports, self._parse(handle, self._recv(handle)))
             except WorkerFault as exc:
                 self.recovery.record_fault(exc.kind)
+                obs.instant(f"fault.{exc.kind}", "recovery",
+                            worker=handle.worker_id)
                 faulted.append(handle)
         # phase 4: recover faulted workers one at a time (every healthy
         # pipe is drained, so adoption requests cannot interleave with

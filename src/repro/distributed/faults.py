@@ -303,6 +303,17 @@ class RecoveryReport:
                 out[name] = value
         return out
 
+    def publish_to(self, registry, **labels) -> None:
+        """Publish supervision totals into a
+        :class:`repro.obs.metrics.MetricsRegistry` as ``recovery.*``
+        counters plus the recovery-seconds gauge (idempotent)."""
+        registry.counter("recovery.recoveries", **labels).set_total(
+            self.recoveries)
+        for name, value in self.counters().items():
+            registry.counter(f"recovery.{name}", **labels).set_total(value)
+        registry.gauge("recovery.seconds", **labels).set(
+            self.recovery_seconds)
+
     def render(self) -> str:
         """One-line human summary (the CLI prints this after a run)."""
         faults = ",".join(f"{k}:{v}" for k, v in sorted(self.faults.items()))

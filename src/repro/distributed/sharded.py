@@ -42,6 +42,7 @@ from repro.distributed.faults import FaultPlan, RecoveryReport, RetryPolicy
 from repro.distributed.verify import ShardReport, check_reports
 from repro.errors import MachineError, TaskError
 from repro.machine.dcr import ShardingFunctor, dcr_sharding
+from repro.obs import tracer as obs
 from repro.regions.tree import RegionTree
 from repro.runtime.task import Task, TaskStream
 from repro.visibility.meter import PhaseProfile
@@ -237,6 +238,8 @@ class ShardedRuntime:
                                       calls=delta.recoveries)
             for counter, n in delta.counters().items():
                 self.profile.add_count(f"recover.{counter}", n)
+        obs.counter("tasks_analyzed", self._backend.tasks_analyzed)
+        obs.counter("shipped_bytes", self._backend.shipped_bytes)
         return reports
 
     def execute(self, stream: TaskStream) -> list[ShardReport]:

@@ -1,0 +1,28 @@
+"""repro.obs — unified observability: span tracing, metrics, Perfetto
+export, and critical-path profiling.
+
+One subsystem replaces three silos (`CostMeter`, `PhaseProfile`,
+`RecoveryReport` keep their APIs but publish into the shared
+:class:`MetricsRegistry`), adds the event timeline they lacked, and
+answers "what was the critical path of this run?" offline from a trace
+file alone.
+"""
+
+from repro.obs.critpath import CritPathReport, critical_path, deps_from_spans
+from repro.obs.export import (load_trace, to_chrome_trace, trace_events,
+                              validate_trace, write_trace)
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               DEFAULT_BUCKETS)
+from repro.obs.tracer import (DRIVER_PID, CounterSample, Instant, Span,
+                              TraceBuffer, Tracer, active_tracer, counter,
+                              instant, set_tracer, span, traced)
+
+__all__ = [
+    "CritPathReport", "critical_path", "deps_from_spans",
+    "load_trace", "to_chrome_trace", "trace_events", "validate_trace",
+    "write_trace",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS",
+    "DRIVER_PID", "CounterSample", "Instant", "Span", "TraceBuffer",
+    "Tracer", "active_tracer", "counter", "instant", "set_tracer", "span",
+    "traced",
+]

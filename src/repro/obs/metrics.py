@@ -1,0 +1,256 @@
+"""The metrics registry — one labelled store behind every instrument.
+
+Before this module the repository had three disjoint metric silos:
+:class:`~repro.visibility.meter.CostMeter` (algorithmic operation
+counts), :class:`~repro.visibility.meter.PhaseProfile` (wall-clock per
+phase) and :class:`~repro.distributed.faults.RecoveryReport` (supervision
+counters).  Each now carries a ``publish_to(registry, **labels)`` method
+mapping its totals into *this* store, so exporters, the CLI and the
+Perfetto counter tracks all read from one place.
+
+Three instrument kinds, all labelled:
+
+* :class:`Counter` — a monotonically published total;
+* :class:`Gauge` — a last-value-wins measurement;
+* :class:`Histogram` — fixed-bucket distribution (observations fall into
+  the first bucket whose upper bound is >= the value, plus a +inf
+  overflow bucket), with ``count`` and ``sum``.
+
+All mutation is lock-protected: registries are shared across the thread
+backend's workers.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Iterator, Optional, Sequence
+
+#: Default histogram buckets (seconds): spans from microseconds to
+#: minutes, log-spaced — the range analysis phases actually cover.
+DEFAULT_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 60.0)
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+def format_labels(labels: dict) -> str:
+    """Render labels Prometheus-style: ``{k="v",...}`` (empty → '')."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+class Metric:
+    """Base: a named instrument with one fixed label set."""
+
+    kind = "abstract"
+
+    def __init__(self, name: str, labels: dict) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self._lock = threading.Lock()
+
+    @property
+    def full_name(self) -> str:
+        return self.name + format_labels(self.labels)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_lock")
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+
+class Counter(Metric):
+    """A published monotonic total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: dict) -> None:
+        super().__init__(name, labels)
+        self.value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self.value += n
+
+    def set_total(self, total: float) -> None:
+        """Publish an externally accumulated total (idempotent; used by
+        ``publish_to`` so re-publishing the same source is safe)."""
+        if total < self.value:
+            raise ValueError(
+                f"counter {self.name!r} cannot move backwards "
+                f"({self.value} -> {total})")
+        with self._lock:
+            self.value = total
+
+
+class Gauge(Metric):
+    """A last-value-wins measurement."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: dict) -> None:
+        super().__init__(name, labels)
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self.value += delta
+
+
+class Histogram(Metric):
+    """Fixed-bucket histogram with labels.
+
+    ``buckets`` are inclusive upper bounds in increasing order; an
+    implicit +inf bucket catches the overflow.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: dict,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, labels)
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self.bounds = bounds + (math.inf,)
+        self.counts = [0] * len(self.bounds)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            for k, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.counts[k] += 1
+                    break
+            self.sum += value
+            self.count += 1
+
+    def quantile_bound(self, q: float) -> float:
+        """Upper bound of the bucket containing the ``q``-quantile."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for bound, n in zip(self.bounds, self.counts):
+            seen += n
+            if seen >= target:
+                return bound
+        return self.bounds[-1]
+
+    def render(self, width: int = 40) -> str:
+        """ASCII bar chart of the bucket distribution."""
+        if self.count == 0:
+            return "(no observations)"
+        peak = max(self.counts)
+        lines = []
+        for bound, n in zip(self.bounds, self.counts):
+            if n == 0:
+                continue
+            label = "+inf" if math.isinf(bound) else _si(bound)
+            bar = "#" * max(1, round(width * n / peak))
+            lines.append(f"  <= {label:>8}  {n:>6}  {bar}")
+        return "\n".join(lines)
+
+
+def _si(seconds: float) -> str:
+    """Human-scale seconds: 1e-05 → '10us'."""
+    for scale, unit in ((1.0, "s"), (1e-3, "ms"), (1e-6, "us")):
+        if seconds >= scale:
+            value = seconds / scale
+            return (f"{value:.0f}{unit}" if value >= 1
+                    else f"{value:g}{unit}")
+    return f"{seconds:g}s"
+
+
+class MetricsRegistry:
+    """Process-wide store of labelled instruments.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the same
+    (name, labels) pair always returns the same instrument, and asking
+    for an existing name with a different kind is an error.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[tuple, Metric] = {}
+
+    def _get(self, cls, name: str, labels: dict, **kwargs) -> Metric:
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = self._metrics[key] = cls(name, labels, **kwargs)
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}")
+            return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  **labels) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Metric]:
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return iter(sorted(metrics, key=lambda m: m.full_name))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def find(self, name: str, **labels) -> Optional[Metric]:
+        """Look an instrument up without creating it."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    def snapshot(self) -> dict[str, float | dict]:
+        """Flat ``{full_name: value}`` mapping (histograms nest a dict)."""
+        out: dict[str, float | dict] = {}
+        for metric in self:
+            if isinstance(metric, Histogram):
+                out[metric.full_name] = {
+                    "count": metric.count, "sum": metric.sum}
+            else:
+                out[metric.full_name] = metric.value
+        return out
+
+    def render(self) -> str:
+        """Aligned text table of every instrument."""
+        if not self._metrics:
+            return "(no metrics recorded)"
+        rows = [("metric", "kind", "value")]
+        for metric in self:
+            if isinstance(metric, Histogram):
+                value = f"count={metric.count} sum={metric.sum:.6f}"
+            elif isinstance(metric, Gauge):
+                value = f"{metric.value:.6f}"
+            else:
+                value = f"{metric.value:g}"
+            rows.append((metric.full_name, metric.kind, value))
+        widths = [max(len(r[k]) for r in rows) for k in range(3)]
+        return "\n".join(
+            "  ".join(col.ljust(w) for col, w in zip(row, widths)).rstrip()
+            for row in rows)

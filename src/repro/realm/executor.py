@@ -20,6 +20,7 @@ from typing import Mapping, Optional, Sequence
 import numpy as np
 
 from repro.errors import TaskError
+from repro.obs import tracer as obs
 from repro.realm.events import Event
 from repro.realm.runtime import RealmRuntime
 from repro.regions.tree import RegionTree
@@ -61,21 +62,27 @@ class RealmExecutor:
         if set(by_id) != set(graph.task_ids):
             raise TaskError("graph and task list disagree on task ids")
 
-        completion: dict[int, Event] = {}
-        for tid in sorted(by_id):  # program order: deps precede dependents
-            deps = graph.dependences_of(tid)
-            precondition = Event.merge([completion[d] for d in sorted(deps)])
-            task = by_id[tid]
-            completion[tid] = self.runtime.spawn(
-                lambda task=task: self._execute_one(task),
-                wait_on=precondition)
+        with obs.span("realm.run", "realm", tasks=len(tasks)):
+            completion: dict[int, Event] = {}
+            for tid in sorted(by_id):  # program order: deps precede dependents
+                deps = graph.dependences_of(tid)
+                precondition = Event.merge(
+                    [completion[d] for d in sorted(deps)])
+                task = by_id[tid]
+                completion[tid] = self.runtime.spawn(
+                    lambda task=task: self._execute_one(task),
+                    wait_on=precondition)
 
-        self.runtime.wait_for_quiescence(timeout=timeout)
+            self.runtime.wait_for_quiescence(timeout=timeout)
         return {tid: event.is_poisoned()
                 for tid, event in completion.items()}
 
     # ------------------------------------------------------------------
     def _execute_one(self, task: Task) -> None:
+        with obs.span(task.name, "realm", task_id=task.task_id):
+            self._execute_body(task)
+
+    def _execute_body(self, task: Task) -> None:
         root_space = self.tree.root.space
         positions = []
         buffers = []

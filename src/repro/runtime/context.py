@@ -22,6 +22,7 @@ from typing import Callable, Iterable, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.errors import TaskError
+from repro.obs import tracer as obs
 from repro.privileges import Privilege
 from repro.regions.partition import Partition
 from repro.regions.tree import RegionTree
@@ -108,22 +109,27 @@ class Runtime:
         self.meter.begin_task()
         deps: set[int] = set()
         buffers: list[np.ndarray] = []
-        for req in requirements:
-            outcome = self._algorithms[req.field].materialize(
-                req.privilege, req.region)
-            deps.update(outcome.dependences)
-            buf = outcome.values
-            if req.privilege.is_read:
-                buf.setflags(write=False)
-            buffers.append(buf)
+        # Task spans carry the task id and (once the scan finishes) the
+        # dependence list, so the critical-path analyzer can rebuild the
+        # task DAG from a trace file alone.
+        with obs.span(name, "task", task_id=task_id) as sp:
+            for req in requirements:
+                outcome = self._algorithms[req.field].materialize(
+                    req.privilege, req.region)
+                deps.update(outcome.dependences)
+                buf = outcome.values
+                if req.privilege.is_read:
+                    buf.setflags(write=False)
+                buffers.append(buf)
+            sp.set(deps=sorted(deps))
 
-        if body is not None:
-            body(*buffers)
+            if body is not None:
+                body(*buffers)
 
-        for req, buf in zip(requirements, buffers):
-            commit_values = None if req.privilege.is_read else buf
-            self._algorithms[req.field].commit(
-                req.privilege, req.region, commit_values, task_id)
+            for req, buf in zip(requirements, buffers):
+                commit_values = None if req.privilege.is_read else buf
+                self._algorithms[req.field].commit(
+                    req.privilege, req.region, commit_values, task_id)
         if self._record_costs:
             self.cost_log.append(self.meter.end_task())
 
@@ -180,18 +186,20 @@ class Runtime:
         task_id = len(self._tasks)
         self.meter.begin_task()
         buffers: list[np.ndarray] = []
-        for req in template.requirements:
-            buf = self._algorithms[req.field].materialize_values(
-                req.privilege, req.region)
-            if req.privilege.is_read:
-                buf.setflags(write=False)
-            buffers.append(buf)
-        if template.body is not None:
-            template.body(*buffers)
-        for req, buf in zip(template.requirements, buffers):
-            commit_values = None if req.privilege.is_read else buf
-            self._algorithms[req.field].commit(
-                req.privilege, req.region, commit_values, task_id)
+        with obs.span(template.name, "task", task_id=task_id,
+                      deps=sorted(deps), replayed=True):
+            for req in template.requirements:
+                buf = self._algorithms[req.field].materialize_values(
+                    req.privilege, req.region)
+                if req.privilege.is_read:
+                    buf.setflags(write=False)
+                buffers.append(buf)
+            if template.body is not None:
+                template.body(*buffers)
+            for req, buf in zip(template.requirements, buffers):
+                commit_values = None if req.privilege.is_read else buf
+                self._algorithms[req.field].commit(
+                    req.privilege, req.region, commit_values, task_id)
         if self._record_costs:
             self.cost_log.append(self.meter.end_task())
         task = Task(task_id, template.name, template.requirements,

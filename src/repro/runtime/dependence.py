@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable, Mapping, Sequence
 
+from repro.obs import tracer as obs
 from repro.runtime.task import Task
 
 
@@ -129,10 +130,12 @@ def oracle_dependences(tasks: Sequence[Task]) -> set[tuple[int, int]]:
     interfere and whose domains intersect.
     """
     pairs: set[tuple[int, int]] = set()
-    for i, earlier in enumerate(tasks):
-        for later in tasks[i + 1:]:
-            if _tasks_interfere(earlier, later):
-                pairs.add((earlier.task_id, later.task_id))
+    with obs.span("oracle_dependences", "runtime.dependence",
+                  tasks=len(tasks)):
+        for i, earlier in enumerate(tasks):
+            for later in tasks[i + 1:]:
+                if _tasks_interfere(earlier, later):
+                    pairs.add((earlier.task_id, later.task_id))
     return pairs
 
 
@@ -146,7 +149,8 @@ def _tasks_interfere(a: Task, b: Task) -> bool:
 
 def schedule_levels(graph: DependenceGraph) -> list[list[int]]:
     """Group task ids into parallel waves by dependence level."""
-    waves: dict[int, list[int]] = {}
-    for tid, level in graph.levels().items():
-        waves.setdefault(level, []).append(tid)
-    return [sorted(waves[level]) for level in sorted(waves)]
+    with obs.span("schedule_levels", "runtime.dependence"):
+        waves: dict[int, list[int]] = {}
+        for tid, level in graph.levels().items():
+            waves.setdefault(level, []).append(tid)
+        return [sorted(waves[level]) for level in sorted(waves)]

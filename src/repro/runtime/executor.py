@@ -15,6 +15,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.errors import TaskError
+from repro.obs import tracer as obs
 from repro.regions.tree import RegionTree
 from repro.runtime.task import Task, TaskStream
 
@@ -40,6 +41,10 @@ class SequentialExecutor:
     # ------------------------------------------------------------------
     def run(self, task: Task) -> None:
         """Execute one task eagerly."""
+        with obs.span(task.name, "runtime.execute", task_id=task.task_id):
+            self._run(task)
+
+    def _run(self, task: Task) -> None:
         root_space = self.tree.root.space
         buffers: list[np.ndarray] = []
         positions: list[np.ndarray] = []

@@ -84,6 +84,8 @@ class CoherenceAlgorithm(ABC):
         self.field = field
         self.dtype = initial.dtype
         self.meter = meter if meter is not None else CostMeter()
+        # Span category for the @traced materialize/commit instrumentation.
+        self._obs_cat = f"visibility.{type(self).name}"
 
     # ------------------------------------------------------------------
     @abstractmethod

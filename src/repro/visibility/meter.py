@@ -25,11 +25,18 @@ Event vocabulary (shared by all algorithms)
 
 from __future__ import annotations
 
-import time
+import threading
 from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Hashable, Iterator
+
+
+def _default_clock():
+    # Imported lazily: distributed.faults sits above the runtime/visibility
+    # layers in the import graph, so a top-level import would be circular.
+    from repro.distributed.faults import SystemClock
+    return SystemClock()
 
 
 @dataclass(frozen=True)
@@ -56,49 +63,77 @@ class CostMeter:
     A meter is shared by one algorithm instance.  Counts accumulate for the
     lifetime of the meter; :meth:`begin_task`/:meth:`end_task` bracket one
     task launch so callers can extract per-task deltas.
+
+    Mutation is lock-protected: the thread backend runs replica analyses
+    concurrently, and ``Counter.__iadd__`` is not atomic.  The lock is
+    excluded from pickles (checkpoints pickle whole runtimes).
     """
 
-    __slots__ = ("counters", "touches", "_mark", "_task_touches")
+    __slots__ = ("counters", "touches", "_mark", "_task_touches", "_lock")
 
     def __init__(self) -> None:
         self.counters: Counter[str] = Counter()
         self.touches: set[Hashable] = set()
         self._mark: Counter[str] = Counter()
         self._task_touches: set[Hashable] = set()
+        self._lock = threading.Lock()
+
+    def __getstate__(self):
+        return (self.counters, self.touches, self._mark, self._task_touches)
+
+    def __setstate__(self, state):
+        self.counters, self.touches, self._mark, self._task_touches = state
+        self._lock = threading.Lock()
 
     def count(self, event: str, n: int = 1) -> None:
         """Record ``n`` occurrences of ``event``."""
-        self.counters[event] += n
+        with self._lock:
+            self.counters[event] += n
 
     def touch(self, key: Hashable) -> None:
         """Record that the current analysis touched distributed object
         ``key``."""
-        self.touches.add(key)
-        self._task_touches.add(key)
+        with self._lock:
+            self.touches.add(key)
+            self._task_touches.add(key)
 
     def begin_task(self) -> None:
         """Mark the start of one task launch's analysis."""
-        self._mark = Counter(self.counters)
-        self._task_touches = set()
+        with self._lock:
+            self._mark = Counter(self.counters)
+            self._task_touches = set()
 
     def end_task(self) -> TaskCost:
         """Return the counts and touches accumulated since
         :meth:`begin_task`."""
-        delta = Counter(self.counters)
-        delta.subtract(self._mark)
-        counters = {k: v for k, v in delta.items() if v}
-        return TaskCost(counters=counters, touches=frozenset(self._task_touches))
+        with self._lock:
+            delta = Counter(self.counters)
+            delta.subtract(self._mark)
+            counters = {k: v for k, v in delta.items() if v}
+            return TaskCost(counters=counters,
+                            touches=frozenset(self._task_touches))
 
     def snapshot(self) -> dict[str, int]:
         """Copy of the lifetime counters."""
-        return dict(self.counters)
+        with self._lock:
+            return dict(self.counters)
 
     def reset(self) -> None:
         """Clear all accumulated state."""
-        self.counters.clear()
-        self.touches.clear()
-        self._mark.clear()
-        self._task_touches.clear()
+        with self._lock:
+            self.counters.clear()
+            self.touches.clear()
+            self._mark.clear()
+            self._task_touches.clear()
+
+    def publish_to(self, registry, **labels) -> None:
+        """Publish lifetime totals into a
+        :class:`repro.obs.metrics.MetricsRegistry` as ``meter.<event>``
+        counters (idempotent: re-publishing the same meter is safe)."""
+        for event, total in self.snapshot().items():
+            registry.counter(f"meter.{event}", **labels).set_total(total)
+        registry.gauge("meter.objects_touched", **labels).set(
+            len(self.touches))
 
     def __repr__(self) -> str:
         top = ", ".join(f"{k}={v}" for k, v in self.counters.most_common(4))
@@ -114,6 +149,17 @@ class PhaseStat:
     bytes: int = 0
 
 
+def _human_bytes(n: int) -> str:
+    """1536 → '1.5KiB'; exact byte counts below 1 KiB stay integral."""
+    if n < 1024:
+        return f"{n}B"
+    for unit in ("KiB", "MiB", "GiB", "TiB"):
+        n /= 1024.0
+        if n < 1024:
+            return f"{n:.1f}{unit}"
+    return f"{n:.1f}PiB"
+
+
 class PhaseProfile:
     """Wall-clock perf counters for multi-phase operations.
 
@@ -125,75 +171,126 @@ class PhaseProfile:
 
     Phase names are hierarchical by convention (``"analyze"``,
     ``"analyze.shard3"``); :meth:`render` groups them lexicographically.
+
+    The clock is injectable (default
+    :class:`~repro.distributed.faults.SystemClock`): tests pass a
+    :class:`~repro.distributed.faults.FakeClock` and assert exact phase
+    times.  Mutation is lock-protected — the thread backend merges worker
+    profiles and credits shard phases concurrently.  Each timed phase also
+    emits a span on the active :mod:`repro.obs` tracer, so the profile
+    table and the Perfetto timeline agree by construction.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, clock=None) -> None:
         self._stats: dict[str, PhaseStat] = {}
+        self._clock = clock if clock is not None else _default_clock()
+        self._lock = threading.RLock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_lock")
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_clock", _default_clock())
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def stat(self, name: str) -> PhaseStat:
         """The (created-on-demand) accumulator for one phase."""
-        try:
-            return self._stats[name]
-        except KeyError:
-            stat = self._stats[name] = PhaseStat()
-            return stat
+        with self._lock:
+            try:
+                return self._stats[name]
+            except KeyError:
+                stat = self._stats[name] = PhaseStat()
+                return stat
 
     @contextmanager
     def phase(self, name: str) -> Iterator[PhaseStat]:
         """Time one phase occurrence with a context manager."""
-        start = time.perf_counter()
+        from repro.obs import tracer as obs_tracer
+        start = self._clock.monotonic()
         stat = self.stat(name)
         try:
-            yield stat
+            with obs_tracer.span(name, "phase"):
+                yield stat
         finally:
-            stat.calls += 1
-            stat.seconds += time.perf_counter() - start
+            elapsed = self._clock.monotonic() - start
+            with self._lock:
+                stat.calls += 1
+                stat.seconds += elapsed
 
     def add_time(self, name: str, seconds: float, calls: int = 1) -> None:
         """Credit externally measured time (e.g. from a worker process)."""
-        stat = self.stat(name)
-        stat.calls += calls
-        stat.seconds += seconds
+        with self._lock:
+            stat = self.stat(name)
+            stat.calls += calls
+            stat.seconds += seconds
 
     def add_bytes(self, name: str, n: int) -> None:
         """Credit data volume (e.g. pickled bytes shipped to a worker)."""
-        self.stat(name).bytes += n
+        with self._lock:
+            self.stat(name).bytes += n
 
     def add_count(self, name: str, n: int = 1) -> None:
         """Credit bare occurrences with no time or volume (e.g. recovery
         counters: retries, replayed tasks)."""
-        self.stat(name).calls += n
+        with self._lock:
+            self.stat(name).calls += n
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, PhaseStat]:
         """Copy of every phase's totals."""
-        return {name: PhaseStat(s.calls, s.seconds, s.bytes)
-                for name, s in self._stats.items()}
+        with self._lock:
+            return {name: PhaseStat(s.calls, s.seconds, s.bytes)
+                    for name, s in self._stats.items()}
 
     def merge(self, other: "PhaseProfile") -> None:
         """Fold another profile's totals into this one."""
-        for name, s in other._stats.items():
-            stat = self.stat(name)
-            stat.calls += s.calls
-            stat.seconds += s.seconds
-            stat.bytes += s.bytes
+        for name, s in other.snapshot().items():
+            with self._lock:
+                stat = self.stat(name)
+                stat.calls += s.calls
+                stat.seconds += s.seconds
+                stat.bytes += s.bytes
 
     def reset(self) -> None:
-        self._stats.clear()
+        with self._lock:
+            self._stats.clear()
 
     def __contains__(self, name: str) -> bool:
         return name in self._stats
 
+    def publish_to(self, registry, **labels) -> None:
+        """Publish phase totals into a
+        :class:`repro.obs.metrics.MetricsRegistry`: per-phase call
+        counters, seconds gauges, and byte counters."""
+        for name, s in sorted(self.snapshot().items()):
+            phase_labels = dict(labels, phase=name)
+            registry.counter("profile.calls", **phase_labels).set_total(
+                s.calls)
+            registry.gauge("profile.seconds", **phase_labels).set(s.seconds)
+            if s.bytes:
+                registry.counter("profile.bytes", **phase_labels).set_total(
+                    s.bytes)
+
     def render(self) -> str:
-        """Aligned text table of every phase, sorted by name."""
-        if not self._stats:
+        """Aligned text table of every phase, sorted by name, with
+        human-readable byte volumes and a ``total`` footer row."""
+        stats = self.snapshot()
+        if not stats:
             return "(no phases recorded)"
         rows = [("phase", "calls", "seconds", "bytes")]
-        for name in sorted(self._stats):
-            s = self._stats[name]
+        for name in sorted(stats):
+            s = stats[name]
             rows.append((name, str(s.calls), f"{s.seconds:.6f}",
-                         str(s.bytes) if s.bytes else "-"))
+                         _human_bytes(s.bytes) if s.bytes else "-"))
+        total = PhaseStat(sum(s.calls for s in stats.values()),
+                          sum(s.seconds for s in stats.values()),
+                          sum(s.bytes for s in stats.values()))
+        rows.append(("total", str(total.calls), f"{total.seconds:.6f}",
+                     _human_bytes(total.bytes) if total.bytes else "-"))
         widths = [max(len(r[k]) for r in rows) for k in range(4)]
         return "\n".join(
             "  ".join(col.ljust(w) if k == 0 else col.rjust(w)

@@ -25,6 +25,7 @@ from repro.visibility.base import (AnalysisOutcome, CoherenceAlgorithm,
 from repro.visibility.history import (HistoryEntry, RegionValues, paint_entry,
                                       scan_dependences)
 from repro.visibility.meter import CostMeter
+from repro.obs.tracer import traced
 
 
 class PainterAlgorithm(CoherenceAlgorithm):
@@ -49,6 +50,7 @@ class PainterAlgorithm(CoherenceAlgorithm):
         """Number of recorded entries (diagnostics/benchmarks)."""
         return len(self._history)
 
+    @traced("materialize")
     def materialize(self, privilege: Privilege, region: Region) -> AnalysisOutcome:
         deps: set[int] = set()
         scan_dependences(privilege, region.space, self._history, deps,
@@ -81,6 +83,7 @@ class PainterAlgorithm(CoherenceAlgorithm):
             return self.identity_buffer(privilege, region.space.size)
         return self._paint(region.space).values
 
+    @traced("commit")
     def commit(self, privilege: Privilege, region: Region,
                values: Optional[np.ndarray], task_id: int) -> None:
         values = self._check_commit_values(privilege, region, values)

@@ -38,6 +38,7 @@ from repro.visibility.base import (AnalysisOutcome, CoherenceAlgorithm,
 from repro.visibility.history import (HistoryEntry, RegionValues, paint_entry,
                                       scan_dependences)
 from repro.visibility.meter import CostMeter
+from repro.obs.tracer import traced
 
 # A privilege summary key: "read", "rw", or ("reduce", opname).
 PrivKey = Union[str, tuple[str, str]]
@@ -335,6 +336,7 @@ class TreePainterAlgorithm(CoherenceAlgorithm):
     # ------------------------------------------------------------------
     # the Figure 6 protocol
     # ------------------------------------------------------------------
+    @traced("materialize")
     def materialize(self, privilege: Privilege, region: Region) -> AnalysisOutcome:
         self._check_region(region)
         self._hoist(privilege, region)
@@ -372,6 +374,7 @@ class TreePainterAlgorithm(CoherenceAlgorithm):
             current = paint_entry(current, entry, self.meter)
         return current.values
 
+    @traced("commit")
     def commit(self, privilege: Privilege, region: Region,
                values: Optional[np.ndarray], task_id: int) -> None:
         self._check_region(region)

@@ -40,6 +40,7 @@ from repro.visibility.eqset import BucketStore, LooseEquivalenceSet
 from repro.visibility.history import (HistoryEntry, RegionValues,
                                       scan_dependences)
 from repro.visibility.meter import CostMeter
+from repro.obs.tracer import traced
 
 
 class RayCastAlgorithm(CoherenceAlgorithm):
@@ -74,6 +75,7 @@ class RayCastAlgorithm(CoherenceAlgorithm):
             self._store.rebucket(partition)
 
     # ------------------------------------------------------------------
+    @traced("materialize")
     def materialize(self, privilege: Privilege, region: Region) -> AnalysisOutcome:
         if region.tree is not self.tree:
             raise CoherenceError("region belongs to a different tree")
@@ -134,6 +136,7 @@ class RayCastAlgorithm(CoherenceAlgorithm):
             self.meter.touch(("eqset", fresh.uid, fresh.space.bounds[0]))
         return values
 
+    @traced("commit")
     def commit(self, privilege: Privilege, region: Region,
                values: Optional[np.ndarray], task_id: int) -> None:
         if region.tree is not self.tree:

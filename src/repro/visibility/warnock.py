@@ -26,6 +26,7 @@ from repro.visibility.base import (AnalysisOutcome, CoherenceAlgorithm,
 from repro.visibility.eqset import (EqEntry, EquivalenceSet, EqSetStore,
                                     RefinementTreeStore)
 from repro.visibility.meter import CostMeter
+from repro.obs.tracer import traced
 
 
 class EqSetAlgorithmBase(CoherenceAlgorithm):
@@ -48,6 +49,7 @@ class EqSetAlgorithmBase(CoherenceAlgorithm):
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    @traced("materialize")
     def materialize(self, privilege: Privilege, region: Region) -> AnalysisOutcome:
         if region.tree is not self.tree:
             raise CoherenceError("region belongs to a different tree")
@@ -102,6 +104,7 @@ class EqSetAlgorithmBase(CoherenceAlgorithm):
             values[region.space.positions_of(eqset.space)] = painted
         return values
 
+    @traced("commit")
     def commit(self, privilege: Privilege, region: Region,
                values: Optional[np.ndarray], task_id: int) -> None:
         if region.tree is not self.tree:

@@ -42,6 +42,7 @@ from repro.regions.tree import RegionTree
 from repro.visibility.base import (AnalysisOutcome, CoherenceAlgorithm,
                                    INITIAL_TASK_ID)
 from repro.visibility.meter import CostMeter
+from repro.obs.tracer import traced
 
 _EMPTY_SET_ID = 0
 
@@ -122,6 +123,7 @@ class ZBufferAlgorithm(CoherenceAlgorithm):
         return opid
 
     # ------------------------------------------------------------------
+    @traced("materialize")
     def materialize(self, privilege: Privilege, region: Region) -> AnalysisOutcome:
         if region.tree is not self.tree:
             raise CoherenceError("region belongs to a different tree")
@@ -148,6 +150,7 @@ class ZBufferAlgorithm(CoherenceAlgorithm):
         deps.discard(INITIAL_TASK_ID)
         return AnalysisOutcome(values, frozenset(deps))
 
+    @traced("commit")
     def commit(self, privilege: Privilege, region: Region,
                values: Optional[np.ndarray], task_id: int) -> None:
         if region.tree is not self.tree:

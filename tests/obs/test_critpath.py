@@ -1,0 +1,123 @@
+"""Critical-path analyzer tests on hand-built span DAGs with exact
+durations — no clocks involved."""
+
+import pytest
+
+from repro.obs.critpath import (critical_path, deps_from_spans,
+                                select_task_spans)
+from repro.obs.tracer import Span
+
+
+def task_span(task_id, seconds, deps=(), name=None, pid=0, tid=0,
+              start=None, span_id=None):
+    start = float(task_id) if start is None else start
+    return Span(name=name or f"t{task_id}", category="task",
+                start=start, end=start + seconds, pid=pid, tid=tid,
+                span_id=span_id or (1000 + task_id),
+                args={"task_id": task_id, "deps": list(deps)})
+
+
+class TestSelection:
+    def test_one_span_per_task_earliest_wins(self):
+        spans = [task_span(1, 0.5, start=5.0),
+                 task_span(1, 0.5, start=2.0)]
+        chosen = select_task_spans(spans)
+        assert chosen[1].start == 2.0
+
+    def test_majority_group_wins(self):
+        # Shard replica (pid 2) recorded both tasks; the driver group
+        # only one — the fuller timeline wins.
+        spans = [task_span(1, 0.1, pid=0, tid=0),
+                 task_span(1, 0.1, pid=2, tid=1),
+                 task_span(2, 0.1, pid=2, tid=1)]
+        chosen = select_task_spans(spans)
+        assert set(chosen) == {1, 2}
+        assert all(s.pid == 2 for s in chosen.values())
+
+    def test_tie_breaks_toward_reference_replica(self):
+        spans = [task_span(1, 0.1, pid=2, tid=1),
+                 task_span(1, 0.1, pid=0, tid=0)]
+        (span,) = select_task_spans(spans).values()
+        assert (span.pid, span.tid) == (0, 0)
+
+    def test_ignores_non_task_and_untagged_spans(self):
+        spans = [Span("x", "runtime", 0.0, 1.0),
+                 Span("y", "task", 0.0, 1.0)]  # no task_id arg
+        assert select_task_spans(spans) == {}
+
+    def test_deps_from_spans(self):
+        chosen = select_task_spans([task_span(3, 0.1, deps=(1, 2))])
+        assert deps_from_spans(chosen) == {3: (1, 2)}
+
+
+class TestLongestPath:
+    def test_weighted_path_beats_hop_count(self):
+        # Diamond: 1 -> {2, 3} -> 4.  Task 3 is slow, so the longest
+        # weighted path must route through it.
+        spans = [task_span(1, 1.0),
+                 task_span(2, 0.1, deps=(1,)),
+                 task_span(3, 5.0, deps=(1,)),
+                 task_span(4, 1.0, deps=(2, 3))]
+        report = critical_path(spans)
+        assert [s.task_id for s in report.steps] == [1, 3, 4]
+        assert report.total == pytest.approx(7.0)
+        assert report.span_total == pytest.approx(7.1)
+        assert report.tasks == 4
+        assert report.steps[-1].cumulative == pytest.approx(7.0)
+        assert 0.0 < report.parallel_fraction < 0.02
+
+    def test_independent_tasks_path_is_single_longest(self):
+        spans = [task_span(1, 1.0), task_span(2, 3.0), task_span(3, 2.0)]
+        report = critical_path(spans)
+        assert [s.task_id for s in report.steps] == [2]
+        assert report.total == pytest.approx(3.0)
+
+    def test_explicit_deps_override_span_args(self):
+        spans = [task_span(1, 1.0), task_span(2, 1.0, deps=(1,))]
+        report = critical_path(spans, deps={1: (), 2: ()})
+        assert len(report.steps) == 1
+
+    def test_graph_mode(self):
+        class FakeGraph:
+            task_ids = {1, 2}
+
+            def dependences_of(self, tid):
+                return (1,) if tid == 2 else ()
+
+        spans = [task_span(1, 1.0), task_span(2, 1.0)]
+        report = critical_path(spans, graph=FakeGraph())
+        assert [s.task_id for s in report.steps] == [1, 2]
+        assert report.total == pytest.approx(2.0)
+
+    def test_empty_input(self):
+        report = critical_path([])
+        assert report.steps == []
+        assert "tracer enabled" in report.render()
+
+
+class TestAttribution:
+    def test_per_phase_from_child_spans(self):
+        parent = task_span(1, 1.0)
+        child = Span("materialize", "visibility.raycast",
+                     start=parent.start, end=parent.start + 0.4,
+                     parent_id=parent.span_id)
+        report = critical_path([parent, child])
+        assert report.per_phase["visibility.raycast"] == pytest.approx(0.4)
+        assert report.per_phase["runtime.other"] == pytest.approx(0.6)
+
+    def test_off_path_children_not_attributed(self):
+        on_path = task_span(1, 1.0)
+        off_path = task_span(2, 0.1)  # not on the single-task longest path
+        stray = Span("commit", "visibility.painter",
+                     start=off_path.start, end=off_path.start + 0.05,
+                     parent_id=off_path.span_id)
+        report = critical_path([on_path, off_path, stray])
+        assert [s.task_id for s in report.steps] == [1]
+        assert "visibility.painter" not in report.per_phase
+
+    def test_render_table(self):
+        spans = [task_span(1, 1.0), task_span(2, 2.0, deps=(1,))]
+        text = critical_path(spans).render(top_k=1)
+        assert "critical path: 2 of 2 tasks" in text
+        assert "top 1 spans" in text
+        assert "t2" in text and "t1" not in text.split("top 1")[1]

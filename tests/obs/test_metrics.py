@@ -1,0 +1,149 @@
+"""Metrics-registry unit tests, including the publish_to bridges from
+the three pre-existing instrument silos."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.distributed.faults import RecoveryReport
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               format_labels)
+from repro.visibility.meter import CostMeter, PhaseProfile
+
+
+class TestInstruments:
+    def test_counter_inc_and_set_total(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops", shard="0")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        c.set_total(9)
+        assert c.value == 9
+        with pytest.raises(ValueError):
+            c.set_total(3)  # counters cannot move backwards
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_last_value_wins(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(3.0)
+        g.set(1.5)
+        g.add(0.5)
+        assert g.value == 2.0
+
+    def test_histogram_buckets_and_quantiles(self):
+        h = Histogram("lat", {}, buckets=(0.001, 0.01, 0.1))
+        for v in (0.0005, 0.005, 0.005, 0.05, 5.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == pytest.approx(5.0605)
+        assert h.counts == [1, 2, 1, 1]  # last bucket is +inf overflow
+        assert h.quantile_bound(0.5) == 0.01
+        assert h.quantile_bound(1.0) == float("inf")
+        assert "##" in h.render()
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", {}, buckets=(0.1, 0.01))
+
+
+class TestRegistry:
+    def test_get_or_create_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", a="1") is reg.counter("x", a="1")
+        assert reg.counter("x", a="2") is not reg.counter("x", a="1")
+
+    def test_kind_conflict_is_error(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_labels_render_sorted(self):
+        assert format_labels({"b": 2, "a": 1}) == '{a="1",b="2"}'
+        assert format_labels({}) == ""
+
+    def test_iter_sorted_and_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc(2)
+        reg.gauge("a").set(1.0)
+        reg.histogram("c").observe(0.5)
+        names = [m.full_name for m in reg]
+        assert names == sorted(names)
+        snap = reg.snapshot()
+        assert snap["a"] == 1.0
+        assert snap["b"] == 2
+        assert snap["c"] == {"count": 1, "sum": 0.5}
+
+    def test_find_does_not_create(self):
+        reg = MetricsRegistry()
+        assert reg.find("nope") is None
+        assert len(reg) == 0
+
+    def test_render_table(self):
+        reg = MetricsRegistry()
+        reg.counter("meter.ops").inc(7)
+        out = reg.render()
+        assert "meter.ops" in out and "counter" in out and "7" in out
+
+    def test_metrics_pickle_without_lock(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc(3)
+        clone = pickle.loads(pickle.dumps(c))
+        assert clone.value == 3
+        clone.inc()  # lock was rebuilt
+        assert clone.value == 4
+
+    def test_concurrent_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits")
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestPublishBridges:
+    def test_cost_meter_publishes_counters(self):
+        meter = CostMeter()
+        meter.count("entries_scanned", 12)
+        meter.touch(("eqset", 1))
+        reg = MetricsRegistry()
+        meter.publish_to(reg, shard="0")
+        assert reg.find("meter.entries_scanned", shard="0").value == 12
+        assert reg.find("meter.objects_touched", shard="0").value == 1
+        meter.publish_to(reg, shard="0")  # idempotent re-publish
+        assert reg.find("meter.entries_scanned", shard="0").value == 12
+
+    def test_phase_profile_publishes(self):
+        profile = PhaseProfile()
+        profile.add_time("analyze", 1.5, calls=2)
+        profile.add_bytes("ship", 2048)
+        reg = MetricsRegistry()
+        profile.publish_to(reg)
+        assert reg.find("profile.calls", phase="analyze").value == 2
+        assert reg.find("profile.seconds", phase="analyze").value == 1.5
+        assert reg.find("profile.bytes", phase="ship").value == 2048
+
+    def test_recovery_report_publishes(self):
+        report = RecoveryReport()
+        report.record_fault("crash")
+        report.recoveries = 1
+        report.respawns = 2
+        report.recovery_seconds = 0.25
+        reg = MetricsRegistry()
+        report.publish_to(reg)
+        assert reg.find("recovery.recoveries").value == 1
+        assert reg.find("recovery.fault.crash").value == 1
+        assert reg.find("recovery.respawns").value == 2
+        assert reg.find("recovery.seconds").value == 0.25

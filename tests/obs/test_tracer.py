@@ -1,0 +1,185 @@
+"""Span tracer unit tests — all on a FakeClock, so times are exact."""
+
+import threading
+
+import pytest
+
+from repro.distributed.faults import FakeClock
+from repro.obs.tracer import (DRIVER_PID, Span, Tracer, active_tracer,
+                              set_tracer, span, traced)
+
+
+def make_tracer(start=100.0):
+    return Tracer(clock=FakeClock(start))
+
+
+class TestSpans:
+    def test_span_times_and_names(self):
+        t = make_tracer()
+        with t.span("analyze", "distributed", shard=3):
+            t.clock.advance(2.5)
+        (s,) = t.snapshot().spans
+        assert s.name == "analyze"
+        assert s.category == "distributed"
+        assert (s.start, s.end) == (100.0, 102.5)
+        assert s.duration == 2.5
+        assert s.args == {"shard": 3}
+        assert s.pid == DRIVER_PID
+
+    def test_nesting_links_parents(self):
+        t = make_tracer()
+        with t.span("outer") as outer:
+            with t.span("inner"):
+                t.clock.advance(1.0)
+        inner_span, outer_span = t.snapshot().spans
+        assert inner_span.name == "inner"
+        assert inner_span.parent_id == outer.span_id
+        assert outer_span.parent_id is None
+
+    def test_set_updates_args_mid_span(self):
+        t = make_tracer()
+        with t.span("task", "task", task_id=7) as sp:
+            sp.set(deps=[1, 2])
+        (s,) = t.snapshot().spans
+        assert s.args == {"task_id": 7, "deps": [1, 2]}
+
+    def test_exception_recorded_and_propagated(self):
+        t = make_tracer()
+        with pytest.raises(ValueError):
+            with t.span("bad"):
+                raise ValueError("boom")
+        (s,) = t.snapshot().spans
+        assert s.args["error"] == "ValueError"
+
+    def test_current_returns_innermost(self):
+        t = make_tracer()
+        assert t.current() is None
+        with t.span("outer"):
+            with t.span("inner") as inner:
+                assert t.current() is inner
+        assert t.current() is None
+
+
+class TestDisabled:
+    def test_disabled_records_nothing(self):
+        t = Tracer(clock=FakeClock(0.0), enabled=False)
+        with t.span("a") as sp:
+            sp.set(x=1)  # no-op handle accepts set()
+        t.instant("i")
+        t.counter("c", 1.0)
+        assert len(t.snapshot()) == 0
+
+    def test_disabled_span_is_shared_noop(self):
+        t = Tracer(enabled=False)
+        assert t.span("a") is t.span("b")
+
+
+class TestAttribution:
+    def test_scope_overrides_pid_tid(self):
+        t = make_tracer()
+        with t.scope(pid=4, tid=3):
+            with t.span("shard-work"):
+                pass
+            t.instant("crash")
+        (s,) = t.snapshot().spans
+        (i,) = t.snapshot().instants
+        assert (s.pid, s.tid) == (4, 3)
+        assert (i.pid, i.tid) == (4, 3)
+
+    def test_scope_restores_previous(self):
+        t = make_tracer()
+        with t.scope(pid=9, tid=9):
+            pass
+        with t.span("after"):
+            pass
+        (s,) = t.snapshot().spans
+        assert s.pid == DRIVER_PID
+
+    def test_threads_get_distinct_tids(self):
+        t = make_tracer()
+        # All threads must be alive at once: Python reuses thread idents
+        # once a thread exits, which would legitimately share a tid.
+        barrier = threading.Barrier(3)
+
+        def work():
+            barrier.wait()
+            with t.span("w"):
+                pass
+            barrier.wait()
+
+        threads = [threading.Thread(target=work) for _ in range(3)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        tids = {s.tid for s in t.snapshot().spans}
+        assert len(tids) == 3
+
+
+class TestBuffers:
+    def test_absorb_shifts_by_offset(self):
+        t = make_tracer(start=50.0)
+        foreign = [Span("remote", "cat", start=1.0, end=2.0, pid=3, tid=2)]
+        t.absorb(foreign, offset=49.0)
+        (s,) = t.snapshot().spans
+        assert (s.start, s.end) == (50.0, 51.0)
+        assert (s.pid, s.tid) == (3, 2)
+
+    def test_drain_empties_buffer(self):
+        t = make_tracer()
+        with t.span("a"):
+            pass
+        buf = t.drain()
+        assert len(buf.spans) == 1
+        assert len(t.snapshot()) == 0
+
+    def test_counter_samples(self):
+        t = make_tracer()
+        t.counter("tasks", 28)
+        (c,) = t.snapshot().counters
+        assert (c.name, c.value, c.ts) == ("tasks", 28.0, 100.0)
+
+
+class TestGlobalTracer:
+    def test_default_active_tracer_is_disabled(self):
+        assert not active_tracer().enabled
+
+    def test_set_tracer_swaps_and_restores(self):
+        mine = make_tracer()
+        previous = set_tracer(mine)
+        try:
+            assert active_tracer() is mine
+            with span("global", "cat"):
+                mine.clock.advance(1.0)
+            (s,) = mine.snapshot().spans
+            assert s.name == "global"
+        finally:
+            set_tracer(previous)
+
+    def test_traced_decorator_uses_obs_cat(self):
+        class Algo:
+            _obs_cat = "visibility.test"
+
+            @traced("materialize")
+            def materialize(self):
+                return 42
+
+        mine = make_tracer()
+        previous = set_tracer(mine)
+        try:
+            assert Algo().materialize() == 42
+        finally:
+            set_tracer(previous)
+        (s,) = mine.snapshot().spans
+        assert (s.name, s.category) == ("materialize", "visibility.test")
+
+    def test_traced_decorator_disabled_fast_path(self):
+        calls = []
+
+        class Algo:
+            @traced("commit", category="c")
+            def commit(self):
+                calls.append(1)
+
+        Algo().commit()  # default tracer is disabled: no span machinery
+        assert calls == [1]

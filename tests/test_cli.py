@@ -105,6 +105,34 @@ class TestAnalyze:
         # per-phase perf counters from the PhaseProfile
         assert "analyze.shard2" in out
         assert "verify" in out and "ship" in out
+        # render() ends with a total footer and human-readable bytes
+        profile_lines = [l for l in out.splitlines() if l.strip()]
+        total = next(l for l in profile_lines if l.startswith("total"))
+        assert "B" in total  # shipped volume rendered as B/KiB/MiB
+
+    def test_trace_out_and_critical_path(self, tmp_path, capsys):
+        from repro.obs import validate_trace
+        import json
+        trace = tmp_path / "stencil.json"
+        assert main(["analyze", "--app", "stencil", "--pieces", "2",
+                     "--iterations", "1", "--shards", "2",
+                     "--trace-out", str(trace), "--critical-path"]) == 0
+        out = capsys.readouterr().out
+        assert f"trace written: {trace}" in out
+        assert "critical path:" in out
+        assert "analyze wall-clock" in out
+        assert validate_trace(json.loads(trace.read_text())) == []
+
+    def test_prof_round_trip(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        assert main(["analyze", "--app", "stencil", "--pieces", "2",
+                     "--iterations", "1", "--shards", "2",
+                     "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["prof", str(trace), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path:" in out
+        assert "task" in out  # per-category table includes task spans
 
     def test_thread_backend_forced(self, capsys):
         assert main(["analyze", "--app", "circuit", "--pieces", "2",

@@ -61,3 +61,143 @@ class TestCostMeter:
         rt = Runtime(tree, fig1_initial(tree))
         assert rt.algorithm_for("up").meter is rt.meter
         assert rt.algorithm_for("down").meter is rt.meter
+
+
+class TestThreadSafety:
+    """Regression tests for the lock added to CostMeter/PhaseProfile:
+    before it, concurrent mutation lost updates (dict read-modify-write
+    races) — 8 hammering threads must land exact totals."""
+
+    THREADS = 8
+    ROUNDS = 2000
+
+    def _hammer(self, work):
+        import threading
+        barrier = threading.Barrier(self.THREADS)
+
+        def run():
+            barrier.wait()
+            for _ in range(self.ROUNDS):
+                work()
+
+        threads = [threading.Thread(target=run)
+                   for _ in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_cost_meter_count_is_atomic(self):
+        m = CostMeter()
+        self._hammer(lambda: m.count("e"))
+        assert m.counters["e"] == self.THREADS * self.ROUNDS
+
+    def test_phase_profile_stat_and_add_time(self):
+        from repro.visibility.meter import PhaseProfile
+        p = PhaseProfile()
+
+        def work():
+            p.add_time("analyze", 0.001)
+            p.stat("analyze").bytes += 0  # stat() must not duplicate
+            p.add_count("retries")
+
+        self._hammer(work)
+        stat = p.stat("analyze")
+        total = self.THREADS * self.ROUNDS
+        assert stat.calls == total
+        assert stat.seconds == __import__("pytest").approx(0.001 * total)
+        assert p.stat("retries").calls == total
+
+    def test_phase_profile_concurrent_merge(self):
+        from repro.visibility.meter import PhaseProfile
+        donor = PhaseProfile()
+        donor.add_time("ship", 1.0)
+        donor.add_bytes("ship", 10)
+        target = PhaseProfile()
+        self._hammer(lambda: target.merge(donor))
+        total = self.THREADS * self.ROUNDS
+        assert target.stat("ship").calls == total
+        assert target.stat("ship").bytes == 10 * total
+
+
+class TestInjectableClock:
+    def test_phase_times_with_fake_clock(self):
+        from repro.distributed.faults import FakeClock
+        from repro.visibility.meter import PhaseProfile
+        clock = FakeClock(100.0)
+        p = PhaseProfile(clock=clock)
+        with p.phase("analyze"):
+            clock.advance(2.5)
+        with p.phase("analyze"):
+            clock.advance(0.5)
+        stat = p.stat("analyze")
+        assert stat.calls == 2
+        assert stat.seconds == 3.0
+
+    def test_default_clock_is_monotonic(self):
+        from repro.visibility.meter import PhaseProfile
+        p = PhaseProfile()
+        with p.phase("x"):
+            pass
+        assert p.stat("x").seconds >= 0.0
+
+    def test_phase_emits_obs_span(self):
+        from repro.distributed.faults import FakeClock
+        from repro.obs import tracer as obs
+        from repro.visibility.meter import PhaseProfile
+        tracer = obs.Tracer(clock=FakeClock(0.0))
+        previous = obs.set_tracer(tracer)
+        try:
+            with PhaseProfile(clock=FakeClock(0.0)).phase("verify"):
+                pass
+        finally:
+            obs.set_tracer(previous)
+        (span,) = tracer.snapshot().spans
+        assert (span.name, span.category) == ("verify", "phase")
+
+
+class TestRenderAndPickle:
+    def test_render_human_bytes_and_total_footer(self):
+        from repro.visibility.meter import PhaseProfile
+        p = PhaseProfile()
+        p.add_time("analyze", 1.25, calls=3)
+        p.add_bytes("ship", 4096)
+        p.add_time("ship", 0.75)
+        lines = p.render().splitlines()
+        assert lines[0].split() == ["phase", "calls", "seconds", "bytes"]
+        ship = next(l for l in lines if l.startswith("ship"))
+        assert "4.0KiB" in ship
+        total = lines[-1]
+        assert total.startswith("total")
+        assert "4" in total and "2.000000" in total and "4.0KiB" in total
+
+    def test_human_bytes_units(self):
+        from repro.visibility.meter import _human_bytes
+        assert _human_bytes(0) == "0B"
+        assert _human_bytes(1023) == "1023B"
+        assert _human_bytes(1536) == "1.5KiB"
+        assert _human_bytes(5 * 1024 * 1024) == "5.0MiB"
+        assert _human_bytes(3 * 1024 ** 3) == "3.0GiB"
+
+    def test_cost_meter_pickle_round_trip(self):
+        import pickle
+        m = CostMeter()
+        m.count("e", 5)
+        m.touch("x")
+        clone = pickle.loads(pickle.dumps(m))
+        assert clone.counters == {"e": 5}
+        assert "x" in clone.touches
+        clone.count("e")  # lock was rebuilt
+        assert clone.counters["e"] == 6
+
+    def test_phase_profile_pickle_round_trip(self):
+        import pickle
+        from repro.visibility.meter import PhaseProfile
+        p = PhaseProfile()
+        p.add_time("analyze", 1.0)
+        p.add_bytes("ship", 2048)
+        clone = pickle.loads(pickle.dumps(p))
+        assert clone.stat("analyze").seconds == 1.0
+        assert clone.stat("ship").bytes == 2048
+        clone.add_time("analyze", 1.0)  # lock and clock were rebuilt
+        assert clone.stat("analyze").calls == 2
