@@ -27,6 +27,8 @@ lint:
 
 check: lint
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+	PYTHONPATH=src $(PYTHON) -m pytest -q --benchmark-disable \
+		benchmarks/test_micro_analysis.py
 
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest -m chaos -q

@@ -12,10 +12,14 @@ no centralized structures, stable steady state — are what the figure
 benchmarks measure.
 """
 
+import time
+
 import pytest
 
 from repro import Runtime
 from repro.apps import CircuitApp
+from repro.distributed.verify import analysis_fingerprint
+from repro.geometry.fastpath import geometry_cache, reset_geometry_cache
 
 PIECES = 32
 ALGOS = ("tree_painter", "warnock", "raycast", "painter")
@@ -43,3 +47,61 @@ def test_cold_start_analysis(benchmark, algorithm):
         rt.replay(app.iteration_stream())
 
     benchmark.pedantic(cold, rounds=5, iterations=1)
+
+
+# ----------------------------------------------------------------------
+# geometry fast path: cached vs uncached on the repeated-stream workload
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("cache", ("cached", "uncached"))
+@pytest.mark.parametrize("algorithm", ("raycast", "warnock"))
+def test_repeated_stream_geom_cache(benchmark, algorithm, cache):
+    """The fast path's target workload: the same iteration stream over and
+    over (every iterative application's steady state).  Compare the
+    ``cached`` and ``uncached`` rows — EXPERIMENTS.md records the ratio.
+    Larger spaces than the constants benchmarks above: the raw set-algebra
+    cost grows with index-array size while a cache hit stays O(1)."""
+    app = CircuitApp(pieces=PIECES, nodes_per_piece=64, wires_per_piece=96)
+    rt = Runtime(app.tree, app.initial, algorithm=algorithm)
+    reset_geometry_cache(enabled=(cache == "cached"))
+    try:
+        rt.replay(app.init_stream())
+        rt.replay(app.iteration_stream())  # warm structures and the cache
+        benchmark(rt.replay, app.iteration_stream())
+    finally:
+        reset_geometry_cache()
+
+
+@pytest.mark.parametrize("algorithm", ALGOS)
+def test_geom_cache_differential_smoke(algorithm):
+    """CI's cache-correctness gate: cached and uncached analysis of the
+    same program must produce bit-identical fingerprints (structure AND
+    meter counts), and the cache must have actually been exercised.  Runs
+    in smoke mode too (no ``benchmark`` fixture), so
+    ``--benchmark-disable`` keeps the differential check alive."""
+    app = CircuitApp(pieces=8, nodes_per_piece=8, wires_per_piece=12)
+
+    def analyze():
+        rt = Runtime(app.tree, app.initial, algorithm=algorithm)
+        rt.replay(app.init_stream())
+        for _ in range(2):
+            rt.replay(app.iteration_stream())
+        return analysis_fingerprint(rt)
+
+    reset_geometry_cache(enabled=True)
+    t0 = time.perf_counter()
+    cached = analyze()
+    cached_s = time.perf_counter() - t0
+    stats = geometry_cache().stats()
+    assert stats["hits"] > 0, "repeated streams must hit the cache"
+
+    reset_geometry_cache(enabled=False)
+    t0 = time.perf_counter()
+    uncached = analyze()
+    uncached_s = time.perf_counter() - t0
+    reset_geometry_cache()
+
+    assert cached == uncached, \
+        f"{algorithm}: geometry fast path changed the analysis fingerprint"
+    print(f"{algorithm}: cached {cached_s:.3f}s vs uncached {uncached_s:.3f}s "
+          f"({uncached_s / max(cached_s, 1e-9):.2f}x), "
+          f"{stats['hits']} hits / {stats['misses']} misses")

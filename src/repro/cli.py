@@ -92,6 +92,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      default=None,
                      help="force a backend (default: process when "
                           "--parallel > 1, else serial)")
+    ana.add_argument("--no-geom-cache", action="store_true",
+                     help="disable the geometry fast path (interning + "
+                          "operation cache); sets REPRO_NO_GEOM_CACHE so "
+                          "worker processes inherit the setting")
     ana.add_argument("--profile", action="store_true",
                      help="print per-phase perf counters")
     ana.add_argument("--chaos", type=int, default=None, metavar="SEED",
@@ -269,13 +273,22 @@ def _cmd_inspect(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
+    import os
     import time
 
     from repro import obs
     from repro.distributed import (DeterminismError, FaultPlan,
                                    ShardedRuntime)
     from repro.errors import MachineError
+    from repro.geometry.fastpath import (ENV_DISABLE, geometry_cache,
+                                         reset_geometry_cache)
     from repro.runtime.tracing import signature_digest
+
+    if args.no_geom_cache:
+        # Through the environment so forked worker processes (which reset
+        # their caches on spawn) pick the setting up too.
+        os.environ[ENV_DISABLE] = "1"
+        reset_geometry_cache()
 
     backend = args.backend
     if backend is None:
@@ -332,12 +345,14 @@ def _cmd_analyze(args) -> int:
             if args.profile:
                 print()
                 print(srt.profile.render())
+                print(geometry_cache().render())
             if tracing:
                 buffer = obs.active_tracer().snapshot()
                 if args.trace_out:
                     registry = obs.MetricsRegistry()
                     srt.backend.reference.meter.publish_to(registry)
                     srt.profile.publish_to(registry)
+                    geometry_cache().publish_to(registry)
                     if srt.recovery is not None:
                         srt.recovery.publish_to(registry)
                     seconds_hist = registry.histogram(

@@ -36,6 +36,7 @@ from typing import Mapping, Optional, Sequence
 import numpy as np
 
 from repro.errors import MachineError
+from repro.geometry.fastpath import reset_geometry_cache
 from repro.geometry.index_space import IndexSpace
 from repro.obs import tracer as obs
 from repro.privileges import READ, READ_WRITE, Privilege, reduce
@@ -415,6 +416,12 @@ def _worker_main(conn, payload: bytes) -> None:  # pragma: no cover - subprocess
     # buffered events.  Analyze requests flip it on per message.
     worker_tracer = obs.Tracer(enabled=False)
     obs.set_tracer(worker_tracer)
+    # Same hygiene for the geometry fast path: the fork start method
+    # copies the driver's cache into the child; per-process cache state
+    # is rebuilt from scratch on every (re)spawn instead of leaking
+    # across workers.  Re-reads REPRO_NO_GEOM_CACHE so the CLI escape
+    # hatch propagates.
+    reset_geometry_cache()
     if spec["mode"] == "restore":
         hostings = _restore_hostings(spec["state"])
     else:

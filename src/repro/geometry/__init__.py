@@ -15,6 +15,8 @@ every coherence algorithm is built on:
   spaces (section 6.1 / 7.1 acceleration structure).
 * :class:`~repro.geometry.kdtree.KDTree` — the K-d tree fallback of
   section 7.1 for programs with no disjoint-and-complete partition.
+* :mod:`~repro.geometry.fastpath` — the interning/caching layer and the
+  batched interference kernel behind the ``IndexSpace`` operators.
 """
 
 from repro.geometry.point import Extent, Rect
@@ -22,6 +24,12 @@ from repro.geometry.index_space import IndexSpace
 from repro.geometry.intervals import IntervalSet, runs_of
 from repro.geometry.bvh import BVH, BVHNode
 from repro.geometry.kdtree import KDTree
+# Imported last: installs the operation-cache hook into index_space.
+from repro.geometry.fastpath import (GeometryCache, batch_overlaps,
+                                     geometry_cache,
+                                     geometry_cache_disabled,
+                                     reset_geometry_cache,
+                                     set_geometry_cache_enabled)
 
 __all__ = [
     "Extent",
@@ -32,4 +40,10 @@ __all__ = [
     "BVH",
     "BVHNode",
     "KDTree",
+    "GeometryCache",
+    "batch_overlaps",
+    "geometry_cache",
+    "geometry_cache_disabled",
+    "reset_geometry_cache",
+    "set_geometry_cache_enabled",
 ]

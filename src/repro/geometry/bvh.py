@@ -131,16 +131,26 @@ class BVH:
         return out
 
     def query_exact(self, space: IndexSpace) -> list[Any]:
-        """Payloads whose index space truly overlaps ``space``."""
+        """Payloads whose index space truly overlaps ``space``.
+
+        Bounds-surviving candidates are resolved in one batched
+        interference pass instead of per-item scalar tests.
+        """
+        from repro.geometry.fastpath import batch_overlaps
+
         if space.is_empty:
             return []
         lo, hi = space.bounds
-        out: list[Any] = []
+        candidates: list[tuple[IndexSpace, Any]] = []
         for bucket in self._buckets():
             for (ilo, ihi), item_space, payload in bucket:
-                if ilo <= hi and lo <= ihi and item_space.overlaps(space):
-                    out.append(payload)
-        return out
+                if ilo <= hi and lo <= ihi:
+                    candidates.append((item_space, payload))
+        if not candidates:
+            return []
+        hits = batch_overlaps(space, [s for s, _ in candidates])
+        return [payload for (_, payload), hit in zip(candidates, hits)
+                if hit]
 
     def __iter__(self) -> Iterator[Any]:
         for bucket in self._buckets():

@@ -1,0 +1,381 @@
+"""The geometry fast path: interning, operation caching, batched tests.
+
+The paper's initialization-time results (section 8, Figs 12-14) are
+dominated by the interference tests the coherence algorithms issue —
+``&``, ``-``, ``|`` and ``overlaps`` on :class:`IndexSpace`, one
+Python-level NumPy call at a time.  Iterative applications repeat the same
+task stream every loop, so the same pairs of spaces are tested over and
+over.  This module removes that redundancy with three cooperating pieces:
+
+* :class:`SpaceInterner` semantics inside :class:`GeometryCache` — every
+  distinct index-space *content* gets a stable small uid (hash-consing by
+  content digest), memoized on the instance so repeat lookups are one
+  attribute read.
+* A **versioned operation cache** keyed on uid pairs for intersection,
+  difference, union and the overlap test.  Public ``IndexSpace`` operators
+  consult it through a module-level hook, so every call site in the
+  repository benefits without change.  Spaces are immutable, which makes
+  cached results valid forever; :meth:`GeometryCache.invalidate` (wired to
+  store mutations such as :meth:`BucketStore.rebucket`) drops results the
+  stores no longer reference, bounding memory across phase changes.
+* :func:`batch_overlaps` — a **batched interference kernel** testing one
+  query space against N candidates in a single vectorized pass: a stacked
+  bounds prefilter, cache lookups per surviving pair, then one merged
+  ``searchsorted`` sweep resolving every remaining candidate at once.
+
+Correctness stance: the fast path must be *observationally invisible*.
+Cached results are value-equal to recomputed ones (immutability makes
+sharing safe), the batched kernel computes exactly the per-pair
+``overlaps`` answers, and nothing here touches a
+:class:`~repro.visibility.meter.CostMeter` — so analysis fingerprints
+(which hash both structure and meter counts) stay bit-identical with the
+cache on or off.  ``tests/distributed/test_cache_differential.py`` proves
+this for all five algorithms across the sharded backends.
+
+Process hygiene: the cache is per-process state.  Sharded worker processes
+call :func:`reset_geometry_cache` on (re)spawn so driver-side contents
+never leak across workers; the ``REPRO_NO_GEOM_CACHE`` environment
+variable (set by ``repro-cli analyze --no-geom-cache``) disables the fast
+path and propagates to forked workers.
+
+Thread note: the thread backend shares this process-wide cache across
+replica analyses.  Individual dict operations are atomic under the GIL and
+cached values are immutable, so races are benign — at worst two threads
+duplicate a miss computation (equal results; last write wins) or a counter
+increment is lost.  The hit/miss statistics are therefore approximate
+under the thread backend; they are observability data, never part of a
+fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry import index_space as _ixmod
+from repro.geometry.index_space import IndexSpace
+
+#: Environment escape hatch: any truthy value disables the fast path
+#: (read at cache construction/reset so forked workers inherit it).
+ENV_DISABLE = "REPRO_NO_GEOM_CACHE"
+
+_MISS = object()  # sentinel: cached False must be distinguishable
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(ENV_DISABLE, "").strip().lower() not in (
+        "1", "true", "yes", "on")
+
+
+class GeometryCache:
+    """Process-wide interner + versioned operation cache for index spaces.
+
+    ``capacity`` bounds each table (the intern table and each per-operator
+    result table) independently; a full table is cleared wholesale —
+    cheaper and simpler than LRU bookkeeping, and the working set of an
+    iterative application re-warms in one iteration.  Interned uids are
+    never reused (``_next_uid`` is monotonic), so clearing the intern
+    table can only lose sharing, never correctness.
+    """
+
+    def __init__(self, capacity: int = 1 << 16,
+                 enabled: Optional[bool] = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._generation = 0
+        self._next_uid = 0
+        self._init_state(enabled)
+
+    def _init_state(self, enabled: Optional[bool]) -> None:
+        self.enabled = _env_enabled() if enabled is None else bool(enabled)
+        self._intern: dict[tuple, int] = {}
+        #: monotonically increasing; bumped by :meth:`invalidate`
+        self.version = 0
+        self._and: dict[tuple[int, int], IndexSpace] = {}
+        self._or: dict[tuple[int, int], IndexSpace] = {}
+        self._sub: dict[tuple[int, int], IndexSpace] = {}
+        self._ovl: dict[tuple[int, int], bool] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    # interning
+    # ------------------------------------------------------------------
+    def uid_of(self, space: IndexSpace) -> int:
+        """The stable small uid of a space's *content*.
+
+        Equal-content spaces share a uid (hash-consing); the assignment is
+        memoized on the instance, tagged with the cache generation so
+        memos from before a :meth:`reset` are never trusted.
+        """
+        memo = space._uid
+        if memo is not None and memo[0] == self._generation:
+            return memo[1]
+        idx = space._indices
+        key = (idx.size, space._lo, space._hi,
+               hashlib.sha1(idx.tobytes()).digest())
+        uid = self._intern.get(key)
+        if uid is None:
+            if len(self._intern) >= self.capacity:
+                self.evictions += len(self._intern)
+                self._intern.clear()
+            uid = self._next_uid
+            self._next_uid += 1
+            self._intern[key] = uid
+        space._uid = (self._generation, uid)
+        return uid
+
+    # ------------------------------------------------------------------
+    # cached operators (called from IndexSpace via the module hook)
+    # ------------------------------------------------------------------
+    def _store(self, table: dict, key: tuple[int, int], value) -> None:
+        if len(table) >= self.capacity:
+            self.evictions += len(table)
+            table.clear()
+        table[key] = value
+
+    def intersection(self, a: IndexSpace, b: IndexSpace) -> IndexSpace:
+        if not self.enabled:
+            return a._intersection_raw(b)
+        ua, ub = self.uid_of(a), self.uid_of(b)
+        key = (ua, ub) if ua <= ub else (ub, ua)
+        got = self._and.get(key)
+        if got is not None:
+            self.hits += 1
+            return got
+        self.misses += 1
+        out = a._intersection_raw(b)
+        self._store(self._and, key, out)
+        return out
+
+    def union(self, a: IndexSpace, b: IndexSpace) -> IndexSpace:
+        if not self.enabled:
+            return a._union_raw(b)
+        ua, ub = self.uid_of(a), self.uid_of(b)
+        key = (ua, ub) if ua <= ub else (ub, ua)
+        got = self._or.get(key)
+        if got is not None:
+            self.hits += 1
+            return got
+        self.misses += 1
+        out = a._union_raw(b)
+        self._store(self._or, key, out)
+        return out
+
+    def difference(self, a: IndexSpace, b: IndexSpace) -> IndexSpace:
+        if not self.enabled:
+            return a._difference_raw(b)
+        key = (self.uid_of(a), self.uid_of(b))  # ordered: a - b != b - a
+        got = self._sub.get(key)
+        if got is not None:
+            self.hits += 1
+            return got
+        self.misses += 1
+        out = a._difference_raw(b)
+        self._store(self._sub, key, out)
+        return out
+
+    def overlaps(self, a: IndexSpace, b: IndexSpace) -> bool:
+        if not self.enabled:
+            return a._overlaps_raw(b)
+        ua, ub = self.uid_of(a), self.uid_of(b)
+        key = (ua, ub) if ua <= ub else (ub, ua)
+        got = self._ovl.get(key, _MISS)
+        if got is not _MISS:
+            self.hits += 1
+            return got
+        self.misses += 1
+        out = a._overlaps_raw(b)
+        self._store(self._ovl, key, out)
+        return out
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every cached operation result and bump the version.
+
+        Wired to store mutations that retire whole populations of spaces
+        (e.g. :meth:`BucketStore.rebucket`): the results stay *valid* —
+        spaces are immutable — but the stores will never ask about those
+        pairs again, so holding them is pure memory pressure.  Interned
+        uids survive (content-addressed, monotonic, never reused).
+        """
+        self._and.clear()
+        self._or.clear()
+        self._sub.clear()
+        self._ovl.clear()
+        self.version += 1
+        self.invalidations += 1
+
+    def reset(self, enabled: Optional[bool] = None) -> None:
+        """Return to a pristine state, distrusting every per-instance memo.
+
+        Sharded worker processes call this on (re)spawn: a forked worker
+        inherits the driver's cache by memory copy, and per-process cache
+        state must be rebuilt, not leaked.  Re-reads ``REPRO_NO_GEOM_CACHE``
+        unless ``enabled`` is given explicitly.
+        """
+        self._generation += 1
+        self._init_state(enabled)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot (also the ``--profile`` table source)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "interned": len(self._intern),
+            "entries": (len(self._and) + len(self._or)
+                        + len(self._sub) + len(self._ovl)),
+            "enabled": int(self.enabled),
+        }
+
+    def publish_to(self, registry, **labels) -> None:
+        """Publish totals into a
+        :class:`repro.obs.metrics.MetricsRegistry` as ``geom.cache.*``
+        (idempotent, matching the ``CostMeter.publish_to`` pattern)."""
+        s = self.stats()
+        for event in ("hits", "misses", "evictions", "invalidations"):
+            registry.counter(f"geom.cache.{event}", **labels).set_total(
+                s[event])
+        registry.gauge("geom.cache.interned", **labels).set(s["interned"])
+        registry.gauge("geom.cache.entries", **labels).set(s["entries"])
+        registry.gauge("geom.cache.enabled", **labels).set(s["enabled"])
+
+    def render(self) -> str:
+        """One-line summary for the CLI ``--profile`` output."""
+        s = self.stats()
+        total = s["hits"] + s["misses"]
+        rate = (100.0 * s["hits"] / total) if total else 0.0
+        state = "on" if s["enabled"] else "off"
+        return (f"geometry cache [{state}]: {s['hits']} hits / "
+                f"{s['misses']} misses ({rate:.1f}% hit rate), "
+                f"{s['interned']} interned, {s['entries']} entries, "
+                f"{s['evictions']} evicted, "
+                f"{s['invalidations']} invalidations")
+
+    def __repr__(self) -> str:
+        return f"GeometryCache({self.render()})"
+
+
+# ----------------------------------------------------------------------
+# the process-wide instance and its hook into IndexSpace
+# ----------------------------------------------------------------------
+_CACHE = GeometryCache()
+_ixmod._op_cache = _CACHE  # IndexSpace operators dispatch through this
+
+
+def geometry_cache() -> GeometryCache:
+    """The process-wide cache instance."""
+    return _CACHE
+
+
+def reset_geometry_cache(enabled: Optional[bool] = None) -> None:
+    """Reset the process-wide cache (worker spawn/respawn hygiene)."""
+    _CACHE.reset(enabled)
+
+
+def set_geometry_cache_enabled(flag: bool) -> None:
+    """Turn the fast path on or off without dropping its contents."""
+    _CACHE.enabled = bool(flag)
+
+
+@contextmanager
+def geometry_cache_disabled() -> Iterator[None]:
+    """Temporarily run uncached (differential harness / ablations)."""
+    prev = _CACHE.enabled
+    _CACHE.enabled = False
+    try:
+        yield
+    finally:
+        _CACHE.enabled = prev
+
+
+# ----------------------------------------------------------------------
+# the batched interference kernel
+# ----------------------------------------------------------------------
+def batch_overlaps(query: IndexSpace,
+                   candidates: Sequence[IndexSpace]) -> np.ndarray:
+    """``[query.overlaps(c) for c in candidates]`` in one vectorized pass.
+
+    Three stages, mirroring a graphics broad-phase/narrow-phase split:
+
+    1. **Stacked bounds prefilter** — candidate ``(lo, hi)`` intervals are
+       stacked into arrays and tested against the query's bounds with two
+       vector comparisons; empty candidates and bbox-disjoint ones resolve
+       to False without touching element data.
+    2. **Cache probe** — pairs already answered by the operation cache are
+       filled in directly.
+    3. **Merged-run sweep** — every remaining candidate's indices are
+       concatenated into one array, located in the query with a *single*
+       ``searchsorted``, and reduced to per-candidate verdicts with one
+       ``logical_or.reduceat`` over the segment starts.
+
+    The per-pair answers are exactly what scalar ``overlaps`` returns
+    (overlap is symmetric, so probing candidates into the query is
+    equivalent to the scalar path's smaller-into-larger probe), and
+    resolved pairs are stored back into the cache.  No meter is touched —
+    callers that meter per-candidate tests keep doing so themselves.
+    """
+    n = len(candidates)
+    out = np.zeros(n, dtype=bool)
+    if n == 0 or query.is_empty:
+        return out
+    qlo, qhi = query.bounds
+    lo = np.fromiter((c._lo for c in candidates), dtype=np.int64, count=n)
+    hi = np.fromiter((c._hi for c in candidates), dtype=np.int64, count=n)
+    nonempty = np.fromiter((c._indices.size > 0 for c in candidates),
+                           dtype=bool, count=n)
+    live = np.flatnonzero(nonempty & (lo <= qhi) & (hi >= qlo))
+    if live.size == 0:
+        return out
+
+    cache = _CACHE if _CACHE.enabled else None
+    unresolved: list[tuple[int, Optional[tuple[int, int]]]] = []
+    if cache is not None:
+        uq = cache.uid_of(query)
+        table = cache._ovl
+        for i in live:
+            uc = cache.uid_of(candidates[i])
+            key = (uq, uc) if uq <= uc else (uc, uq)
+            got = table.get(key, _MISS)
+            if got is _MISS:
+                unresolved.append((int(i), key))
+            else:
+                cache.hits += 1
+                out[i] = got
+    else:
+        unresolved = [(int(i), None) for i in live]
+    if not unresolved:
+        return out
+
+    qidx = query._indices
+    segments = [candidates[i]._indices for i, _ in unresolved]
+    lengths = np.fromiter((s.size for s in segments), dtype=np.int64,
+                          count=len(segments))
+    stacked = segments[0] if len(segments) == 1 else np.concatenate(segments)
+    pos = np.searchsorted(qidx, stacked)
+    np.minimum(pos, qidx.size - 1, out=pos)
+    found = qidx[pos] == stacked
+    starts = np.zeros(len(segments), dtype=np.int64)
+    np.cumsum(lengths[:-1], out=starts[1:])
+    verdicts = np.logical_or.reduceat(found, starts)
+    for (i, key), verdict in zip(unresolved, verdicts):
+        hit = bool(verdict)
+        out[i] = hit
+        if cache is not None:
+            cache.misses += 1
+            cache._store(cache._ovl, key, hit)
+    return out

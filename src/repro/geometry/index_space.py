@@ -26,6 +26,12 @@ from repro.errors import GeometryError
 from repro.geometry.point import Extent, Rect
 
 _EMPTY = np.empty(0, dtype=np.int64)
+_EMPTY.setflags(write=False)
+
+#: Installed by :mod:`repro.geometry.fastpath`: a process-wide operation
+#: cache the public set-algebra operators dispatch through.  ``None``
+#: (before the fastpath module loads) means compute directly.
+_op_cache = None
 
 
 def _as_sorted_unique(values: Iterable[int] | np.ndarray) -> np.ndarray:
@@ -50,7 +56,7 @@ class IndexSpace:
     it otherwise.
     """
 
-    __slots__ = ("_indices", "_lo", "_hi")
+    __slots__ = ("_indices", "_lo", "_hi", "_uid")
 
     def __init__(self, indices: Iterable[int] | np.ndarray = (), *,
                  trusted: bool = False) -> None:
@@ -58,7 +64,12 @@ class IndexSpace:
             arr = indices
         else:
             arr = _as_sorted_unique(indices)
-        arr.setflags(write=False)
+        if arr.flags.writeable:
+            # Freeze a *view*, never the caller's array: both the trusted
+            # path and ``np.asarray`` can hand back the caller's own
+            # buffer, whose writeability the caller still owns.
+            arr = arr.view()
+            arr.setflags(write=False)
         self._indices = arr
         if arr.size:
             self._lo = int(arr[0])
@@ -66,6 +77,28 @@ class IndexSpace:
         else:
             self._lo = 0
             self._hi = -1
+        self._uid = None  # fastpath intern memo: (generation, uid)
+
+    def __getstate__(self):
+        # _uid is process-local (checkpoints pickle whole runtimes and may
+        # be restored in another process); ship only the content.  Tuple-
+        # wrapped: a bare empty array is falsy and pickle would then skip
+        # __setstate__ entirely.
+        return (self._indices,)
+
+    def __setstate__(self, state) -> None:
+        arr = np.asarray(state[0], dtype=np.int64)
+        if arr.flags.writeable:
+            arr = arr.view()
+            arr.setflags(write=False)
+        self._indices = arr
+        if arr.size:
+            self._lo = int(arr[0])
+            self._hi = int(arr[-1])
+        else:
+            self._lo = 0
+            self._hi = -1
+        self._uid = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -160,6 +193,11 @@ class IndexSpace:
 
     def intersection(self, other: "IndexSpace") -> "IndexSpace":
         """Elements present in both spaces (``X/Y`` on domains)."""
+        if _op_cache is not None:
+            return _op_cache.intersection(self, other)
+        return self._intersection_raw(other)
+
+    def _intersection_raw(self, other: "IndexSpace") -> "IndexSpace":
         if not self.bbox_overlaps(other):
             return _EMPTY_SPACE
         out = np.intersect1d(self._indices, other._indices, assume_unique=True)
@@ -167,6 +205,11 @@ class IndexSpace:
 
     def difference(self, other: "IndexSpace") -> "IndexSpace":
         """Elements of this space not present in ``other`` (``X\\Y``)."""
+        if _op_cache is not None:
+            return _op_cache.difference(self, other)
+        return self._difference_raw(other)
+
+    def _difference_raw(self, other: "IndexSpace") -> "IndexSpace":
         if not self.bbox_overlaps(other):
             return self
         out = np.setdiff1d(self._indices, other._indices, assume_unique=True)
@@ -174,6 +217,11 @@ class IndexSpace:
 
     def union(self, other: "IndexSpace") -> "IndexSpace":
         """Elements in either space."""
+        if _op_cache is not None:
+            return _op_cache.union(self, other)
+        return self._union_raw(other)
+
+    def _union_raw(self, other: "IndexSpace") -> "IndexSpace":
         if self.is_empty:
             return other
         if other.is_empty:
@@ -192,6 +240,11 @@ class IndexSpace:
 
     def overlaps(self, other: "IndexSpace") -> bool:
         """True when the spaces share at least one element."""
+        if _op_cache is not None:
+            return _op_cache.overlaps(self, other)
+        return self._overlaps_raw(other)
+
+    def _overlaps_raw(self, other: "IndexSpace") -> bool:
         if not self.bbox_overlaps(other):
             return False
         # membership probe of the smaller into the larger beats a full

@@ -104,6 +104,12 @@ class IntervalSet:
             return NotImplemented
         return bool(np.array_equal(self._runs, other._runs))
 
+    def __hash__(self) -> int:
+        # Defining __eq__ under __slots__ suppresses the inherited hash;
+        # interval sets are immutable, so hash the canonical run list
+        # (equal sets coalesce to identical run arrays).
+        return hash((self._runs.shape[0], self._runs.tobytes()))
+
     def __repr__(self) -> str:
         return f"IntervalSet(runs={self.num_runs}, size={self.size})"
 

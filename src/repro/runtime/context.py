@@ -84,6 +84,18 @@ class Runtime:
         """Every launched task, in program order."""
         return tuple(self._tasks)
 
+    @property
+    def next_task_id(self) -> int:
+        """The id the next launched task will receive.
+
+        Dense and len-aligned in this runtime, but exposed as the single
+        allocation authority: the trace recorder rebases dependence
+        offsets against *this* (and against launched tasks' actual ids),
+        never against ``len(tasks)``, so runtimes whose internal
+        operations consume ids stay traceable.
+        """
+        return len(self._tasks)
+
     def algorithm_for(self, field: str) -> CoherenceAlgorithm:
         """The coherence-algorithm instance tracking one field."""
         return self._algorithms[field]
@@ -104,7 +116,7 @@ class Runtime:
             if req.region.tree is not self.tree:
                 raise TaskError(
                     f"task {name!r} names a region from a different tree")
-        task_id = len(self._tasks)
+        task_id = self.next_task_id
 
         self.meter.begin_task()
         deps: set[int] = set()
@@ -183,7 +195,7 @@ class Runtime:
 
     def _launch_traced(self, template: Task, deps: frozenset[int]) -> Task:
         """Replay one task with memoized dependences (tracing fast path)."""
-        task_id = len(self._tasks)
+        task_id = self.next_task_id
         self.meter.begin_task()
         buffers: list[np.ndarray] = []
         with obs.span(template.name, "task", task_id=task_id,

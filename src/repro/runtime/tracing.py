@@ -127,9 +127,12 @@ class TraceRecorder:
     def _capture(self, name: str, signature: tuple,
                  stream: TaskStream) -> list[Task]:
         rt = self._runtime
-        base = len(rt.tasks)
         tasks = [rt.launch(t.name, t.requirements, t.body, t.point)
                  for t in stream]
+        # Rebase against the first task's *actual* id, not len(rt.tasks):
+        # the two diverge on runtimes whose internal operations consume
+        # task ids, and a wrong base silently records shifted offsets.
+        base = tasks[0].task_id if tasks else rt.next_task_id
         relative = []
         for task in tasks:
             deps = rt.graph.dependences_of(task.task_id)
@@ -140,7 +143,7 @@ class TraceRecorder:
 
     def _replay(self, trace: RecordedTrace, stream: TaskStream) -> list[Task]:
         rt = self._runtime
-        base = len(rt.tasks)
+        base = rt.next_task_id  # the id the first replayed task will get
         if trace.relative_deps and min(
                 (off for offs in trace.relative_deps for off in offs),
                 default=0) + base < 0:
@@ -158,9 +161,9 @@ class TraceRecorder:
                   stream: TaskStream) -> list[Task]:
         """Replay with full analysis, checking the memoized template."""
         rt = self._runtime
-        base = len(rt.tasks)
         tasks = [rt.launch(t.name, t.requirements, t.body, t.point)
                  for t in stream]
+        base = tasks[0].task_id if tasks else rt.next_task_id
         for k, task in enumerate(tasks):
             got = tuple(sorted(d - base
                                for d in rt.graph.dependences_of(task.task_id)))

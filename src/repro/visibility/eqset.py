@@ -27,6 +27,7 @@ from typing import Iterator, Optional
 import numpy as np
 
 from repro.errors import CoherenceError
+from repro.geometry.fastpath import batch_overlaps, geometry_cache
 from repro.geometry.index_space import IndexSpace
 from repro.geometry.kdtree import KDTree
 from repro.privileges import Privilege
@@ -476,10 +477,13 @@ class BucketStore:
             self._kd_ids[eqset.uid] = self._kd.insert(eqset.space, eqset)
             return
         placed = False
-        for region in self._buckets_overlapping(eqset.space):
-            if eqset.space.overlaps(region.space):
-                self._buckets[region.uid][eqset.uid] = eqset
-                placed = True
+        regions = self._buckets_overlapping(eqset.space)
+        if regions:
+            hits = batch_overlaps(eqset.space, [r.space for r in regions])
+            for region, hit in zip(regions, hits):
+                if hit:
+                    self._buckets[region.uid][eqset.uid] = eqset
+                    placed = True
         if not placed:
             # partition is complete, so this can only mean a stale bucket
             # list after rebucketing mid-flight
@@ -501,10 +505,12 @@ class BucketStore:
                 self.meter.count("bvh_nodes_visited")
             return list(self._kd.query(space))
         seen: dict[int, LooseEquivalenceSet] = {}
-        for region in self._buckets_overlapping(space):
-            if not region.space.overlaps(space):
-                continue
-            seen.update(self._buckets[region.uid])
+        regions = self._buckets_overlapping(space)
+        if regions:
+            hits = batch_overlaps(space, [r.space for r in regions])
+            for region, hit in zip(regions, hits):
+                if hit:
+                    seen.update(self._buckets[region.uid])
         return list(seen.values())
 
     # ------------------------------------------------------------------
@@ -522,14 +528,16 @@ class BucketStore:
         in one giant set.
         """
         candidates = self._buckets_overlapping(eqset.space)  # bbox filter
-        all_regions = [r for r in candidates
-                       if eqset.space.overlaps(r.space)]     # exact
+        exact = batch_overlaps(eqset.space,
+                               [r.space for r in candidates])
+        all_regions = [r for r, hit in zip(candidates, exact) if hit]
         if len(all_regions) <= 1:
             return [eqset]
+        touched = batch_overlaps(space, [r.space for r in all_regions])
         carved: list[LooseEquivalenceSet] = []
         carved_union = IndexSpace.empty()
-        for region in all_regions:
-            if not region.space.overlaps(space):
+        for region, hit in zip(all_regions, touched):
+            if not hit:
                 continue
             common = eqset.space & region.space
             if common.is_empty:
@@ -580,10 +588,15 @@ class BucketStore:
             if memo is not None and all(s.uid in self._sets for s in memo):
                 return list(memo)
         out: list[LooseEquivalenceSet] = []
-        for eqset in self._candidates(space):
+        candidates = self._candidates(space)
+        # one batched pass answers every candidate's exact test up front;
+        # the loop keeps the per-candidate meter counts (and the localize-
+        # during-iteration semantics) exactly as the scalar path had them
+        hits = batch_overlaps(space, [c.space for c in candidates])
+        for eqset, hit in zip(candidates, hits):
             if self.meter is not None:
                 self.meter.count("intersection_tests")
-            if not eqset.space.overlaps(space):
+            if not hit:
                 continue
             if self._kd is None:
                 for piece in self._localize(eqset, space):
@@ -640,7 +653,13 @@ class BucketStore:
     def rebucket(self, partition: Optional[Partition]) -> None:
         """Shift every equivalence set to a new disjoint-complete partition
         subtree (section 7.1's response to the application switching
-        partitions), or to the K-d fallback when ``partition`` is None."""
+        partitions), or to the K-d fallback when ``partition`` is None.
+
+        Rebucketing retires the old bucket-region population wholesale, so
+        the geometry operation cache is invalidated here: its entries stay
+        value-correct (spaces are immutable) but would never be asked for
+        again."""
+        geometry_cache().invalidate()
         sets = list(self._sets.values())
         self.partition = partition
         self._buckets = {}

@@ -22,6 +22,7 @@ from typing import Iterable, Optional
 import numpy as np
 
 from repro.errors import CoherenceError
+from repro.geometry.fastpath import batch_overlaps
 from repro.geometry.index_space import IndexSpace
 from repro.privileges import Privilege
 from repro.visibility.meter import CostMeter
@@ -230,17 +231,33 @@ def scan_dependences(privilege: Privilege, space: IndexSpace,
 
     A dependence exists when the privileges interfere *and* the domains
     truly overlap (content-based coherence, section 3.2).
+
+    The exact overlap answers are precomputed for every
+    privilege-interfering entry in one :func:`batch_overlaps` pass; the
+    loop below then replays the original control flow — including the
+    already-a-dependence skip, which consults ``deps`` as it grows — so
+    the meter counts are bit-identical to the unbatched scan (analysis
+    fingerprints hash those counts).
     """
-    for entry in entries:
+    entries = list(entries)
+    interfering = [privilege.interferes(e.privilege) for e in entries]
+    test_idx = [i for i, ok in enumerate(interfering) if ok]
+    overlap: dict[int, bool] = {}
+    if len(test_idx) > 1:
+        verdicts = batch_overlaps(space,
+                                  [entries[i].domain for i in test_idx])
+        overlap = dict(zip(test_idx, (bool(v) for v in verdicts)))
+    for i, entry in enumerate(entries):
         if meter is not None:
             meter.count("entries_scanned")
         if entry.task_id in deps and not entry.collapsed_ids:
             continue
-        if not privilege.interferes(entry.privilege):
+        if not interfering[i]:
             continue
         if meter is not None:
             meter.count("intersection_tests")
-        if space.overlaps(entry.domain):
+        hit = overlap[i] if i in overlap else space.overlaps(entry.domain)
+        if hit:
             deps.add(entry.task_id)
             if entry.collapsed_ids:
                 deps.update(entry.collapsed_ids)

@@ -1,0 +1,224 @@
+"""Tests for the geometry fast path: interning, caching, batched tests."""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import IndexSpace
+from repro.geometry.fastpath import (ENV_DISABLE, GeometryCache,
+                                     batch_overlaps, geometry_cache,
+                                     geometry_cache_disabled,
+                                     reset_geometry_cache)
+from repro.obs import MetricsRegistry
+
+from tests.conftest import index_spaces
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Every test starts (and leaves behind) a pristine enabled cache."""
+    reset_geometry_cache(enabled=True)
+    yield
+    reset_geometry_cache()
+
+
+def spaces(*ranges):
+    return [IndexSpace.from_range(a, b) for a, b in ranges]
+
+
+class TestInterning:
+    def test_equal_content_shares_uid(self):
+        cache = geometry_cache()
+        a = IndexSpace.from_indices([1, 5, 9])
+        b = IndexSpace.from_indices([9, 5, 1, 5])
+        assert a is not b
+        assert cache.uid_of(a) == cache.uid_of(b)
+
+    def test_distinct_content_distinct_uid(self):
+        cache = geometry_cache()
+        a, b = spaces((0, 10), (0, 11))
+        assert cache.uid_of(a) != cache.uid_of(b)
+
+    def test_uid_memoized_on_instance(self):
+        cache = geometry_cache()
+        a = IndexSpace.from_range(0, 100)
+        uid = cache.uid_of(a)
+        assert a._uid == (cache._generation, uid)
+        assert cache.uid_of(a) == uid
+
+    def test_reset_distrusts_old_memos(self):
+        cache = geometry_cache()
+        a = IndexSpace.from_range(0, 10)
+        old = cache.uid_of(a)
+        cache.reset(enabled=True)
+        assert cache.uid_of(a) is not None
+        # fresh generation: the memo was recomputed, not trusted
+        assert a._uid[0] == cache._generation
+        assert old is not None  # the old value itself is irrelevant now
+
+    def test_uid_not_pickled(self):
+        cache = geometry_cache()
+        a = IndexSpace.from_range(3, 17)
+        cache.uid_of(a)
+        restored = pickle.loads(pickle.dumps(a))
+        assert restored == a
+        assert restored._uid is None
+        assert restored.bounds == a.bounds
+        assert not restored.indices.flags.writeable
+
+    def test_empty_space_pickles(self):
+        restored = pickle.loads(pickle.dumps(IndexSpace.empty()))
+        assert restored.is_empty and restored.bounds == (0, -1)
+
+
+class TestOperationCache:
+    def test_intersection_hit_returns_same_object(self):
+        a, b = spaces((0, 100), (50, 150))
+        first = a & b
+        second = a & b
+        assert first is second
+        assert geometry_cache().hits >= 1
+
+    def test_symmetric_ops_share_entries(self):
+        cache = geometry_cache()
+        a, b = spaces((0, 100), (50, 150))
+        r1 = a & b
+        r2 = b & a
+        assert r1 is r2
+        u1 = a | b
+        u2 = b | a
+        assert u1 is u2
+        assert a.overlaps(b)
+        before = cache.hits
+        assert b.overlaps(a)
+        assert cache.hits == before + 1
+
+    def test_difference_is_order_sensitive(self):
+        a, b = spaces((0, 100), (50, 150))
+        assert (a - b) != (b - a)
+        assert list((a - b).indices) == list(range(0, 50))
+        assert list((b - a).indices) == list(range(100, 150))
+
+    def test_cached_results_equal_raw(self):
+        a = IndexSpace.from_indices([1, 3, 5, 7, 9])
+        b = IndexSpace.from_indices([3, 4, 5, 6])
+        for _ in range(2):  # second round served from cache
+            assert (a & b) == a._intersection_raw(b)
+            assert (a | b) == a._union_raw(b)
+            assert (a - b) == a._difference_raw(b)
+            assert a.overlaps(b) == a._overlaps_raw(b)
+            assert a.isdisjoint(b) == (not a._overlaps_raw(b))
+
+    def test_disabled_cache_computes_fresh(self):
+        a, b = spaces((0, 100), (50, 150))
+        with geometry_cache_disabled():
+            r1 = a & b
+            r2 = a & b
+            assert r1 is not r2
+            assert r1 == r2
+
+    def test_false_overlap_is_cached(self):
+        cache = geometry_cache()
+        a, b = spaces((0, 10), (20, 30))
+        assert not a.overlaps(b)
+        misses = cache.misses
+        assert not a.overlaps(b)
+        assert cache.misses == misses  # second answer came from the cache
+
+    def test_invalidate_clears_results_keeps_uids(self):
+        cache = geometry_cache()
+        a, b = spaces((0, 100), (50, 150))
+        uid = cache.uid_of(a)
+        _ = a & b
+        assert cache.stats()["entries"] == 1
+        version = cache.version
+        cache.invalidate()
+        assert cache.stats()["entries"] == 0
+        assert cache.version == version + 1
+        assert cache.uid_of(a) == uid
+
+    def test_eviction_clears_full_table(self):
+        cache = GeometryCache(capacity=4, enabled=True)
+        sps = spaces(*[(i, i + 10) for i in range(8)])
+        for s in sps:
+            cache.overlaps(sps[0], s)
+        assert cache.evictions > 0
+        assert len(cache._ovl) <= 4
+
+    def test_env_var_disables(self, monkeypatch):
+        monkeypatch.setenv(ENV_DISABLE, "1")
+        cache = GeometryCache()
+        assert not cache.enabled
+        monkeypatch.delenv(ENV_DISABLE)
+        cache.reset()
+        assert cache.enabled
+
+    def test_stats_and_publish(self):
+        cache = geometry_cache()
+        a, b = spaces((0, 100), (50, 150))
+        _ = a & b
+        _ = a & b
+        registry = MetricsRegistry()
+        cache.publish_to(registry)
+        assert registry.find("geom.cache.hits").value == cache.hits
+        assert registry.find("geom.cache.misses").value == cache.misses
+        assert registry.find("geom.cache.enabled").value == 1
+        assert "hits" in cache.render()
+
+
+class TestBatchOverlaps:
+    def test_matches_scalar_on_mixed_candidates(self, rng):
+        query = IndexSpace(rng.choice(500, size=60, replace=False))
+        candidates = [IndexSpace(rng.choice(500, size=k, replace=False))
+                      for k in rng.integers(1, 40, size=25)]
+        candidates += [IndexSpace.empty(),
+                       IndexSpace.from_range(400, 410),
+                       IndexSpace.from_range(1000, 1100)]  # bbox-disjoint
+        want = [query._overlaps_raw(c) for c in candidates]
+        got = batch_overlaps(query, candidates)
+        assert got.dtype == bool
+        assert list(got) == want
+
+    def test_empty_query_and_no_candidates(self):
+        assert list(batch_overlaps(IndexSpace.empty(),
+                                   spaces((0, 5)))) == [False]
+        assert list(batch_overlaps(IndexSpace.from_range(0, 5), [])) == []
+
+    def test_second_pass_is_all_hits(self):
+        cache = geometry_cache()
+        query = IndexSpace.from_range(0, 50)
+        candidates = spaces((10, 20), (60, 70), (40, 55))
+        first = batch_overlaps(query, candidates)
+        hits_before = cache.hits
+        second = batch_overlaps(query, candidates)
+        assert list(first) == list(second)
+        # the bbox-disjoint candidate never reaches the cache; both others do
+        assert cache.hits == hits_before + 2
+
+    def test_results_seed_scalar_path(self):
+        cache = geometry_cache()
+        query = IndexSpace.from_range(0, 50)
+        candidate = IndexSpace.from_range(25, 75)
+        batch_overlaps(query, [candidate])
+        misses = cache.misses
+        assert query.overlaps(candidate)
+        assert cache.misses == misses
+
+    def test_disabled_cache_still_batches_correctly(self, rng):
+        query = IndexSpace(rng.choice(200, size=30, replace=False))
+        candidates = [IndexSpace(rng.choice(200, size=10, replace=False))
+                      for _ in range(10)]
+        with geometry_cache_disabled():
+            got = batch_overlaps(query, candidates)
+        assert list(got) == [query._overlaps_raw(c) for c in candidates]
+
+    @settings(max_examples=60,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(query=index_spaces(),
+           candidates=st.lists(index_spaces(), max_size=12))
+    def test_property_matches_scalar(self, query, candidates):
+        got = batch_overlaps(query, candidates)
+        assert list(got) == [query._overlaps_raw(c) for c in candidates]

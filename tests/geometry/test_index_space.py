@@ -141,3 +141,28 @@ class TestPositionsFastPath:
         b = IndexSpace.from_indices([5, 9, 12])
         assert list(a.positions_of(b)) == [0, 1, 2]
         assert list(a.positions_of(a)) == [0, 1, 2]
+
+
+class TestCallerArrayNotFrozen:
+    """Regression: the constructor used to call ``setflags(write=False)``
+    on the caller's own array; it must freeze a private view instead."""
+
+    def test_trusted_path_leaves_caller_writeable(self):
+        buf = np.arange(10, dtype=np.int64)
+        space = IndexSpace(buf, trusted=True)
+        assert buf.flags.writeable
+        assert not space.indices.flags.writeable
+        buf[0] = 99  # the caller still owns its buffer's writeability
+
+    def test_untrusted_path_leaves_caller_writeable(self):
+        # already-sorted unique int64 input passes through np.asarray
+        # unchanged, so this exact array used to get frozen in place
+        buf = np.array([2, 4, 6], dtype=np.int64)
+        IndexSpace(buf)
+        assert buf.flags.writeable
+        buf[:] = 0
+
+    def test_space_view_still_immutable(self):
+        space = IndexSpace.from_range(0, 5)
+        with pytest.raises(ValueError):
+            space.indices[0] = 7

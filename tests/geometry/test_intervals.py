@@ -82,3 +82,25 @@ class TestIntervalSet:
     def test_equality(self):
         assert IntervalSet([(0, 2)]) == IntervalSet([(0, 1), (2, 2)])
         assert IntervalSet([(0, 2)]) != IntervalSet([(0, 3)])
+
+
+class TestHashable:
+    """Regression: ``__eq__`` + ``__slots__`` left IntervalSet unhashable
+    (slotted classes get no default ``__hash__`` back)."""
+
+    def test_hashable_and_consistent_with_eq(self):
+        a = IntervalSet([(0, 2)])
+        b = IntervalSet([(0, 1), (2, 2)])  # coalesces to the same runs
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_usable_in_sets_and_dicts(self):
+        a = IntervalSet([(0, 2)])
+        b = IntervalSet([(0, 1), (2, 2)])
+        c = IntervalSet([(5, 9)])
+        assert {a, b, c} == {a, c}
+        d = {a: "x"}
+        assert d[b] == "x"
+
+    def test_empty_hashable(self):
+        assert hash(IntervalSet.empty()) == hash(IntervalSet.empty())

@@ -180,6 +180,96 @@ class TestTraceManagement:
         assert {9, 10, 11} <= deps <= {6, 9, 10, 11}
 
 
+class InternalOpRuntime(Runtime):
+    """A runtime whose internal operations consume task ids (Legion-style
+    refinement/mapping operations), so ids are *not* ``len(tasks)``-aligned.
+    Ids come from the :attr:`Runtime.next_task_id` allocation authority."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._consumed = 0
+
+    @property
+    def next_task_id(self) -> int:
+        return len(self._tasks) + self._consumed
+
+    def internal_op(self) -> None:
+        """Consume one task id for an internal (non-task) operation."""
+        self.graph.add_task(self.next_task_id, set())
+        self._consumed += 1
+
+
+class TestCaptureRebaseRegression:
+    """Regression: ``TraceRecorder`` used to rebase dependence offsets
+    from ``len(rt.tasks)``, silently recording shifted templates whenever
+    task ids are not dense and index-aligned.  The base must be the first
+    launched task's *actual* id (capture/validate) and
+    ``rt.next_task_id`` (replay)."""
+
+    def test_intra_trace_offsets_survive_id_gaps(self):
+        tree, P, G, stream = make_setup()
+        gappy = InternalOpRuntime(tree, fig1_initial(tree),
+                                  algorithm="raycast")
+        plain = Runtime(tree, fig1_initial(tree), algorithm="raycast")
+        for rt in (gappy, plain):
+            rt.execute_trace("loop", stream)      # arm
+        gappy.internal_op()                       # id gap before the capture
+        for rt in (gappy, plain):
+            rt.execute_trace("loop", stream)      # capture
+        # Offsets into the trace itself must be 0-based at the first task
+        # regardless of gaps (pre-fix they came out shifted by the gap).
+        # Offsets reaching *before* the trace are id-distances and
+        # legitimately include the gap, so only same-trace offsets are
+        # compared here.
+        def intra(trace):
+            return [tuple(o for o in offs if o >= 0)
+                    for offs in trace.relative_deps]
+        assert intra(gappy.tracer.trace("loop")) == \
+            intra(plain.tracer.trace("loop"))
+
+    def test_replay_rebases_through_interleaved_gaps(self):
+        """Replayed and untraced launches interleave before the capture,
+        and the id gap changes again between capture and replay — the
+        memoized offsets must still resolve to the right tasks."""
+        tree, P, G, loop = make_setup()
+        other = TaskStream()
+
+        def bump(arr):
+            arr += 1
+        other.append("other", [RegionRequirement(P[0], "up", READ_WRITE)],
+                     bump)
+
+        rt = InternalOpRuntime(tree, fig1_initial(tree), algorithm="raycast")
+        ref = Runtime(tree, fig1_initial(tree), algorithm="raycast")
+
+        def both(name, stream):
+            rt.execute_trace(name, stream)
+            ref.replay(stream)
+
+        both("other", other)   # arm "other"
+        both("other", other)   # capture "other"
+        both("other", other)   # replayed launches before the loop trace
+        # Each loop iteration is preceded by one id-consuming internal
+        # operation — the same intervening context every time, so the
+        # trace's idempotency assumption holds, but ids are never
+        # len(tasks)-aligned and the memoized base must track actual ids.
+        for _ in range(3):     # arm, capture, replay
+            rt.internal_op()
+            both("loop", loop)
+
+        # map the gapped runtime's ids through program order and compare
+        # the whole dependence graph against the dense reference
+        order = {t.task_id: k for k, t in enumerate(rt.tasks)}
+        assert len(rt.tasks) == len(ref.tasks)
+        for k, task in enumerate(rt.tasks):
+            got = {order.get(d, -1)
+                   for d in rt.graph.dependences_of(task.task_id)}
+            assert got == set(ref.graph.dependences_of(k)), (k, task.name)
+        for field in ("up", "down"):
+            assert np.array_equal(rt.read_field(field),
+                                  ref.read_field(field))
+
+
 class TestTracingProperty:
     """Random steady loops: traced execution must always preserve values
     and dependence *soundness*.

@@ -161,3 +161,56 @@ class TestBucketStoreLocalization:
         uids = {s.uid for s in store.all_sets()}
         store.overlapping(P[0].space, None)  # bypass memo: no churn allowed
         assert {s.uid for s in store.all_sets()} == uids
+
+
+class TestBucketStoreEdges:
+    def test_insert_outside_buckets_raises(self):
+        """The partition is complete, so a set fitting no bucket can only
+        mean a stale bucket list; the store must fail loudly."""
+        tree, P, store = make_store()
+        stray = LooseEquivalenceSet(IndexSpace.from_range(100, 104))
+        with pytest.raises(CoherenceError, match="fits no bucket"):
+            store._index_insert(stray)
+
+    def test_stale_bucket_list_detected(self):
+        """Simulate rebucketing mid-flight: the bucket regions no longer
+        cover a live set's space."""
+        tree, P, store = make_store()
+        store._set_bucket_regions([P[0]])  # stale: only the first bucket
+        with pytest.raises(CoherenceError, match="fits no bucket"):
+            store._index_insert(LooseEquivalenceSet(P[2].space))
+
+    def test_localize_remainder_keeps_restricted_history(self):
+        """Carving one bucket out of a multi-bucket set must re-index the
+        remainder's history to the remainder's domain."""
+        tree, P, store = make_store()  # 4 buckets of 4 elements over 16
+        root_set = store.all_sets()[0]
+        dom = IndexSpace.from_indices([1, 14])  # rides buckets 0 and 3
+        root_set.record(HistoryEntry(
+            reduce("sum"), dom,
+            RegionValues(dom, np.array([10.0, 20.0])), 5))
+        out = store.overlapping(P[0].space, P[0].uid)  # carve bucket 0
+        store.check_invariants(tree.root.space)
+        # the carved piece kept only the index-1 part of the reduction
+        carved_red = [e for e in out[0].history if e.privilege.is_reduce]
+        assert len(carved_red) == 1
+        assert list(carved_red[0].domain) == [1]
+        # the remainder spans buckets 1..3 and kept the index-14 part
+        rem = next(s for s in store.all_sets() if s.space.size == 12)
+        assert list(rem.space) == list(range(4, 16))
+        rem_red = [e for e in rem.history if e.privilege.is_reduce]
+        assert len(rem_red) == 1
+        assert list(rem_red[0].domain) == [14]
+        painted = rem.paint(IndexSpace.from_range(12, 16), np.float64)
+        assert list(painted.values) == [0.0, 0.0, 20.0, 0.0]
+
+    def test_localize_carves_only_touched_buckets(self):
+        """A query straddling two of four buckets carves exactly those two
+        and leaves one remainder set for the rest."""
+        tree, P, store = make_store()
+        straddle = IndexSpace.from_range(2, 6)  # buckets 0 and 1
+        out = store.overlapping(straddle, None)
+        assert sorted(s.space.size for s in out) == [4, 4]
+        sizes = sorted(s.space.size for s in store.all_sets())
+        assert sizes == [4, 4, 8]
+        store.check_invariants(tree.root.space)

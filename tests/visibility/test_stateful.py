@@ -121,6 +121,30 @@ class RuntimeVsReference(RuleBasedStateMachine):
             rt.launch(f"m{seed}", reqs, body)
         self._run_sharded(f"m{seed}", reqs, body)
 
+    @rule(data=st.data(),
+          field=st.sampled_from(["x", "y"]),
+          kind=st.sampled_from(["read", "sum"]))
+    def launch_multibucket(self, data, field, kind):
+        """A task over a wide window straddling several pieces: drives the
+        bucket store's multi-bucket carving (``_localize``) path."""
+        if len(self.tree.root.partitions) >= 6:
+            return
+        size = data.draw(st.integers(N // 2, N))
+        start = data.draw(st.integers(0, N - size))
+        self.part_counter += 1
+        part = self.tree.root.create_partition(
+            f"w{self.part_counter}",
+            [IndexSpace.from_range(start, start + size)])
+        region = part.subregions[0]
+        self.counter += 1
+        seed = self.counter
+        privilege, body = self._privilege_and_body(kind, seed)
+        reqs = [RegionRequirement(region, field, privilege)]
+        self.reference.run(Task(self.counter, f"w{seed}", tuple(reqs), body))
+        for rt in self.runtimes.values():
+            rt.launch(f"w{seed}", reqs, body)
+        self._run_sharded(f"w{seed}", reqs, body)
+
     # ------------------------------------------------------------------
     @invariant()
     def all_agree_with_reference(self):
