@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test check chaos lint bench bench-quick report examples \
-	clean help
+	introspect-smoke clean help
 
 help:
 	@echo "install      editable install (offline-friendly)"
@@ -14,6 +14,7 @@ help:
 	@echo "bench-quick  same sweep capped at 64 nodes"
 	@echo "report       assemble benchmarks/results into markdown"
 	@echo "examples     run every example script"
+	@echo "introspect-smoke  census -> validate -> self-diff -> explain"
 	@echo "clean        remove build/caches/results"
 
 install:
@@ -32,6 +33,17 @@ check: lint
 
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest -m chaos -q
+
+introspect-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro census --app stencil --pieces 4 \
+		--iterations 2 --json > census.json
+	PYTHONPATH=src $(PYTHON) -c "import json; \
+		from repro.obs.census import validate_census; \
+		validate_census(json.load(open('census.json'))); \
+		print('census.json: schema valid')"
+	PYTHONPATH=src $(PYTHON) -m repro census-diff census.json census.json
+	PYTHONPATH=src $(PYTHON) -m repro explain 7 --app stencil --pieces 4 \
+		--iterations 2
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -13,6 +13,7 @@ benchmarks measure.
 """
 
 import time
+from pathlib import Path
 
 import pytest
 
@@ -23,6 +24,7 @@ from repro.geometry.fastpath import geometry_cache, reset_geometry_cache
 
 PIECES = 32
 ALGOS = ("tree_painter", "warnock", "raycast", "painter")
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
 @pytest.mark.parametrize("algorithm", ALGOS)
@@ -105,3 +107,43 @@ def test_geom_cache_differential_smoke(algorithm):
     print(f"{algorithm}: cached {cached_s:.3f}s vs uncached {uncached_s:.3f}s "
           f"({uncached_s / max(cached_s, 1e-9):.2f}x), "
           f"{stats['hits']} hits / {stats['misses']} misses")
+
+
+# ----------------------------------------------------------------------
+# machine-readable bench document + soft gate (runs in smoke mode too)
+# ----------------------------------------------------------------------
+def test_bench_json_emission():
+    """Emit ``BENCH_micro_analysis.json`` — one timed steady-iteration
+    row per algorithm, self-describing environment block — validate it
+    through the gate loader, and self-compare (a document must always
+    pass the gate against itself).  CI uploads the file as an artifact
+    and soft-gates it against ``benchmarks/baseline.json``."""
+    from repro.bench.gate import compare, load_bench
+    from repro.bench.harness import BENCH_SCHEMA_ID, write_bench_json
+
+    app = CircuitApp(pieces=8, nodes_per_piece=8, wires_per_piece=12)
+    rows = []
+    for algorithm in ALGOS:
+        rt = Runtime(app.tree, app.initial, algorithm=algorithm)
+        rt.replay(app.init_stream())
+        rt.replay(app.iteration_stream())  # warm structures and memos
+        stream = app.iteration_stream()
+        t0 = time.perf_counter()
+        rt.replay(stream)
+        seconds = time.perf_counter() - t0
+        rows.append({"name": f"steady_iteration[{algorithm}]",
+                     "seconds": seconds, "tasks": len(rt.tasks)})
+
+    out = write_bench_json(RESULTS_DIR / "BENCH_micro_analysis.json",
+                           "micro_analysis", rows,
+                           extra={"pieces": 8, "iterations": 1})
+    doc = load_bench(out)
+    assert doc["schema"] == BENCH_SCHEMA_ID
+    assert doc["bench"] == "micro_analysis"
+    assert {row["name"] for row in doc["rows"]} \
+        == {f"steady_iteration[{a}]" for a in ALGOS}
+    assert all(row["seconds"] > 0 for row in doc["rows"])
+    assert "python" in doc["environment"]
+
+    self_gate = compare(doc, doc)
+    assert all(r.status == "ok" for r in self_gate), self_gate

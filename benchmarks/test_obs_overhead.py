@@ -32,6 +32,7 @@ from repro.obs import Tracer, active_tracer, set_tracer, traced
 
 PIECES = 32
 OVERHEAD_BUDGET = 0.05
+PROVENANCE_BUDGET = 0.01
 
 
 def make_runtime():
@@ -84,6 +85,73 @@ def test_disabled_tracer_overhead_is_below_budget():
     assert overhead < OVERHEAD_BUDGET, (
         f"disabled tracing costs {overhead * 100:.2f}% "
         f">= {OVERHEAD_BUDGET * 100:.0f}% of analysis time")
+
+
+def test_disabled_ledger_overhead_is_below_budget():
+    """Same arithmetic-bound technique for the provenance ledger, with a
+    tighter budget (< 1%): its hooks are rarer than the tracer's but sit
+    inside the dependence-scan inner loops.
+
+    Disabled cost has two shapes: the per-call hoist
+    (``led = prov._LEDGER; led = led if led.enabled else None``) at every
+    materialize/commit/scan entry point, and a local-variable ``None``
+    test per history entry scanned.  Both are timed directly; crossing
+    counts come from the meter's own entry counters (identical on/off —
+    the differential tests prove it) plus a generous per-task constant
+    for the hoists."""
+    from repro.obs import provenance as prov
+
+    assert not prov.active_ledger().enabled, \
+        "benchmark requires the default (disabled) ledger"
+    rt, app = make_runtime()
+
+    iter_seconds = min(timeit.repeat(
+        lambda: rt.replay(app.iteration_stream()), repeat=5, number=1))
+
+    calls = 200_000
+
+    def hoist():
+        led = prov._LEDGER
+        led = led if led.enabled else None
+        return led
+
+    per_hoist = min(timeit.repeat(hoist, repeat=5, number=calls)) / calls
+
+    led = None
+
+    def none_check():
+        if led is not None:
+            return 1
+        return 0
+
+    per_none = min(timeit.repeat(none_check, repeat=5,
+                                 number=calls)) / calls
+
+    before = dict(rt.meter.counters)
+    stream = app.iteration_stream()
+    tasks = len(stream)
+    rt.replay(stream)
+    after = rt.meter.counters
+
+    def delta(counter):
+        return after.get(counter, 0) - before.get(counter, 0)
+
+    # every per-entry guard is bounded by something the meter counts
+    entry_checks = (delta("entries_scanned") + delta("eqsets_visited")
+                    + delta("intersection_tests")
+                    + delta("bvh_nodes_visited"))
+    assert entry_checks > 0, "analysis scanned nothing — wrong workload?"
+    hoists = 16 * tasks  # launch + per-requirement begin/end, rounded up
+
+    overhead_s = per_hoist * hoists + per_none * entry_checks
+    overhead = overhead_s / iter_seconds
+    print(f"\ndisabled-ledger overhead: {hoists} hoists x "
+          f"{per_hoist * 1e9:.0f}ns + {entry_checks} entry checks x "
+          f"{per_none * 1e9:.0f}ns = {overhead_s * 1e6:.1f}us over "
+          f"{iter_seconds * 1e3:.2f}ms -> {overhead * 100:.3f}%")
+    assert overhead < PROVENANCE_BUDGET, (
+        f"disabled provenance costs {overhead * 100:.2f}% "
+        f">= {PROVENANCE_BUDGET * 100:.0f}% of analysis time")
 
 
 def test_enabled_vs_disabled_ab(benchmark):

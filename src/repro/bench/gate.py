@@ -1,0 +1,159 @@
+"""Soft benchmark gate: compare a ``BENCH_<bench>.json`` document
+against a committed baseline.
+
+Usage (CI runs this after the micro-analysis smoke)::
+
+    python -m repro.bench.gate BENCH_micro_analysis.json \
+        benchmarks/baseline.json [--metric seconds] \
+        [--warn 0.10] [--fail 2.0]
+
+Rows are matched by ``name``; for each pair the gate computes
+``current / baseline`` on the chosen metric.  Ratios within
+``1 + warn`` pass, ratios above it *warn* (printed, exit 0 — timing
+noise across machines is expected), and ratios above ``fail`` fail the
+gate (exit 1 — a 2x regression is a real one even on a noisy runner).
+Rows new in the current document are reported and pass; rows missing
+from it warn (a benchmark silently disappearing is how regressions
+hide).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.bench.harness import BENCH_SCHEMA_ID
+
+
+@dataclass(frozen=True)
+class GateRow:
+    """One compared benchmark row."""
+
+    name: str
+    current: Optional[float]
+    baseline: Optional[float]
+    ratio: Optional[float]
+    status: str  # "ok" | "warn" | "fail" | "new" | "missing"
+
+
+def load_bench(path) -> dict:
+    """Load and schema-check one bench JSON document."""
+    with open(path) as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: bench document must be a dict")
+    if doc.get("schema") != BENCH_SCHEMA_ID:
+        raise ValueError(f"{path}: unknown bench schema "
+                         f"{doc.get('schema')!r} "
+                         f"(expected {BENCH_SCHEMA_ID!r})")
+    rows = doc.get("rows")
+    if not isinstance(rows, list):
+        raise ValueError(f"{path}: bench document missing 'rows' list")
+    for row in rows:
+        if not isinstance(row, dict) or "name" not in row:
+            raise ValueError(f"{path}: every bench row needs a 'name'")
+    return doc
+
+
+def compare(current: dict, baseline: dict, metric: str = "seconds",
+            warn: float = 0.10, fail: float = 2.0) -> list[GateRow]:
+    """Match rows by name and classify each ratio.
+
+    ``warn`` is the tolerated *relative* slowdown (0.10 ⇒ warn above
+    1.10x); ``fail`` is the absolute ratio that fails the gate.
+    """
+    cur_rows = {row["name"]: row for row in current["rows"]}
+    base_rows = {row["name"]: row for row in baseline["rows"]}
+    out: list[GateRow] = []
+    for name in sorted(set(cur_rows) | set(base_rows)):
+        cur = cur_rows.get(name)
+        base = base_rows.get(name)
+        if base is None:
+            out.append(GateRow(name, float(cur[metric]), None, None, "new"))
+            continue
+        if cur is None:
+            out.append(GateRow(name, None, float(base[metric]), None,
+                               "missing"))
+            continue
+        cur_v = float(cur[metric])
+        base_v = float(base[metric])
+        ratio = cur_v / base_v if base_v > 0 else float("inf")
+        if ratio > fail:
+            status = "fail"
+        elif ratio > 1.0 + warn:
+            status = "warn"
+        else:
+            status = "ok"
+        out.append(GateRow(name, cur_v, base_v, ratio, status))
+    return out
+
+
+def render(rows: Sequence[GateRow], metric: str = "seconds") -> str:
+    """Aligned gate table."""
+    table = [("benchmark", f"current {metric}", f"baseline {metric}",
+              "ratio", "status")]
+    for row in rows:
+        table.append((
+            row.name,
+            "-" if row.current is None else f"{row.current:.6f}",
+            "-" if row.baseline is None else f"{row.baseline:.6f}",
+            "-" if row.ratio is None else f"{row.ratio:.2f}x",
+            row.status.upper()))
+    widths = [max(len(r[k]) for r in table) for k in range(5)]
+    return "\n".join(
+        "  ".join(col.ljust(w) if k == 0 else col.rjust(w)
+                  for k, (col, w) in enumerate(zip(row, widths)))
+        for row in table)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.gate",
+        description="soft benchmark gate: current vs baseline bench JSON")
+    parser.add_argument("current", help="BENCH_<bench>.json to check")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("--metric", default="seconds",
+                        help="row metric to compare (default: seconds)")
+    parser.add_argument("--warn", type=float, default=0.10, metavar="FRAC",
+                        help="warn above 1+FRAC slowdown (default 0.10)")
+    parser.add_argument("--fail", type=float, default=2.0, metavar="RATIO",
+                        help="fail above RATIO slowdown (default 2.0)")
+    args = parser.parse_args(argv)
+    try:
+        current = load_bench(args.current)
+        baseline = load_bench(args.baseline)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, json.JSONDecodeError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = compare(current, baseline, metric=args.metric,
+                   warn=args.warn, fail=args.fail)
+    print(render(rows, metric=args.metric))
+    env = current.get("environment", {})
+    base_env = baseline.get("environment", {})
+    if env.get("platform") != base_env.get("platform"):
+        print(f"note: environments differ "
+              f"({env.get('platform')} vs {base_env.get('platform')}): "
+              f"absolute ratios are advisory")
+    warns = [r for r in rows if r.status in ("warn", "missing")]
+    fails = [r for r in rows if r.status == "fail"]
+    if fails:
+        print(f"GATE FAILED: {len(fails)} benchmark(s) regressed beyond "
+              f"{args.fail:.1f}x: {[r.name for r in fails]}")
+        return 1
+    if warns:
+        print(f"gate passed with {len(warns)} warning(s): "
+              f"{[r.name for r in warns]}")
+    else:
+        print("gate passed: all benchmarks within "
+              f"{1.0 + args.warn:.2f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

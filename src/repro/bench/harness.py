@@ -13,7 +13,8 @@ produces identical times; the rep column is kept for schema compatibility.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Mapping, Optional, Sequence
 
 from repro.apps.base import Application
 from repro.machine.costmodel import CostModel
@@ -101,6 +102,73 @@ def render_rows(rows: Sequence[BenchRow]) -> str:
     """Render rows as the artifact's parse_results.py TSV table."""
     header = "system\tnodes\tprocs_per_node\trep\tinit_time\telapsed_time"
     return "\n".join([header, *(r.tsv() for r in rows)])
+
+
+# ----------------------------------------------------------------------
+# machine-readable bench documents (BENCH_<bench>.json) and environment
+# ----------------------------------------------------------------------
+#: Version tag carried in every bench JSON document; checked by
+#: :mod:`repro.bench.gate`.
+BENCH_SCHEMA_ID = "repro.bench/1"
+
+
+def bench_environment() -> dict:
+    """Provenance block stamped into every bench document: interpreter,
+    platform, numpy version, CPU count, and (best effort) git commit —
+    enough to judge whether two documents are comparable at all."""
+    import os
+    import platform
+    import subprocess
+
+    import numpy
+
+    env = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "numpy": numpy.__version__,
+        "cpus": os.cpu_count() or 1,
+    }
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5, check=False,
+            cwd=Path(__file__).resolve().parent)
+        if proc.returncode == 0 and proc.stdout.strip():
+            env["commit"] = proc.stdout.strip()
+    except OSError:  # pragma: no cover - no git in the environment
+        pass
+    return env
+
+
+def write_bench_json(path, bench: str,
+                     rows: Sequence[Mapping[str, object]],
+                     extra: Optional[Mapping[str, object]] = None) -> Path:
+    """Write one ``BENCH_<bench>.json`` document.
+
+    ``rows`` is a list of dicts, each carrying a unique ``name`` plus
+    numeric metrics (``seconds`` is the one the gate compares).  The
+    document embeds :func:`bench_environment` so CI artifacts are
+    self-describing; ``extra`` merges additional top-level keys.
+    """
+    import json
+
+    names = [row.get("name") for row in rows]
+    if None in names:
+        raise ValueError("every bench row needs a 'name'")
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate bench row names: {names}")
+    doc: dict = {
+        "schema": BENCH_SCHEMA_ID,
+        "bench": bench,
+        "environment": bench_environment(),
+        "rows": [dict(row) for row in rows],
+    }
+    if extra:
+        doc.update(extra)
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return out
 
 
 # ----------------------------------------------------------------------

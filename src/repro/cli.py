@@ -26,6 +26,19 @@ Commands
 ``prof``
     Analyze a recorded trace file offline: span summary per category,
     per-phase duration histograms, recovery incidents, critical path.
+``explain``
+    Re-run an application with the provenance ledger enabled and print
+    the witness chain behind one task's dependences: which history
+    entry, equivalence set, or Z-buffer cell produced each edge, and
+    which candidate edges were pruned (and why).
+``census``
+    Run an application and print the analysis-state census: per-field
+    equivalence-set count/size/history distributions, composite-view
+    compaction, occlusion kill rates (``--json`` for the
+    schema-validated document).
+``census-diff``
+    Structurally diff two census JSON documents; exit 1 when they
+    differ.
 """
 
 from __future__ import annotations
@@ -125,6 +138,35 @@ def _build_parser() -> argparse.ArgumentParser:
                                     "analyze --trace-out")
     prof.add_argument("--top", type=int, default=10, metavar="K",
                       help="rows in the critical-path table (default 10)")
+
+    def _run_args(p) -> None:
+        p.add_argument("--app", choices=["stencil", "circuit", "pennant"],
+                       default="circuit")
+        p.add_argument("--algorithm",
+                       choices=["painter", "tree_painter", "warnock",
+                                "raycast", "zbuffer"], default="raycast")
+        p.add_argument("--pieces", type=int, default=4)
+        p.add_argument("--iterations", type=int, default=2)
+
+    exp = sub.add_parser("explain",
+                         help="explain why one task's dependence edges "
+                              "exist (witness chains + pruned candidates)")
+    exp.add_argument("task", type=int, metavar="TASK_ID",
+                     help="task id to explain (program order, 0-based)")
+    exp.add_argument("--edge", default=None, metavar="SRC:DST",
+                     help="restrict to one edge; DST must equal TASK_ID")
+    _run_args(exp)
+
+    cen = sub.add_parser("census",
+                         help="census the analysis state after a run")
+    cen.add_argument("--json", action="store_true", dest="as_json",
+                     help="emit the schema-validated JSON document")
+    _run_args(cen)
+
+    cdf = sub.add_parser("census-diff",
+                         help="diff two census JSON documents")
+    cdf.add_argument("old", help="baseline census JSON file")
+    cdf.add_argument("new", help="census JSON file to compare")
 
     rep = sub.add_parser("report",
                          help="assemble benchmark results into markdown")
@@ -428,6 +470,95 @@ def _cmd_prof(args) -> int:
     return 0
 
 
+def _cmd_explain(args) -> int:
+    from repro import Runtime
+    from repro.obs import provenance as prov
+
+    edge = None
+    if args.edge is not None:
+        try:
+            src_s, dst_s = args.edge.split(":")
+            edge = (int(src_s), int(dst_s))
+        except ValueError:
+            print(f"error: --edge wants SRC:DST, got {args.edge!r}",
+                  file=sys.stderr)
+            return 2
+        if edge[1] != args.task:
+            print(f"error: --edge destination {edge[1]} is not the "
+                  f"explained task {args.task}", file=sys.stderr)
+            return 2
+    app = _make_app(args.app, args.pieces)
+    stream = _full_stream(app, args.iterations)
+    if not 0 <= args.task < len(stream):
+        print(f"error: task id {args.task} out of range "
+              f"(stream has {len(stream)} tasks)", file=sys.stderr)
+        return 2
+    ledger = prov.ProvenanceLedger(enabled=True)
+    previous = prov.set_ledger(ledger)
+    try:
+        rt = Runtime(app.tree, app.initial, algorithm=args.algorithm)
+        rt.replay(stream)
+    finally:
+        prov.set_ledger(previous)
+    deps = sorted(rt.graph.dependences_of(args.task))
+    print(f"{args.app} under {args.algorithm} ({args.pieces} pieces, "
+          f"{len(stream)} tasks); task {args.task} depends on {deps}\n")
+    print(prov.explain_task(ledger, args.task, tasks=rt.tasks, edge=edge))
+    return 0
+
+
+def _cmd_census(args) -> int:
+    import json
+
+    from repro import Runtime
+    from repro.obs.census import census, render_census, validate_census
+
+    app = _make_app(args.app, args.pieces)
+    rt = Runtime(app.tree, app.initial, algorithm=args.algorithm)
+    rt.replay(_full_stream(app, args.iterations))
+    doc = census(rt)
+    validate_census(doc)
+    if args.as_json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(f"{args.app} ({args.pieces} pieces, "
+              f"{args.iterations} iterations)")
+        print(render_census(doc))
+    return 0
+
+
+def _cmd_census_diff(args) -> int:
+    import json
+
+    from repro.obs.census import census_diff, validate_census
+
+    docs = []
+    for path in (args.old, args.new):
+        try:
+            with open(path) as handle:
+                doc = json.load(handle)
+        except FileNotFoundError:
+            print(f"error: no such census file: {path}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 2
+        try:
+            validate_census(doc)
+        except ValueError as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 2
+        docs.append(doc)
+    diff = census_diff(docs[0], docs[1])
+    if not diff:
+        print("census documents are identical")
+        return 0
+    print(f"{len(diff)} differing leaves:")
+    for path, (va, vb) in diff.items():
+        print(f"  {path}: {va!r} -> {vb!r}")
+    return 1
+
+
 def _cmd_report(args) -> int:
     from pathlib import Path
 
@@ -463,6 +594,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_analyze(args)
     if args.command == "prof":
         return _cmd_prof(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
+    if args.command == "census":
+        return _cmd_census(args)
+    if args.command == "census-diff":
+        return _cmd_census_diff(args)
     if args.command == "report":
         return _cmd_report(args)
     raise AssertionError(f"unhandled command {args.command!r}")

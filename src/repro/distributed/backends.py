@@ -38,6 +38,7 @@ import numpy as np
 from repro.errors import MachineError
 from repro.geometry.fastpath import reset_geometry_cache
 from repro.geometry.index_space import IndexSpace
+from repro.obs import provenance as prov
 from repro.obs import tracer as obs
 from repro.privileges import READ, READ_WRITE, Privilege, reduce
 from repro.regions.tree import RegionTree
@@ -235,6 +236,7 @@ class _InProcessBackend(AnalysisBackend):
         runtime = self._others[shard - 1]
         start = time.perf_counter()
         with obs.active_tracer().scope(pid=shard + 1, tid=shard), \
+                prov.active_ledger().scope(shard=shard), \
                 obs.span(f"analyze.shard{shard}", "distributed.replica",
                          shard=shard, tasks=count):
             for task in stream:
@@ -318,10 +320,12 @@ class _Hosting:
         results = []
         for shard, runtime in self.runtimes.items():
             start = time.perf_counter()
-            # Shard attribution for the active tracer: hosted replicas
-            # record as pid shard+1 / tid shard, whether the hosting
-            # lives in a worker process or the parent fallback.
+            # Shard attribution for the active tracer and the provenance
+            # ledger: hosted replicas record as pid shard+1 / tid shard,
+            # whether the hosting lives in a worker process or the parent
+            # fallback.
             with obs.active_tracer().scope(pid=shard + 1, tid=shard), \
+                    prov.active_ledger().scope(shard=shard), \
                     obs.span(f"analyze.shard{shard}", "distributed.replica",
                              shard=shard, tasks=count):
                 for record in tasks:
@@ -364,9 +368,10 @@ def _dispatch(msg: tuple, hostings: list[_Hosting]) -> tuple:
     exact same protocol."""
     try:
         if msg[0] == "analyze":
-            # msg[3], when present, is the tracing flag — consumed by the
-            # worker loop, irrelevant here (parent-side fallback hostings
-            # record straight into the parent's active tracer).
+            # msg[3]/msg[4], when present, are the tracing and provenance
+            # flags — consumed by the worker loop, irrelevant here
+            # (parent-side fallback hostings record straight into the
+            # parent's active tracer and ledger).
             structure, tasks = msg[1], msg[2]
             results = []
             for hosting in hostings:
@@ -416,6 +421,10 @@ def _worker_main(conn, payload: bytes) -> None:  # pragma: no cover - subprocess
     # buffered events.  Analyze requests flip it on per message.
     worker_tracer = obs.Tracer(enabled=False)
     obs.set_tracer(worker_tracer)
+    # Same reasoning for the provenance ledger: fresh and disabled, flipped
+    # on per analyze message by the journaled provenance flag.
+    worker_ledger = prov.ProvenanceLedger(enabled=False)
+    prov.set_ledger(worker_ledger)
     # Same hygiene for the geometry fast path: the fork start method
     # copies the driver's cache into the child; per-process cache state
     # is rebuilt from scratch on every (re)spawn instead of leaking
@@ -444,14 +453,20 @@ def _worker_main(conn, payload: bytes) -> None:  # pragma: no cover - subprocess
                 if event.kind in ("delay", "slow"):
                     time.sleep(event.seconds or 0.01)
             trace = msg[0] == "analyze" and len(msg) > 3 and bool(msg[3])
+            record = msg[0] == "analyze" and len(msg) > 4 and bool(msg[4])
             worker_tracer.enabled = trace
+            worker_ledger.enabled = record
             reply = _dispatch(msg, hostings)
-            if trace and reply[0] == "ok":
-                # Ship the recorded spans with the reply, stamped with
-                # this worker's clock so the parent can align offsets.
+            if (trace or record) and reply[0] == "ok":
+                # Ship the recorded spans and provenance fragments with
+                # the reply, stamped with this worker's clock so the
+                # parent can align offsets.  Fragments are plain
+                # dataclasses of primitives — pickle-safe and stable
+                # across processes (no uids).
                 buffer = worker_tracer.drain()
                 reply = ("ok", (reply[1], tuple(buffer.spans),
-                                worker_tracer.clock.monotonic()))
+                                worker_tracer.clock.monotonic(),
+                                tuple(worker_ledger.drain())))
             if event is not None and event.kind == "drop":
                 continue
             if event is not None and event.kind == "corrupt":
@@ -900,13 +915,20 @@ class ProcessBackend(AnalysisBackend):
     def _ingest_analyze(self, results):
         """Normalize one analyze result: either the bare result rows
         (parent-side hostings, adoption replays) or the worker-reply
-        triple ``(rows, spans, worker_clock_now)``.  Shipped spans are
-        clock-offset-aligned into the driver's timeline, absorbed into
-        the active tracer, and returned grouped by shard."""
+        tuple ``(rows, spans, worker_clock_now[, prov_fragments])``.
+        Shipped spans are clock-offset-aligned into the driver's
+        timeline, absorbed into the active tracer, and returned grouped
+        by shard; provenance fragments (already shard-tagged by the
+        worker's ledger scope) are absorbed into the active ledger."""
         by_shard: dict[int, list] = {}
-        if (isinstance(results, tuple) and len(results) == 3
+        if (isinstance(results, tuple) and len(results) in (3, 4)
                 and isinstance(results[0], list)):
-            rows, spans, worker_now = results
+            rows, spans, worker_now = results[:3]
+            fragments = results[3] if len(results) == 4 else ()
+            if fragments:
+                led = prov.active_ledger()
+                if led.enabled:
+                    led.absorb(fragments)
             if spans:
                 tracer = obs.active_tracer()
                 offset = tracer.clock.monotonic() - worker_now
@@ -929,7 +951,7 @@ class ProcessBackend(AnalysisBackend):
         structure = encode_structure(self.tree, self._known_regions)
         self._known_regions = len(self.tree.regions)
         entry = ("analyze", structure, encode_tasks(stream),
-                 obs.active_tracer().enabled)
+                 obs.active_tracer().enabled, prov.active_ledger().enabled)
         if self.remote_handles:
             self._journal.append((entry, count))
         # phase 1: ship to every worker (failures recover later, in

@@ -22,6 +22,7 @@ from typing import Callable, Iterable, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.errors import TaskError
+from repro.obs import provenance as prov
 from repro.obs import tracer as obs
 from repro.privileges import Privilege
 from repro.regions.partition import Partition
@@ -121,13 +122,22 @@ class Runtime:
         self.meter.begin_task()
         deps: set[int] = set()
         buffers: list[np.ndarray] = []
+        # One enabled-check for the whole launch; when recording, every
+        # materialize/commit gets its own provenance access record.
+        led = prov._LEDGER
+        recording = led.enabled
         # Task spans carry the task id and (once the scan finishes) the
         # dependence list, so the critical-path analyzer can rebuild the
         # task DAG from a trace file alone.
         with obs.span(name, "task", task_id=task_id) as sp:
             for req in requirements:
+                if recording:
+                    led.begin_access(task_id, req.field, self.algorithm_name,
+                                     req.privilege, req.region.space)
                 outcome = self._algorithms[req.field].materialize(
                     req.privilege, req.region)
+                if recording:
+                    led.end_access()
                 deps.update(outcome.dependences)
                 buf = outcome.values
                 if req.privilege.is_read:
@@ -140,8 +150,14 @@ class Runtime:
 
             for req, buf in zip(requirements, buffers):
                 commit_values = None if req.privilege.is_read else buf
+                if recording:
+                    led.begin_access(task_id, req.field, self.algorithm_name,
+                                     req.privilege, req.region.space,
+                                     phase="commit")
                 self._algorithms[req.field].commit(
                     req.privilege, req.region, commit_values, task_id)
+                if recording:
+                    led.end_access(keep_empty=False)
         if self._record_costs:
             self.cost_log.append(self.meter.end_task())
 
@@ -198,11 +214,19 @@ class Runtime:
         task_id = self.next_task_id
         self.meter.begin_task()
         buffers: list[np.ndarray] = []
+        led = prov._LEDGER
+        recording = led.enabled
         with obs.span(template.name, "task", task_id=task_id,
                       deps=sorted(deps), replayed=True):
             for req in template.requirements:
+                if recording:
+                    led.begin_access(task_id, req.field, self.algorithm_name,
+                                     req.privilege, req.region.space,
+                                     phase="replay")
                 buf = self._algorithms[req.field].materialize_values(
                     req.privilege, req.region)
+                if recording:
+                    led.end_access(keep_empty=False)
                 if req.privilege.is_read:
                     buf.setflags(write=False)
                 buffers.append(buf)
@@ -210,8 +234,14 @@ class Runtime:
                 template.body(*buffers)
             for req, buf in zip(template.requirements, buffers):
                 commit_values = None if req.privilege.is_read else buf
+                if recording:
+                    led.begin_access(task_id, req.field, self.algorithm_name,
+                                     req.privilege, req.region.space,
+                                     phase="commit")
                 self._algorithms[req.field].commit(
                     req.privilege, req.region, commit_values, task_id)
+                if recording:
+                    led.end_access(keep_empty=False)
         if self._record_costs:
             self.cost_log.append(self.meter.end_task())
         task = Task(task_id, template.name, template.requirements,

@@ -24,6 +24,7 @@ import numpy as np
 from repro.errors import CoherenceError
 from repro.geometry.fastpath import batch_overlaps
 from repro.geometry.index_space import IndexSpace
+from repro.obs import provenance as prov
 from repro.privileges import Privilege
 from repro.visibility.meter import CostMeter
 
@@ -238,7 +239,12 @@ def scan_dependences(privilege: Privilege, space: IndexSpace,
     already-a-dependence skip, which consults ``deps`` as it grows — so
     the meter counts are bit-identical to the unbatched scan (analysis
     fingerprints hash those counts).
+    The provenance ledger (``repro.obs.provenance``) observes the same
+    loop: one hoisted enabled-check, then edge/prune records that never
+    touch the meter or alter control flow.
     """
+    led = prov._LEDGER
+    led = led if led.enabled else None
     entries = list(entries)
     interfering = [privilege.interferes(e.privilege) for e in entries]
     test_idx = [i for i, ok in enumerate(interfering) if ok]
@@ -261,3 +267,12 @@ def scan_dependences(privilege: Privilege, space: IndexSpace,
             deps.add(entry.task_id)
             if entry.collapsed_ids:
                 deps.update(entry.collapsed_ids)
+            if led is not None:
+                led.edge(entry.task_id,
+                         "summary" if entry.collapsed_ids else "history",
+                         prov.privilege_label(entry.privilege),
+                         prov.domain_desc(entry.domain),
+                         collapsed=entry.collapsed_ids)
+        elif led is not None:
+            led.prune(entry.task_id, "disjoint",
+                      prov.domain_desc(entry.domain))

@@ -25,6 +25,7 @@ from repro.visibility.base import (AnalysisOutcome, CoherenceAlgorithm,
 from repro.visibility.history import (HistoryEntry, RegionValues, paint_entry,
                                       scan_dependences)
 from repro.visibility.meter import CostMeter
+from repro.obs import provenance as prov
 from repro.obs.tracer import traced
 
 
@@ -53,8 +54,15 @@ class PainterAlgorithm(CoherenceAlgorithm):
     @traced("materialize")
     def materialize(self, privilege: Privilege, region: Region) -> AnalysisOutcome:
         deps: set[int] = set()
+        led = prov._LEDGER
+        track = led.enabled
+        if track:
+            led.set_source(("painter", len(self._history)))
+            led.visit("history_entries", len(self._history))
         scan_dependences(privilege, region.space, self._history, deps,
                          self.meter)
+        if track:
+            led.clear_source()
         deps.discard(INITIAL_TASK_ID)
         # The history is one distributed object rooted at the control node.
         self.meter.touch(("painter_history", 0))

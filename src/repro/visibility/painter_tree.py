@@ -38,6 +38,7 @@ from repro.visibility.base import (AnalysisOutcome, CoherenceAlgorithm,
 from repro.visibility.history import (HistoryEntry, RegionValues, paint_entry,
                                       scan_dependences)
 from repro.visibility.meter import CostMeter
+from repro.obs import provenance as prov
 from repro.obs.tracer import traced
 
 # A privilege summary key: "read", "rw", or ("reduce", opname).
@@ -240,6 +241,8 @@ class TreePainterAlgorithm(CoherenceAlgorithm):
 
     def _append_view(self, node: Region, view: CompositeView) -> None:
         st = self._state(node)
+        led = prov._LEDGER
+        led = led if led.enabled else None
         # conservative occlusion: the new view deletes earlier same-node
         # items it fully overwrites
         if not view.write_domain.is_empty:
@@ -249,6 +252,12 @@ class TreePainterAlgorithm(CoherenceAlgorithm):
                                else item.domain)
                 self.meter.count("intersection_tests")
                 if item_domain.issubset(view.write_domain):
+                    if led is not None:
+                        src = (item.task_id
+                               if isinstance(item, HistoryEntry)
+                               else prov.AGGREGATE_SRC)
+                        led.prune(src, "view_occluded",
+                                  prov.domain_desc(item_domain))
                     self._bump_counts(node, -1)
                     continue
                 kept.append(item)
@@ -342,11 +351,23 @@ class TreePainterAlgorithm(CoherenceAlgorithm):
         self._hoist(privilege, region)
         self.meter.touch(("treenode", self.tree.root.uid))
 
+        led = prov._LEDGER
+        track = led.enabled
+        if track:
+            led.set_source(("path",))
+            scanned_before = self.meter.counters.get("entries_scanned", 0)
+
         deps: set[int] = set()
         scan_dependences(privilege, region.space,
                          self._iter_path_entries(region, privilege), deps,
                          self.meter)
         deps.discard(INITIAL_TASK_ID)
+
+        if track:
+            led.visit("path_entries",
+                      self.meter.counters.get("entries_scanned", 0)
+                      - scanned_before)
+            led.clear_source()
 
         if privilege.is_reduce:
             values = self.identity_buffer(privilege, region.space.size)
@@ -382,6 +403,15 @@ class TreePainterAlgorithm(CoherenceAlgorithm):
         st = self._state(region)
         if privilege.is_write and st.entries:
             # a write at R occludes everything previously recorded at R
+            led = prov._LEDGER
+            if led.enabled:
+                led.set_source(("treenode", region.uid))
+                for item in st.entries:
+                    src = (item.task_id if isinstance(item, HistoryEntry)
+                           else prov.AGGREGATE_SRC)
+                    led.prune(src, "commit_occluded",
+                              prov.domain_desc(item.domain))
+                led.clear_source()
             self.meter.count("entries_occluded", len(st.entries))
             self._bump_counts(region, -len(st.entries))
             st.entries = []
@@ -404,3 +434,22 @@ class TreePainterAlgorithm(CoherenceAlgorithm):
         """The subhistory currently recorded at ``region`` (tests)."""
         st = self._states.get(region.uid)
         return [] if st is None else list(st.entries)
+
+    def view_stats(self) -> tuple[int, int]:
+        """``(live views, entries they compacted)`` across the whole tree,
+        counting nested views once each (census diagnostics)."""
+        views = 0
+        captured = 0
+
+        def scan(items: list[PathItem]) -> None:
+            nonlocal views, captured
+            for item in items:
+                if isinstance(item, CompositeView):
+                    views += 1
+                    captured += item.num_entries
+                    for _, sub_items in item.captured:
+                        scan(sub_items)
+
+        for st in self._states.values():
+            scan(st.entries)
+        return views, captured

@@ -40,6 +40,7 @@ from repro.visibility.eqset import BucketStore, LooseEquivalenceSet
 from repro.visibility.history import (HistoryEntry, RegionValues,
                                       scan_dependences)
 from repro.visibility.meter import CostMeter
+from repro.obs import provenance as prov
 from repro.obs.tracer import traced
 
 
@@ -80,14 +81,27 @@ class RayCastAlgorithm(CoherenceAlgorithm):
         if region.tree is not self.tree:
             raise CoherenceError("region belongs to a different tree")
         self._refresh_buckets()
+        led = prov._LEDGER
+        track = led.enabled
+        if track:
+            bvh_before = self.meter.counters.get("bvh_nodes_visited", 0)
         sets = self._store.overlapping(region.space, region.uid)
+        if track:
+            led.visit("bvh_nodes",
+                      self.meter.counters.get("bvh_nodes_visited", 0)
+                      - bvh_before)
+            led.visit("eqsets", len(sets))
 
         deps: set[int] = set()
         for eqset in sets:
             self.meter.count("eqsets_visited")
             self.meter.touch(("eqset", eqset.uid, eqset.space.bounds[0]))
+            if track:
+                led.set_source(("eqset",) + prov.domain_desc(eqset.space))
             scan_dependences(privilege, region.space, eqset.history, deps,
                              self.meter)
+        if track:
+            led.clear_source()
         deps.discard(INITIAL_TASK_ID)
 
         if privilege.is_reduce:
@@ -99,6 +113,21 @@ class RayCastAlgorithm(CoherenceAlgorithm):
                 painted.gather_into(region.space, values)
 
         if privilege.is_write:
+            if track:
+                # A dominating write kills every occluded set (straddlers
+                # are trimmed to their outside part): record which earlier
+                # tasks lose their witness entries, before the store
+                # mutates.  Observation only — no meter counts.
+                for eqset in sets:
+                    led.set_source(
+                        ("eqset",) + prov.domain_desc(eqset.space))
+                    reason = ("dominated"
+                              if eqset.space.issubset(region.space)
+                              else "trimmed")
+                    for entry in eqset.history:
+                        led.prune(entry.task_id, reason,
+                                  prov.domain_desc(entry.domain))
+                led.clear_source()
             # Figure 11 line 2: one fresh set for R, occluded sets pruned.
             # Seed it with the values just materialized so the store stays
             # coherent even if the task aborts before commit; the commit

@@ -26,6 +26,7 @@ from repro.visibility.base import (AnalysisOutcome, CoherenceAlgorithm,
 from repro.visibility.eqset import (EqEntry, EquivalenceSet, EqSetStore,
                                     RefinementTreeStore)
 from repro.visibility.meter import CostMeter
+from repro.obs import provenance as prov
 from repro.obs.tracer import traced
 
 
@@ -53,12 +54,23 @@ class EqSetAlgorithmBase(CoherenceAlgorithm):
     def materialize(self, privilege: Privilege, region: Region) -> AnalysisOutcome:
         if region.tree is not self.tree:
             raise CoherenceError("region belongs to a different tree")
+        led = prov._LEDGER
+        track = led.enabled
+        if track:
+            bvh_before = self.meter.counters.get("bvh_nodes_visited", 0)
         sets = self._store.locate(region.space, region.uid)
+        if track:
+            led.visit("bvh_nodes",
+                      self.meter.counters.get("bvh_nodes_visited", 0)
+                      - bvh_before)
+            led.visit("eqsets", len(sets))
 
         deps: set[int] = set()
         for eqset in sets:
             self.meter.count("eqsets_visited")
             self.meter.touch(("eqset", eqset.uid, eqset.space.bounds[0]))
+            if track:
+                led.set_source(("eqset",) + prov.domain_desc(eqset.space))
             for entry in eqset.history:
                 self.meter.count("entries_scanned")
                 if entry.task_id in deps and not entry.collapsed_ids:
@@ -69,6 +81,15 @@ class EqSetAlgorithmBase(CoherenceAlgorithm):
                     deps.add(entry.task_id)
                     if entry.collapsed_ids:
                         deps.update(entry.collapsed_ids)
+                    if track:
+                        led.edge(
+                            entry.task_id,
+                            "summary" if entry.collapsed_ids else "eqset",
+                            prov.privilege_label(entry.privilege),
+                            prov.domain_desc(eqset.space),
+                            collapsed=entry.collapsed_ids)
+        if track:
+            led.clear_source()
         deps.discard(INITIAL_TASK_ID)
 
         if privilege.is_reduce:

@@ -42,6 +42,7 @@ from repro.regions.tree import RegionTree
 from repro.visibility.base import (AnalysisOutcome, CoherenceAlgorithm,
                                    INITIAL_TASK_ID)
 from repro.visibility.meter import CostMeter
+from repro.obs import provenance as prov
 from repro.obs.tracer import traced
 
 _EMPTY_SET_ID = 0
@@ -147,8 +148,46 @@ class ZBufferAlgorithm(CoherenceAlgorithm):
             self._collect_reducers(deps, self._reducer_sid[pos],
                                    exclude_op=self._op_id(privilege.redop))
             values = self.identity_buffer(privilege, pos.size)
+        led = prov._LEDGER
+        if led.enabled:
+            # Observation-only replay of the collection above: attribute
+            # each dependence to the table (last write / reader set /
+            # reducer set) that held it.  Never touches the meter.
+            self._emit_witnesses(led, privilege, region, pos)
         deps.discard(INITIAL_TASK_ID)
         return AnalysisOutcome(values, frozenset(deps))
+
+    def _emit_witnesses(self, led, privilege: Privilege, region: Region,
+                        pos: np.ndarray) -> None:
+        led.set_source(("zbuffer",))
+        rdesc = prov.domain_desc(region.space)
+        seen: set[tuple[int, str]] = set()
+
+        def emit(task_id: int, kind: str, entry_priv: str) -> None:
+            if task_id == INITIAL_TASK_ID or (task_id, kind) in seen:
+                return
+            seen.add((task_id, kind))
+            led.edge(task_id, kind, entry_priv, rdesc)
+
+        for t in np.unique(self._last_write[pos]).tolist():
+            emit(int(t), "last_write", "read-write")
+        exclude_op = (self._op_id(privilege.redop)
+                      if privilege.is_reduce else None)
+        if not privilege.is_read:
+            for sid in np.unique(self._reader_sid[pos]):
+                for t in self._sets[sid]:
+                    emit(int(t), "reader", "read")
+        for sid in np.unique(self._reducer_sid[pos]):
+            for task_id, opid in self._sets[sid]:
+                entry_priv = f"reduce({self._ops[opid].name})"
+                if exclude_op is not None and opid == exclude_op:
+                    if (task_id, "same_operator") not in seen:
+                        seen.add((task_id, "same_operator"))
+                        led.prune(int(task_id), "same_operator", rdesc)
+                else:
+                    emit(int(task_id), "reducer", entry_priv)
+        led.visit("elements", int(pos.size))
+        led.clear_source()
 
     @traced("commit")
     def commit(self, privilege: Privilege, region: Region,

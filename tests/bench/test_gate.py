@@ -1,0 +1,134 @@
+"""Tests for the bench-JSON document writer and the soft gate."""
+
+import json
+
+import pytest
+
+from repro.bench.gate import GateRow, compare, load_bench, main, render
+from repro.bench.harness import (BENCH_SCHEMA_ID, bench_environment,
+                                 write_bench_json)
+
+
+def _doc(rows):
+    return {"schema": BENCH_SCHEMA_ID, "bench": "t",
+            "environment": {"platform": "test"}, "rows": rows}
+
+
+# ----------------------------------------------------------------------
+# document writing
+# ----------------------------------------------------------------------
+def test_write_bench_json_round_trip(tmp_path):
+    out = write_bench_json(tmp_path / "BENCH_t.json", "t",
+                           [{"name": "a", "seconds": 0.5, "tasks": 10}],
+                           extra={"pieces": 4})
+    doc = load_bench(out)
+    assert doc["schema"] == BENCH_SCHEMA_ID
+    assert doc["bench"] == "t"
+    assert doc["pieces"] == 4
+    assert doc["rows"] == [{"name": "a", "seconds": 0.5, "tasks": 10}]
+    assert "python" in doc["environment"]
+
+
+def test_write_bench_json_rejects_bad_rows(tmp_path):
+    with pytest.raises(ValueError, match="needs a 'name'"):
+        write_bench_json(tmp_path / "x.json", "t", [{"seconds": 1.0}])
+    with pytest.raises(ValueError, match="duplicate"):
+        write_bench_json(tmp_path / "x.json", "t",
+                         [{"name": "a", "seconds": 1.0},
+                          {"name": "a", "seconds": 2.0}])
+
+
+def test_bench_environment_is_self_describing():
+    env = bench_environment()
+    assert set(env) >= {"python", "platform", "numpy", "cpus"}
+    assert env["cpus"] >= 1
+
+
+def test_load_bench_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema": "nope", "rows": []}))
+    with pytest.raises(ValueError, match="unknown bench schema"):
+        load_bench(path)
+    path.write_text(json.dumps({"schema": BENCH_SCHEMA_ID}))
+    with pytest.raises(ValueError, match="missing 'rows'"):
+        load_bench(path)
+
+
+# ----------------------------------------------------------------------
+# comparison semantics
+# ----------------------------------------------------------------------
+def test_compare_classifies_ratios():
+    base = _doc([{"name": "a", "seconds": 1.0},
+                 {"name": "b", "seconds": 1.0},
+                 {"name": "c", "seconds": 1.0},
+                 {"name": "gone", "seconds": 1.0}])
+    cur = _doc([{"name": "a", "seconds": 1.05},   # within warn
+                {"name": "b", "seconds": 1.5},    # warn
+                {"name": "c", "seconds": 2.5},    # fail
+                {"name": "fresh", "seconds": 9.0}])  # new
+    rows = {r.name: r for r in compare(cur, base)}
+    assert rows["a"].status == "ok"
+    assert rows["b"].status == "warn"
+    assert rows["c"].status == "fail"
+    assert rows["fresh"].status == "new"
+    assert rows["gone"].status == "missing"
+    assert rows["c"].ratio == pytest.approx(2.5)
+
+
+def test_compare_self_is_all_ok():
+    doc = _doc([{"name": "a", "seconds": 0.123}])
+    assert all(r.status == "ok" for r in compare(doc, doc))
+
+
+def test_render_table_is_aligned():
+    text = render([GateRow("a", 1.0, 2.0, 0.5, "ok"),
+                   GateRow("b", None, 2.0, None, "missing")])
+    lines = text.splitlines()
+    assert lines[0].startswith("benchmark")
+    assert "OK" in text and "MISSING" in text
+
+
+# ----------------------------------------------------------------------
+# CLI entry (python -m repro.bench.gate)
+# ----------------------------------------------------------------------
+def _write(tmp_path, name, rows):
+    path = tmp_path / name
+    path.write_text(json.dumps(_doc(rows)))
+    return str(path)
+
+
+def test_main_passes_within_tolerance(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", [{"name": "a", "seconds": 1.0}])
+    cur = _write(tmp_path, "cur.json", [{"name": "a", "seconds": 1.05}])
+    assert main([cur, base]) == 0
+    assert "gate passed" in capsys.readouterr().out
+
+
+def test_main_warns_but_passes(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", [{"name": "a", "seconds": 1.0}])
+    cur = _write(tmp_path, "cur.json", [{"name": "a", "seconds": 1.5}])
+    assert main([cur, base]) == 0
+    out = capsys.readouterr().out
+    assert "warning" in out and "WARN" in out
+
+
+def test_main_fails_beyond_2x(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", [{"name": "a", "seconds": 1.0}])
+    cur = _write(tmp_path, "cur.json", [{"name": "a", "seconds": 2.5}])
+    assert main([cur, base]) == 1
+    assert "GATE FAILED" in capsys.readouterr().out
+
+
+def test_main_custom_thresholds(tmp_path):
+    base = _write(tmp_path, "base.json", [{"name": "a", "seconds": 1.0}])
+    cur = _write(tmp_path, "cur.json", [{"name": "a", "seconds": 1.5}])
+    assert main([cur, base, "--fail", "1.4"]) == 1
+    assert main([cur, base, "--warn", "0.6"]) == 0
+
+
+def test_main_reports_bad_input(tmp_path, capsys):
+    good = _write(tmp_path, "good.json", [{"name": "a", "seconds": 1.0}])
+    assert main([str(tmp_path / "missing.json"), good]) == 2
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json")
+    assert main([str(bad), good]) == 2

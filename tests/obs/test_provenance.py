@@ -1,0 +1,286 @@
+"""Unit tests for the provenance ledger: record lifecycle, shard
+attribution, the stable (``id()``-free) wire format, and the
+``explain`` rendering."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro import READ, READ_WRITE, IndexSpace, Runtime
+from repro import reduce as reduce_priv
+from repro.obs import provenance as prov
+from repro.obs.provenance import (AGGREGATE_SRC, DRIVER_SHARD, INITIAL_SRC,
+                                  AccessRecord, EdgeWitness, ProvenanceLedger,
+                                  PruneRecord, domain_desc, explain_task,
+                                  format_domain, privilege_label)
+
+from tests.conftest import fig1_initial, fig1_stream, make_fig1_tree
+
+
+# ----------------------------------------------------------------------
+# descriptors
+# ----------------------------------------------------------------------
+def test_privilege_labels():
+    assert privilege_label(READ) == "read"
+    assert privilege_label(READ_WRITE) == "read-write"
+    assert privilege_label(reduce_priv("sum")) == "reduce(sum)"
+
+
+def test_domain_desc_is_content_based():
+    space = IndexSpace.from_range(4, 12)
+    assert domain_desc(space) == (4, 11, 8)
+    assert format_domain((4, 11, 8)) == "[4,11] n=8"
+    assert domain_desc(IndexSpace.from_indices([])) == (0, -1, 0)
+    assert format_domain((0, -1, 0)) == "[] n=0"
+
+
+# ----------------------------------------------------------------------
+# ledger lifecycle
+# ----------------------------------------------------------------------
+def test_disabled_ledger_records_nothing():
+    led = ProvenanceLedger(enabled=False)
+    led.begin_access(0, "x", "raycast", READ, IndexSpace.from_range(0, 4))
+    led.edge(1, "history", "read", (0, 3, 4))
+    led.end_access()
+    assert len(led) == 0
+    assert led.scope(3) is prov._NOOP_SCOPE
+
+
+def test_record_lifecycle_and_queries():
+    led = ProvenanceLedger(enabled=True)
+    space = IndexSpace.from_range(0, 8)
+    led.begin_access(5, "x", "raycast", READ_WRITE, space)
+    led.set_source(("eqset", 0, 7, 8))
+    led.edge(3, "eqset", "read", (0, 7, 8))
+    led.edge(4, "summary", "read-write", (0, 3, 4), collapsed=(1, 2))
+    led.prune(0, "dominated", (0, 7, 8))
+    led.visit("eqsets", 2)
+    led.visit("eqsets")
+    led.end_access()
+    assert len(led) == 1
+    (rec,) = led.records_for(5)
+    assert rec.phase == "materialize"
+    assert rec.shard == DRIVER_SHARD
+    assert rec.privilege == "read-write"
+    assert rec.domain == (0, 7, 8)
+    assert rec.dep_ids == {1, 2, 3, 4}
+    assert rec.visited == {"eqsets": 3}
+    assert rec.edges[0].via == ("eqset", 0, 7, 8)
+    assert rec.pruned[0].reason == "dominated"
+    assert led.records_for(5, phase="commit") == []
+    assert led.records_for(99) == []
+
+
+def test_end_access_drops_empty_when_asked():
+    led = ProvenanceLedger(enabled=True)
+    space = IndexSpace.from_range(0, 4)
+    led.begin_access(0, "x", "painter", READ, space, phase="commit")
+    led.end_access(keep_empty=False)
+    assert len(led) == 0
+    led.begin_access(0, "x", "painter", READ, space, phase="commit")
+    led.end_access(keep_empty=True)
+    assert len(led) == 1
+
+
+def test_hooks_without_open_record_are_noops():
+    led = ProvenanceLedger(enabled=True)
+    led.edge(1, "history", "read", (0, 3, 4))
+    led.prune(1, "disjoint", (0, 3, 4))
+    led.visit("eqsets")
+    led.end_access()
+    assert len(led) == 0
+
+
+def test_shard_scope_tags_and_restores():
+    led = ProvenanceLedger(enabled=True)
+    space = IndexSpace.from_range(0, 4)
+    with led.scope(shard=2):
+        led.begin_access(0, "x", "warnock", READ, space)
+        led.end_access()
+        with led.scope(shard=5):
+            led.begin_access(1, "x", "warnock", READ, space)
+            led.end_access()
+        led.begin_access(2, "x", "warnock", READ, space)
+        led.end_access()
+    led.begin_access(3, "x", "warnock", READ, space)
+    led.end_access()
+    shards = [r.shard for r in led.snapshot()]
+    assert shards == [2, 5, 2, DRIVER_SHARD]
+    assert led.by_shard() == {2: 2, 5: 1, DRIVER_SHARD: 1}
+
+
+def test_drain_and_absorb():
+    led = ProvenanceLedger(enabled=True)
+    space = IndexSpace.from_range(0, 4)
+    led.begin_access(0, "x", "painter", READ, space)
+    led.end_access()
+    drained = led.drain()
+    assert len(drained) == 1 and len(led) == 0
+    led.absorb(drained)
+    led.absorb([])
+    assert len(led) == 1
+
+
+def test_thread_local_open_records():
+    """Two threads interleaving accesses never corrupt each other."""
+    led = ProvenanceLedger(enabled=True)
+    space = IndexSpace.from_range(0, 4)
+    barrier = threading.Barrier(2)
+
+    def work(task_id):
+        with led.scope(shard=task_id):
+            led.begin_access(task_id, "x", "raycast", READ, space)
+            barrier.wait()
+            led.edge(100 + task_id, "eqset", "read", (0, 3, 4))
+            led.end_access()
+
+    threads = [threading.Thread(target=work, args=(i,)) for i in (1, 2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for task_id in (1, 2):
+        (rec,) = led.records_for(task_id)
+        assert rec.shard == task_id
+        assert rec.dep_ids == {100 + task_id}
+
+
+def test_set_ledger_swaps_global():
+    led = ProvenanceLedger(enabled=True)
+    previous = prov.set_ledger(led)
+    try:
+        assert prov.active_ledger() is led
+        assert prov._LEDGER is led
+    finally:
+        prov.set_ledger(previous)
+    assert prov.active_ledger() is previous
+
+
+# ----------------------------------------------------------------------
+# stable wire format (satellite: id()-free, pickle-safe records)
+# ----------------------------------------------------------------------
+def _assert_primitive(value):
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return
+    if isinstance(value, tuple):
+        for item in value:
+            _assert_primitive(item)
+        return
+    if isinstance(value, (EdgeWitness, PruneRecord)):
+        for name in value.__dataclass_fields__:
+            _assert_primitive(getattr(value, name))
+        return
+    raise AssertionError(f"non-primitive in wire record: {value!r}")
+
+
+def _record_key(rec):
+    return (rec.shard, rec.task_id, rec.phase, rec.field, rec.algorithm)
+
+
+def _normalized(records, keep_shard=True):
+    out = []
+    for rec in records:
+        out.append((rec.shard if keep_shard else None, rec.task_id,
+                    rec.phase, rec.field, rec.algorithm, rec.privilege,
+                    rec.domain, tuple(rec.edges), tuple(rec.pruned),
+                    tuple(sorted(rec.visited.items()))))
+    return sorted(out, key=repr)
+
+
+def _sharded_records(backend, shards=2):
+    from repro.distributed import ShardedRuntime
+
+    tree, P, G = make_fig1_tree()
+    led = ProvenanceLedger(enabled=True)
+    previous = prov.set_ledger(led)
+    try:
+        with ShardedRuntime(tree, fig1_initial(tree), shards=shards,
+                            algorithm="raycast", backend=backend) as srt:
+            srt.analyze(fig1_stream(tree, P, G, 2))
+    finally:
+        prov.set_ledger(previous)
+    return led.snapshot()
+
+
+def test_records_are_primitive_and_pickle_stable():
+    records = _sharded_records("serial")
+    assert records
+    for rec in records:
+        assert isinstance(rec, AccessRecord)
+        for witness in rec.edges:
+            _assert_primitive(witness)
+        for pruned in rec.pruned:
+            _assert_primitive(pruned)
+        _assert_primitive(rec.domain)
+    round_tripped = pickle.loads(pickle.dumps(records))
+    assert round_tripped == records
+
+
+def test_process_backend_round_trip_matches_serial():
+    """The regression this wire format exists for: records shipped home
+    from worker processes must equal the serial backend's in-memory
+    records exactly (same shard tags, same content descriptors — no
+    process-local uids leaking into the format)."""
+    serial = _normalized(_sharded_records("serial"))
+    process = _normalized(_sharded_records("process"))
+    assert process == serial
+    shards = {rec[0] for rec in process}
+    assert shards == {0, 1}
+
+
+# ----------------------------------------------------------------------
+# explain rendering
+# ----------------------------------------------------------------------
+def test_explain_no_records_message():
+    led = ProvenanceLedger(enabled=True)
+    text = explain_task(led, 7)
+    assert "no provenance recorded" in text
+
+
+def test_explain_renders_witnesses_and_sentinels():
+    led = ProvenanceLedger(enabled=True)
+    space = IndexSpace.from_range(0, 8)
+    led.begin_access(3, "x", "tree_painter", READ_WRITE, space)
+    led.set_source(("treenode", 4))
+    led.edge(INITIAL_SRC, "history", "read-write", (0, 7, 8))
+    led.edge(2, "summary", "read", (0, 3, 4), collapsed=(0, 1))
+    led.prune(AGGREGATE_SRC, "view_occluded", (0, 7, 8))
+    led.end_access()
+    text = explain_task(led, 3)
+    assert "task 3" in text
+    assert "[materialize] field 'x' read-write on [0,7] n=8" in text
+    assert "initial write (pre-program state)" in text
+    assert "summarizing tasks [0, 1]" in text
+    assert "composite view (aggregated)" in text
+    assert "view_occluded" in text
+    assert "tree node (region uid 4)" in text
+
+
+def test_explain_edge_filter():
+    led = ProvenanceLedger(enabled=True)
+    space = IndexSpace.from_range(0, 8)
+    led.begin_access(5, "x", "raycast", READ, space)
+    led.set_source(("eqset", 0, 7, 8))
+    led.edge(1, "eqset", "read-write", (0, 7, 8))
+    led.edge(2, "eqset", "read-write", (0, 7, 8))
+    led.end_access()
+    text = explain_task(led, 5, edge=(1, 5))
+    assert "edge 5 <- 1" in text
+    assert "edge 5 <- 2" not in text
+    missing = explain_task(led, 5, edge=(9, 5))
+    assert "no witness for edge 5 <- 9" in missing
+
+
+def test_explain_uses_task_names():
+    tree, P, G = make_fig1_tree()
+    led = ProvenanceLedger(enabled=True)
+    previous = prov.set_ledger(led)
+    try:
+        rt = Runtime(tree, fig1_initial(tree), algorithm="raycast")
+        rt.replay(fig1_stream(tree, P, G, 1))
+    finally:
+        prov.set_ledger(previous)
+    task_id = 5
+    text = explain_task(led, task_id, tasks=rt.tasks)
+    assert f"task {task_id} ({rt.tasks[task_id].name})" in text

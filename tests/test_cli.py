@@ -140,3 +140,79 @@ class TestAnalyze:
                      "--backend", "thread", "--algorithm", "warnock"]) == 0
         out = capsys.readouterr().out
         assert "thread backend" in out
+
+
+class TestExplain:
+    def test_explain_names_witnesses(self, capsys):
+        assert main(["explain", "7", "--app", "stencil", "--pieces", "4",
+                     "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "task 7 depends on" in out
+        assert "edge 7 <-" in out
+        assert "via eqset" in out
+
+    def test_explain_edge_filter(self, capsys):
+        assert main(["explain", "7", "--edge", "3:7", "--app", "stencil",
+                     "--pieces", "4", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "edge 7 <- 3" in out
+        assert "edge 7 <- 2" not in out
+
+    def test_explain_rejects_bad_edge(self, capsys):
+        assert main(["explain", "7", "--edge", "nope", "--app",
+                     "stencil"]) == 2
+        assert main(["explain", "7", "--edge", "3:6", "--app",
+                     "stencil"]) == 2
+        assert main(["explain", "9999", "--app", "stencil"]) == 2
+
+    def test_ledger_restored_after_explain(self):
+        from repro.obs import provenance as prov
+        before = prov.active_ledger()
+        assert main(["explain", "0", "--app", "stencil", "--pieces", "2",
+                     "--iterations", "1"]) == 0
+        assert prov.active_ledger() is before
+
+
+class TestCensus:
+    def test_census_human(self, capsys):
+        assert main(["census", "--app", "stencil", "--pieces", "4",
+                     "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "census (raycast)" in out
+        assert "eqsets" in out
+        assert "occlusion" in out
+
+    def test_census_json_validates(self, capsys):
+        import json
+
+        from repro.obs.census import validate_census
+        assert main(["census", "--app", "circuit", "--pieces", "2",
+                     "--iterations", "1", "--json",
+                     "--algorithm", "tree_painter"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        validate_census(doc)
+        assert doc["algorithm"] == "tree_painter"
+
+    def test_census_diff_identical_and_differing(self, tmp_path, capsys):
+        import json
+        assert main(["census", "--app", "stencil", "--pieces", "2",
+                     "--iterations", "1", "--json"]) == 0
+        a = capsys.readouterr().out
+        assert main(["census", "--app", "stencil", "--pieces", "2",
+                     "--iterations", "2", "--json"]) == 0
+        b = capsys.readouterr().out
+        pa, pb = tmp_path / "a.json", tmp_path / "b.json"
+        pa.write_text(a)
+        pb.write_text(b)
+        assert main(["census-diff", str(pa), str(pa)]) == 0
+        assert "identical" in capsys.readouterr().out
+        assert main(["census-diff", str(pa), str(pb)]) == 1
+        out = capsys.readouterr().out
+        assert "differing leaves" in out and "tasks" in out
+
+    def test_census_diff_rejects_bad_files(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["census-diff", str(bad), str(bad)]) == 2
+        assert main(["census-diff", str(tmp_path / "missing.json"),
+                     str(bad)]) == 2
