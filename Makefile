@@ -30,6 +30,8 @@ check: lint
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	PYTHONPATH=src $(PYTHON) -m pytest -q --benchmark-disable \
 		benchmarks/test_micro_analysis.py
+	PYTHONPATH=src $(PYTHON) -m pytest -q \
+		tests/distributed/test_precedence_differential.py -k "not Sharded"
 
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest -m chaos -q

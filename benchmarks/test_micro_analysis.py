@@ -110,6 +110,95 @@ def test_geom_cache_differential_smoke(algorithm):
 
 
 # ----------------------------------------------------------------------
+# precedence oracle: scan pruning + O(1) soundness checks on a long
+# steady-state stream (>= 2k tasks)
+# ----------------------------------------------------------------------
+PREC_PIECES = 32
+PREC_ITERATIONS = 32  # 32 init + 32 * 64 steady tasks = 2080 >= 2k
+PREC_SOUNDNESS_TAIL = 2080  # tasks whose edges the soundness rows check
+_PREC_CACHE: dict = {}
+
+
+def _precedence_data() -> dict:
+    """Analyze a 2080-task Stencil stream with the order-maintenance
+    oracle on and off, then time the closure soundness check answered by
+    order labels vs. plain BFS.  Built once and shared by the smoke test
+    and the bench-document emission (the runtimes are the expensive
+    part)."""
+    if _PREC_CACHE:
+        return _PREC_CACHE
+    from repro import DependenceGraph
+    from repro.apps import StencilApp
+
+    def analyze(oracle_on):
+        app = StencilApp(pieces=PREC_PIECES, tile=2)
+        rt = Runtime(app.tree, app.initial, algorithm="raycast",
+                     precedence_oracle=oracle_on)
+        t0 = time.perf_counter()
+        rt.replay(app.init_stream())
+        for _ in range(PREC_ITERATIONS):
+            rt.replay(app.iteration_stream())
+        return rt, time.perf_counter() - t0
+
+    on_rt, on_s = analyze(True)
+    off_rt, off_s = analyze(False)
+
+    # Soundness-check rows: "are all these known-true orderings present
+    # transitively?" over the direct edges of the newest tasks.  The
+    # label-backed graph answers each pair with O(1) bit tests; the
+    # BFS graph re-walks ancestors.  This is where the oracle's O(1)
+    # `precedes` pays off at stream scale.
+    pairs = [(dep, tid)
+             for tid in off_rt.graph.task_ids[-PREC_SOUNDNESS_TAIL:]
+             for dep in off_rt.graph.dependences_of(tid)]
+    reps = 3
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        assert on_rt.graph.missing_pairs(pairs) == []
+    labels_s = (time.perf_counter() - t0) / reps
+
+    bfs_graph = DependenceGraph(maintain_labels=False)
+    for tid in off_rt.graph.task_ids:
+        bfs_graph.add_task(tid, off_rt.graph.dependences_of(tid))
+    t0 = time.perf_counter()
+    assert bfs_graph.missing_pairs(pairs) == []
+    bfs_s = time.perf_counter() - t0
+
+    _PREC_CACHE.update(on_rt=on_rt, off_rt=off_rt, on_s=on_s, off_s=off_s,
+                       labels_s=labels_s, bfs_s=bfs_s, pairs=len(pairs))
+    return _PREC_CACHE
+
+
+def test_precedence_oracle_smoke():
+    """CI's precedence-correctness gate, in smoke mode like the geometry
+    differential above: on the 2080-task stream the oracle must actually
+    prune (fewer direct edges), must not change the transitive closure,
+    and the label-backed soundness check must beat repeated BFS."""
+    data = _precedence_data()
+    on, off = data["on_rt"], data["off_rt"]
+    assert len(on.tasks) >= 2000 and len(on.tasks) == len(off.tasks)
+
+    stats = on.order.stats()
+    assert stats["hits"] > 0, "the oracle never pruned anything"
+    assert on.graph.edge_count() < off.graph.edge_count()
+
+    # closure equality on a sample of the newest tasks (full equality is
+    # covered by tests/distributed/test_precedence_differential.py)
+    for tid in off.graph.task_ids[-64:]:
+        assert on.graph.ancestors_of(tid) == off.graph.ancestors_of(tid)
+
+    assert data["labels_s"] < data["bfs_s"], (
+        f"labels {data['labels_s']:.4f}s vs bfs {data['bfs_s']:.4f}s")
+    print(f"precedence: {len(on.tasks)} tasks, edges "
+          f"{off.graph.edge_count()} -> {on.graph.edge_count()}, "
+          f"analyze on {data['on_s']:.3f}s / off {data['off_s']:.3f}s, "
+          f"soundness ({data['pairs']} pairs) labels "
+          f"{data['labels_s'] * 1e3:.2f}ms vs bfs "
+          f"{data['bfs_s'] * 1e3:.2f}ms "
+          f"({data['bfs_s'] / max(data['labels_s'], 1e-9):.0f}x)")
+
+
+# ----------------------------------------------------------------------
 # machine-readable bench document + soft gate (runs in smoke mode too)
 # ----------------------------------------------------------------------
 def test_bench_json_emission():
@@ -134,6 +223,23 @@ def test_bench_json_emission():
         rows.append({"name": f"steady_iteration[{algorithm}]",
                      "seconds": seconds, "tasks": len(rt.tasks)})
 
+    # precedence-oracle rows: long-stream analysis with the oracle on and
+    # off, plus the labels-vs-BFS soundness-check timing (the measured
+    # O(1)-precedes speedup on a >= 2k-task stream)
+    prec = _precedence_data()
+    rows.append({"name": "precedence_scan[raycast+oracle]",
+                 "seconds": prec["on_s"],
+                 "tasks": len(prec["on_rt"].tasks),
+                 "edges": prec["on_rt"].graph.edge_count()})
+    rows.append({"name": "precedence_scan[raycast]",
+                 "seconds": prec["off_s"],
+                 "tasks": len(prec["off_rt"].tasks),
+                 "edges": prec["off_rt"].graph.edge_count()})
+    rows.append({"name": "precedence_soundness[labels]",
+                 "seconds": prec["labels_s"], "pairs": prec["pairs"]})
+    rows.append({"name": "precedence_soundness[bfs]",
+                 "seconds": prec["bfs_s"], "pairs": prec["pairs"]})
+
     out = write_bench_json(RESULTS_DIR / "BENCH_micro_analysis.json",
                            "micro_analysis", rows,
                            extra={"pieces": 8, "iterations": 1})
@@ -141,7 +247,9 @@ def test_bench_json_emission():
     assert doc["schema"] == BENCH_SCHEMA_ID
     assert doc["bench"] == "micro_analysis"
     assert {row["name"] for row in doc["rows"]} \
-        == {f"steady_iteration[{a}]" for a in ALGOS}
+        == ({f"steady_iteration[{a}]" for a in ALGOS}
+            | {"precedence_scan[raycast+oracle]", "precedence_scan[raycast]",
+               "precedence_soundness[labels]", "precedence_soundness[bfs]"})
     assert all(row["seconds"] > 0 for row in doc["rows"])
     assert "python" in doc["environment"]
 

@@ -26,7 +26,8 @@ from repro.regions.dependent import (difference_partition, equal_partition,
                                      partition_by_field,
                                      partition_by_predicate,
                                      preimage_partition, union_partition)
-from repro.runtime import (DependenceGraph, RegionRequirement, Runtime,
+from repro.runtime import (DependenceGraph, OrderMaintainer,
+                           PrecedenceOracle, RegionRequirement, Runtime,
                            SequentialExecutor, Task, TaskStream,
                            oracle_dependences)
 from repro.runtime.parallel import ExecutionLog, ParallelExecutor
@@ -53,9 +54,11 @@ __all__ = [
     "IntervalSet",
     "KDTree",
     "MachineError",
+    "OrderMaintainer",
     "PainterAlgorithm",
     "ParallelExecutor",
     "Partition",
+    "PrecedenceOracle",
     "Privilege",
     "PrivilegeError",
     "RayCastAlgorithm",

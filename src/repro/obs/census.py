@@ -47,6 +47,9 @@ CENSUS_SCHEMA = {
     "distribution": ("count", "min", "max", "mean", "total"),
     "derived": ("occlusion_kill_rate", "entries_occluded",
                 "eqsets_coalesced", "eqsets_created"),
+    # optional block, present only when the runtime carries a precedence
+    # oracle (see repro.runtime.order); published as order.* gauges
+    "order": ("labels", "queries", "comparisons", "hits", "misses"),
 }
 
 
@@ -128,6 +131,9 @@ def census(runtime, registry=None, **labels) -> dict:
             "eqsets_created": created,
         },
     }
+    order = getattr(runtime, "order", None)
+    if order is not None:
+        doc["order"] = order.stats()
     if registry is not None:
         publish_census(doc, registry, **labels)
     return doc
@@ -180,6 +186,16 @@ def validate_census(doc: dict) -> None:
     for req in CENSUS_SCHEMA["derived"]:
         if req not in doc["derived"]:
             raise ValueError(f"census derived block missing {req!r}")
+    if "order" in doc:
+        if not isinstance(doc["order"], dict):
+            raise ValueError("census order block must be a dict")
+        for req in CENSUS_SCHEMA["order"]:
+            if req not in doc["order"]:
+                raise ValueError(f"census order block missing {req!r}")
+            if not isinstance(doc["order"][req], int):
+                raise ValueError(
+                    f"census order counter {req!r} must be an int, "
+                    f"got {type(doc['order'][req]).__name__}")
 
 
 def _flatten(prefix: str, value, out: dict) -> None:
@@ -215,8 +231,11 @@ def publish_census(doc: dict, registry, **labels) -> None:
     ``census.<path>`` gauge (idempotent, like the other
     ``publish_to`` bridges)."""
     flat: dict = {}
-    _flatten("", {"fields": doc["fields"], "derived": doc["derived"],
-                  "tasks": doc["tasks"], "edges": doc["edges"]}, flat)
+    numeric = {"fields": doc["fields"], "derived": doc["derived"],
+               "tasks": doc["tasks"], "edges": doc["edges"]}
+    if "order" in doc:
+        numeric["order"] = doc["order"]
+    _flatten("", numeric, flat)
     for path, value in flat.items():
         if isinstance(value, bool) or not isinstance(value, (int, float)):
             continue
@@ -264,4 +283,10 @@ def render_census(doc: dict) -> str:
         f"  occlusion: kill rate {derived['occlusion_kill_rate']} "
         f"({derived['eqsets_coalesced']}/{derived['eqsets_created']} "
         f"eqsets), {derived['entries_occluded']} entries occluded")
+    if "order" in doc:
+        order = doc["order"]
+        lines.append(
+            f"  precedence oracle: {order['labels']} labels, "
+            f"{order['hits']} hits / {order['misses']} misses "
+            f"({order['queries']} queries)")
     return "\n".join(lines)

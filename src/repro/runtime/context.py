@@ -28,6 +28,7 @@ from repro.privileges import Privilege
 from repro.regions.partition import Partition
 from repro.regions.tree import RegionTree
 from repro.runtime.dependence import DependenceGraph
+from repro.runtime.order import PrecedenceOracle, scan_pruning_enabled
 from repro.runtime.task import (RegionRequirement, Task, TaskBody,
                                 validate_requirements)
 from repro.visibility.base import CoherenceAlgorithm, make_algorithm
@@ -52,12 +53,21 @@ class Runtime:
     record_costs:
         When True, keep a per-task :class:`TaskCost` log (used by the
         machine simulator).
+    precedence_oracle:
+        Opt-in O(1) precedence pruning (see :mod:`repro.runtime.order`):
+        the visibility algorithms skip history entries already
+        transitively ordered, recording them as ``"transitive"`` prune
+        records.  Changes meter counts (fewer intersection tests) and
+        prunes redundant edges — transitive closures stay identical.
+        ``None`` (the default) defers to the ``REPRO_PRECEDENCE``
+        environment default; ``REPRO_NO_PRECEDENCE`` force-disables.
     """
 
     def __init__(self, tree: RegionTree, initial: Mapping[str, np.ndarray],
                  algorithm: str = "raycast",
                  meter: Optional[CostMeter] = None,
-                 record_costs: bool = False) -> None:
+                 record_costs: bool = False,
+                 precedence_oracle: Optional[bool] = None) -> None:
         self.tree = tree
         self.algorithm_name = algorithm
         self.meter = meter if meter is not None else CostMeter()
@@ -74,6 +84,16 @@ class Runtime:
             self._algorithms[name] = make_algorithm(
                 algorithm, tree, name, values, self.meter)
         self.graph = DependenceGraph()
+        # Order labels are assigned as launch/_launch_traced record each
+        # task (graph.add_task); the oracle view is handed to every
+        # algorithm only when scan pruning is opted in, because skipping
+        # entries changes meter counts.
+        self.order: Optional[PrecedenceOracle] = None
+        if scan_pruning_enabled(precedence_oracle) \
+                and self.graph.order_maintainer is not None:
+            self.order = PrecedenceOracle(self.graph.order_maintainer)
+            for alg in self._algorithms.values():
+                alg.order = self.order
         self._tasks: list[Task] = []
         self._record_costs = record_costs
         self.cost_log: list[TaskCost] = []
@@ -163,6 +183,7 @@ class Runtime:
 
         task = Task(task_id, name, requirements, body, point)
         self._tasks.append(task)
+        # records the task and assigns its order label from these deps
         self.graph.add_task(task_id, deps)
         return task
 
@@ -247,6 +268,7 @@ class Runtime:
         task = Task(task_id, template.name, template.requirements,
                     template.body, template.point)
         self._tasks.append(task)
+        # replayed tasks get order labels too — from the memoized deps
         self.graph.add_task(task_id, deps)
         return task
 

@@ -16,22 +16,48 @@ occluded).
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping, Optional, Sequence
 
 from repro.obs import tracer as obs
+from repro.runtime import order as order_mod
+from repro.runtime.order import OrderMaintainer
 from repro.runtime.task import Task
 
 
 class DependenceGraph:
     """A DAG over task ids with edges pointing from a task to the earlier
-    tasks it depends on."""
+    tasks it depends on.
 
-    def __init__(self) -> None:
+    Alongside the edge lists the graph maintains a compact
+    :class:`~repro.runtime.order.OrderMaintainer` label per task (one
+    bitwise OR per edge on ``add_task``), so the transitive-closure
+    helpers (``contains_transitively`` / ``missing_pairs``) answer from
+    labels instead of repeated BFS — pure acceleration, bit-identical
+    answers, with a BFS fallback when labels are absent
+    (``maintain_labels=False`` or the ``REPRO_NO_PRECEDENCE`` escape
+    hatch) and a differential mode cross-checking both paths
+    (``differential=True`` or ``REPRO_PRECEDENCE_DIFFERENTIAL``).
+    """
+
+    def __init__(self, maintain_labels: Optional[bool] = None,
+                 differential: Optional[bool] = None) -> None:
         self._deps: dict[int, frozenset[int]] = {}
+        self._levels: Optional[dict[int, int]] = None
+        if maintain_labels is None:
+            maintain_labels = order_mod.order_maintenance_enabled()
+        self._order: Optional[OrderMaintainer] = (
+            OrderMaintainer() if maintain_labels else None)
+        if differential is None:
+            differential = order_mod.differential_enabled()
+        self._differential = bool(differential)
 
     # ------------------------------------------------------------------
     def add_task(self, task_id: int, dependences: Iterable[int]) -> None:
-        """Record a task and its dependences (all ids must be earlier)."""
+        """Record a task and its dependences (all ids must be earlier).
+
+        Assigns the task's order label in the same step (the ids in
+        ``dependences`` are labelled already — they are earlier tasks).
+        """
         deps = frozenset(dependences)
         for d in deps:
             if d >= task_id:
@@ -40,6 +66,19 @@ class DependenceGraph:
             if d not in self._deps:
                 raise ValueError(f"dependence on unknown task {d}")
         self._deps[task_id] = deps
+        self._levels = None
+        if self._order is not None:
+            if task_id < 0:
+                # negative ids have no bit position; degrade to BFS-only
+                self._order = None
+            else:
+                self._order.assign(task_id, deps)
+
+    @property
+    def order_maintainer(self) -> Optional[OrderMaintainer]:
+        """The label store backing the O(1) precedence fast path (None
+        when label maintenance is disabled)."""
+        return self._order
 
     def dependences_of(self, task_id: int) -> frozenset[int]:
         """Direct dependences of one task."""
@@ -64,7 +103,18 @@ class DependenceGraph:
 
         Tasks sharing a level can run concurrently — the parallel schedule
         of section 3.2's example assigns t0–2, t3–5, t6–8 to levels 0,1,2.
+
+        Cached until the next ``add_task``: ``critical_path_length``,
+        ``max_width`` and ``schedule_levels`` all consume the same pass.
+        Callers must treat the returned mapping as read-only.
         """
+        if self._levels is None:
+            self._levels = self._compute_levels()
+        return self._levels
+
+    def _compute_levels(self) -> dict[int, int]:
+        """One full longest-path pass (the unit the cache memoizes —
+        overridable by counting subclasses in the regression tests)."""
         out: dict[int, int] = {}
         for tid in sorted(self._deps):
             deps = self._deps[tid]
@@ -98,13 +148,33 @@ class DependenceGraph:
             queue.extend(self._deps[t] - seen)
         return seen
 
+    def _covers(self, earlier: int, later: int,
+                cache: dict[int, set[int]]) -> bool:
+        """One (earlier, later) path query: O(1) label test when labels
+        are available, cached BFS otherwise (and, in differential mode,
+        both — asserting they agree)."""
+        if self._order is not None:
+            answer = self._order.precedes(earlier, later)
+            if answer is not None:
+                if self._differential:
+                    if later not in cache:
+                        cache[later] = self.ancestors_of(later)
+                    bfs = earlier in cache[later]
+                    if bfs != answer:
+                        raise AssertionError(
+                            f"precedence differential: labels say "
+                            f"{earlier} precedes {later} is {answer}, "
+                            f"BFS says {bfs}")
+                return answer
+        if later not in cache:
+            cache[later] = self.ancestors_of(later)
+        return earlier in cache[later]
+
     def contains_transitively(self, pairs: Iterable[tuple[int, int]]) -> bool:
         """Whether each (earlier, later) pair is connected by a path."""
         cache: dict[int, set[int]] = {}
         for earlier, later in pairs:
-            if later not in cache:
-                cache[later] = self.ancestors_of(later)
-            if earlier not in cache[later]:
+            if not self._covers(earlier, later, cache):
                 return False
         return True
 
@@ -115,9 +185,7 @@ class DependenceGraph:
         cache: dict[int, set[int]] = {}
         out = []
         for earlier, later in pairs:
-            if later not in cache:
-                cache[later] = self.ancestors_of(later)
-            if earlier not in cache[later]:
+            if not self._covers(earlier, later, cache):
                 out.append((earlier, later))
         return out
 

@@ -1,0 +1,309 @@
+"""Order maintenance: O(1) precedence queries over the dependence DAG.
+
+Dependence pruning repeatedly asks "does task A already precede task B?"
+— and before this module every such query was a BFS over the dependence
+graph (``DependenceGraph.ancestors_of``), which makes the soundness
+harness and transitive-edge reasoning quadratic-ish on long task streams.
+DePa [Westrick, Wang & Acar, *DePa: Simple, Provably Efficient, and
+Practical Order Maintenance for Task Parallelism*, PAPERS.md] shows that
+fork-join ordering can be maintained with compact per-task labels
+answering precedence in O(1).  Our task DAGs are more general than
+series-parallel (any earlier task can be a dependence), so the label here
+is a DePa-flavoured hybrid:
+
+* ``index`` — position in program order, which for this runtime *is* a
+  topological order (every dependence points at a smaller id).  Gives the
+  necessary condition ``a.index < b.index`` in one comparison.
+* ``level`` — longest-path depth.  Every strict ancestor has a strictly
+  smaller level, so ``a.level >= b.level`` rejects in one comparison.
+* ``low`` — smallest ancestor index.  ``a.index < b.low`` rejects
+  accesses that reach back before anything ``b`` can see.
+* ``reach`` — a packed ancestor bitmap (an arbitrary-precision int, one
+  bit per earlier task, machine-word parallel).  The exact answer is a
+  single shift-and-mask; no graph traversal, ever.
+
+The first three fields answer the common negative queries without
+touching the bitmap; the bitmap makes the oracle *exact* on arbitrary
+DAGs (where interval-only labellings cannot be).  Maintenance is O(1)
+amortized label work per dependence edge (one bitwise OR per edge —
+word-parallel over the stream length); queries never walk the graph.
+
+Two cooperating consumers:
+
+* :class:`~repro.runtime.dependence.DependenceGraph` maintains an
+  :class:`OrderMaintainer` on ``add_task`` and answers
+  ``contains_transitively`` / ``missing_pairs`` from labels instead of
+  repeated BFS (pure acceleration — answers are bit-identical, with an
+  opt-in differential mode cross-checking both paths).
+* :class:`PrecedenceOracle` — the query front-end the visibility
+  algorithms use (behind the opt-in ``precedence_oracle`` runtime flag)
+  to *skip* history entries already transitively ordered during
+  ``scan_dependences``.  Skipping changes meter counts (fewer
+  intersection tests) and prunes redundant edges, so it is off by
+  default; pruned candidates are recorded as ``"transitive"``
+  :class:`~repro.obs.provenance.PruneRecord` entries and hit/miss
+  counters publish as ``order.*`` metrics.
+
+Environment knobs (mirroring the geometry fast path's hygiene):
+
+* ``REPRO_NO_PRECEDENCE`` — hard escape hatch: disables label
+  maintenance *and* scan pruning everywhere (graphs fall back to BFS).
+* ``REPRO_PRECEDENCE`` — turns scan pruning on by default for every
+  :class:`~repro.runtime.context.Runtime` (set by ``repro-cli analyze
+  --precedence-oracle`` so forked worker processes inherit it).
+* ``REPRO_PRECEDENCE_DIFFERENTIAL`` — cross-check every label answer
+  against BFS inside the soundness helpers (tests/debugging).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Optional
+
+#: Hard escape hatch: any truthy value disables label maintenance and
+#: scan pruning everywhere.
+ENV_DISABLE = "REPRO_NO_PRECEDENCE"
+
+#: Opt-in default for scan pruning (``repro-cli analyze
+#: --precedence-oracle`` sets this so worker processes inherit it).
+ENV_ENABLE = "REPRO_PRECEDENCE"
+
+#: Cross-check label answers against BFS in the soundness helpers.
+ENV_DIFFERENTIAL = "REPRO_PRECEDENCE_DIFFERENTIAL"
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def _truthy(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in _TRUTHY
+
+
+def order_maintenance_enabled() -> bool:
+    """Whether graphs maintain order labels (default on; pure
+    acceleration, bit-identical answers)."""
+    return not _truthy(ENV_DISABLE)
+
+
+def scan_pruning_enabled(flag: Optional[bool] = None) -> bool:
+    """Resolve the opt-in scan-pruning setting for one runtime.
+
+    ``flag`` is the explicit ``Runtime(precedence_oracle=...)`` argument;
+    ``None`` defers to the :data:`ENV_ENABLE` environment default.  The
+    :data:`ENV_DISABLE` escape hatch wins over everything.
+    """
+    if _truthy(ENV_DISABLE):
+        return False
+    if flag is None:
+        return _truthy(ENV_ENABLE)
+    return bool(flag)
+
+
+def differential_enabled() -> bool:
+    """Whether the soundness helpers cross-check labels against BFS."""
+    return _truthy(ENV_DIFFERENTIAL)
+
+
+class OrderLabel:
+    """Compact order label of one task (see module docstring).
+
+    ``reach`` includes the task's own bit — the closure composes by
+    plain bitwise OR: ``reach(t) = bit(t) | OR(reach(d) for d in deps)``.
+    """
+
+    __slots__ = ("index", "level", "low", "reach")
+
+    def __init__(self, index: int, level: int, low: int, reach: int) -> None:
+        self.index = index
+        self.level = level
+        self.low = low
+        self.reach = reach
+
+    def __repr__(self) -> str:
+        return (f"OrderLabel(index={self.index}, level={self.level}, "
+                f"low={self.low}, ancestors={bin(self.reach).count('1') - 1})")
+
+
+class OrderMaintainer:
+    """Assigns and stores one :class:`OrderLabel` per task.
+
+    Labels are assigned online, in topological (= program) order, from
+    the direct dependences each visibility algorithm reported — exactly
+    the edges :meth:`DependenceGraph.add_task` records.  Plain ints and
+    dicts throughout: instances pickle with the graphs that own them
+    (process-backend checkpoints ship them inside runtimes).
+    """
+
+    def __init__(self) -> None:
+        self._labels: dict[int, OrderLabel] = {}
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, task_id: int) -> bool:
+        return task_id in self._labels
+
+    def label(self, task_id: int) -> Optional[OrderLabel]:
+        """The label of one task (None when never assigned)."""
+        return self._labels.get(task_id)
+
+    def assign(self, task_id: int, dependences: Iterable[int]) -> OrderLabel:
+        """Label a new task from its direct dependences.
+
+        All dependence ids must already be labelled (the runtime launches
+        in program order, so they are).  One bitwise OR per edge — no
+        traversal.
+        """
+        reach = 1 << task_id
+        level = 0
+        low = task_id
+        for d in dependences:
+            dl = self._labels[d]
+            reach |= dl.reach
+            if dl.level >= level:
+                level = dl.level + 1
+            if dl.low < low:
+                low = dl.low
+        label = OrderLabel(task_id, level, low, reach)
+        self._labels[task_id] = label
+        return label
+
+    # ------------------------------------------------------------------
+    def precedes(self, a: int, b: int) -> Optional[bool]:
+        """Exact label answer to "does ``a`` strictly precede ``b``?"
+
+        Returns ``None`` when ``b`` has no label (caller falls back to
+        BFS); an unlabelled or out-of-universe ``a`` trivially does not
+        precede anything, which the bitmap answers correctly.
+        """
+        lb = self._labels.get(b)
+        if lb is None:
+            return None
+        if a < 0 or a >= b:
+            return False
+        la = self._labels.get(a)
+        if la is not None and (la.level >= lb.level or la.index < lb.low):
+            return False  # O(1) prefilters: no int shift needed
+        return bool((lb.reach >> a) & 1)
+
+    def ancestors(self, task_id: int) -> Optional[set[int]]:
+        """The full ancestor set decoded from the bitmap (None when
+        unlabelled).  Used by differential checks and tests — the hot
+        paths only ever test single bits."""
+        label = self._labels.get(task_id)
+        if label is None:
+            return None
+        mask = label.reach & ~(1 << task_id)
+        out: set[int] = set()
+        index = 0
+        while mask:
+            low_bits = mask & 0xFFFFFFFF
+            if low_bits:
+                for bit in range(32):
+                    if (low_bits >> bit) & 1:
+                        out.add(index + bit)
+            mask >>= 32
+            index += 32
+        return out
+
+    def reach_mask(self, task_id: int) -> int:
+        """``ancestors(task_id) | {task_id}`` as a packed bitmap; 0 for
+        unlabelled ids (including the pre-program ``INITIAL_TASK_ID``)."""
+        label = self._labels.get(task_id)
+        return 0 if label is None else label.reach
+
+
+class PrecedenceOracle:
+    """O(1) precedence queries plus the scan-pruning bookkeeping.
+
+    Wraps an :class:`OrderMaintainer` (usually the one owned by the
+    runtime's :class:`~repro.runtime.dependence.DependenceGraph`) with
+    the counters the observability layer publishes as ``order.*``
+    metrics:
+
+    * ``queries``/``comparisons`` — ``precedes`` calls and the label
+      comparisons they cost (one per query: the operation-counting test
+      asserts the ratio stays exactly 1, i.e. no hidden traversal);
+    * ``hits``/``misses`` — scan-pruning coverage tests that did / did
+      not prove an entry transitively ordered (a hit skips the
+      intersection test and prunes the candidate edge).
+    """
+
+    def __init__(self, maintainer: OrderMaintainer) -> None:
+        self.maintainer = maintainer
+        self.queries = 0
+        self.comparisons = 0
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def precedes(self, a: int, b: int) -> bool:
+        """Whether task ``a`` strictly precedes task ``b`` in the
+        recorded partial order.  O(1) label comparison, no traversal."""
+        self.queries += 1
+        self.comparisons += 1
+        answer = self.maintainer.precedes(a, b)
+        return bool(answer)
+
+    def label(self, task_id: int) -> Optional[OrderLabel]:
+        return self.maintainer.label(task_id)
+
+    def reach_mask(self, task_id: int) -> int:
+        """Closure bitmap of one task (0 when unlabelled) — scan loops
+        accumulate these into a running coverage mask."""
+        return self.maintainer.reach_mask(task_id)
+
+    def covered(self, mask: int, task_id: int) -> bool:
+        """Whether ``task_id`` lies under a coverage mask built from
+        :meth:`reach_mask` calls.  Counts as one oracle hit or miss."""
+        if task_id >= 0 and (mask >> task_id) & 1:
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def transitive_reduce(self, deps: set[int]) -> tuple[set[int], list[int]]:
+        """Drop every dependence already implied by another one.
+
+        Returns ``(kept, dropped)``.  A dependence ``d`` is redundant
+        when it precedes some other collected dependence — the closure is
+        unchanged because precedence is transitive and acyclic (dropped
+        ids always lead to a kept maximal element).  Used by the Z-buffer,
+        whose element tables collect dependences wholesale rather than
+        entry by entry.
+        """
+        if len(deps) < 2:
+            return deps, []
+        combined = 0
+        for d in deps:
+            label = self.maintainer.label(d)
+            if label is not None:
+                # ancestors only: d must never knock itself out
+                combined |= label.reach & ~(1 << d)
+        dropped = [d for d in deps
+                   if d >= 0 and self.covered(combined, d)]
+        if not dropped:
+            return deps, dropped
+        return deps.difference(dropped), dropped
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counter snapshot (all plain ints, JSON-ready)."""
+        return {
+            "labels": len(self.maintainer),
+            "queries": int(self.queries),
+            "comparisons": int(self.comparisons),
+            "hits": int(self.hits),
+            "misses": int(self.misses),
+        }
+
+    def publish_to(self, registry, **labels) -> None:
+        """Publish the counters as ``order.*`` gauges (idempotent,
+        last-value-wins — same contract as the other bridges)."""
+        for key, value in self.stats().items():
+            registry.gauge(f"order.{key}", **labels).set(value)
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (f"PrecedenceOracle(labels={s['labels']}, "
+                f"queries={s['queries']}, hits={s['hits']}, "
+                f"misses={s['misses']})")

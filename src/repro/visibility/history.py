@@ -227,7 +227,8 @@ def paint_entry(current: RegionValues, entry: HistoryEntry,
 def scan_dependences(privilege: Privilege, space: IndexSpace,
                      entries: Iterable[HistoryEntry],
                      deps: set[int],
-                     meter: Optional[CostMeter] = None) -> None:
+                     meter: Optional[CostMeter] = None,
+                     oracle=None) -> None:
     """Collect task ids of entries that interfere with a new access.
 
     A dependence exists when the privileges interfere *and* the domains
@@ -242,11 +243,24 @@ def scan_dependences(privilege: Privilege, space: IndexSpace,
     The provenance ledger (``repro.obs.provenance``) observes the same
     loop: one hoisted enabled-check, then edge/prune records that never
     touch the meter or alter control flow.
+
+    With an ``oracle`` (a :class:`~repro.runtime.order.PrecedenceOracle`,
+    opt-in via ``Runtime(precedence_oracle=True)``) the scan runs
+    *newest-to-oldest* and maintains a coverage bitmap over the closure
+    of the dependences found so far: an interfering entry whose task
+    already precedes a collected dependence is transitively ordered, so
+    its intersection test is skipped and the candidate edge is pruned
+    (recorded as a ``"transitive"`` prune).  Meter counts differ on this
+    path (fewer intersection tests) but the graph's transitive closure —
+    and therefore the soundness criterion — is unchanged.
     """
     led = prov._LEDGER
     led = led if led.enabled else None
     entries = list(entries)
     interfering = [privilege.interferes(e.privilege) for e in entries]
+    if oracle is not None:
+        _scan_pruned(space, entries, interfering, deps, meter, oracle, led)
+        return
     test_idx = [i for i, ok in enumerate(interfering) if ok]
     overlap: dict[int, bool] = {}
     if len(test_idx) > 1:
@@ -267,6 +281,54 @@ def scan_dependences(privilege: Privilege, space: IndexSpace,
             deps.add(entry.task_id)
             if entry.collapsed_ids:
                 deps.update(entry.collapsed_ids)
+            if led is not None:
+                led.edge(entry.task_id,
+                         "summary" if entry.collapsed_ids else "history",
+                         prov.privilege_label(entry.privilege),
+                         prov.domain_desc(entry.domain),
+                         collapsed=entry.collapsed_ids)
+        elif led is not None:
+            led.prune(entry.task_id, "disjoint",
+                      prov.domain_desc(entry.domain))
+
+
+def _scan_pruned(space: IndexSpace, entries: list, interfering: list,
+                 deps: set[int], meter, oracle, led) -> None:
+    """The oracle-pruned scan: newest-to-oldest, coverage-masked.
+
+    Histories are ordered oldest first, so walking them backwards finds
+    the *newest* interfering entries first; once those are dependences,
+    every older entry they transitively cover is skipped in one O(1)
+    bitmap test instead of an intersection test.  Summary entries
+    (``collapsed_ids``) are never skipped — they aggregate many tasks
+    conservatively, exactly like the already-a-dependence skip.
+    """
+    covered = 0
+    for d in deps:
+        covered |= oracle.reach_mask(d)
+    for i in range(len(entries) - 1, -1, -1):
+        entry = entries[i]
+        if meter is not None:
+            meter.count("entries_scanned")
+        if entry.task_id in deps and not entry.collapsed_ids:
+            continue
+        if not interfering[i]:
+            continue
+        if not entry.collapsed_ids and oracle.covered(covered,
+                                                      entry.task_id):
+            if led is not None:
+                led.prune(entry.task_id, "transitive",
+                          prov.domain_desc(entry.domain))
+            continue
+        if meter is not None:
+            meter.count("intersection_tests")
+        if space.overlaps(entry.domain):
+            deps.add(entry.task_id)
+            covered |= oracle.reach_mask(entry.task_id)
+            if entry.collapsed_ids:
+                deps.update(entry.collapsed_ids)
+                for cid in entry.collapsed_ids:
+                    covered |= oracle.reach_mask(cid)
             if led is not None:
                 led.edge(entry.task_id,
                          "summary" if entry.collapsed_ids else "history",

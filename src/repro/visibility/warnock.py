@@ -66,28 +66,78 @@ class EqSetAlgorithmBase(CoherenceAlgorithm):
             led.visit("eqsets", len(sets))
 
         deps: set[int] = set()
-        for eqset in sets:
-            self.meter.count("eqsets_visited")
-            self.meter.touch(("eqset", eqset.uid, eqset.space.bounds[0]))
-            if track:
-                led.set_source(("eqset",) + prov.domain_desc(eqset.space))
-            for entry in eqset.history:
+        oracle = self.order
+        if oracle is None:
+            for eqset in sets:
+                self.meter.count("eqsets_visited")
+                self.meter.touch(("eqset", eqset.uid,
+                                  eqset.space.bounds[0]))
+                if track:
+                    led.set_source(("eqset",)
+                                   + prov.domain_desc(eqset.space))
+                for entry in eqset.history:
+                    self.meter.count("entries_scanned")
+                    if entry.task_id in deps and not entry.collapsed_ids:
+                        continue
+                    # the eqset invariant makes the overlap test implicit:
+                    # every entry is relevant to every element
+                    if privilege.interferes(entry.privilege):
+                        deps.add(entry.task_id)
+                        if entry.collapsed_ids:
+                            deps.update(entry.collapsed_ids)
+                        if track:
+                            led.edge(
+                                entry.task_id,
+                                "summary" if entry.collapsed_ids
+                                else "eqset",
+                                prov.privilege_label(entry.privilege),
+                                prov.domain_desc(eqset.space),
+                                collapsed=entry.collapsed_ids)
+        else:
+            # Oracle path: precedence is a property of the global task
+            # graph, not of any one set, so gather every candidate and
+            # walk them newest-to-oldest *across* eqsets (task ids are
+            # program order) — the coverage bitmap accumulated from
+            # already-collected deps then suppresses every older entry
+            # they transitively dominate, regardless of which set holds
+            # it.
+            candidates: list = []
+            for eqset in sets:
+                self.meter.count("eqsets_visited")
+                self.meter.touch(("eqset", eqset.uid,
+                                  eqset.space.bounds[0]))
+                for entry in eqset.history:
+                    candidates.append((entry, eqset))
+            candidates.sort(key=lambda ce: ce[0].task_id, reverse=True)
+            covered = 0
+            for entry, eqset in candidates:
                 self.meter.count("entries_scanned")
                 if entry.task_id in deps and not entry.collapsed_ids:
                     continue
-                # the eqset invariant makes the overlap test implicit:
-                # every entry is relevant to every element
-                if privilege.interferes(entry.privilege):
-                    deps.add(entry.task_id)
-                    if entry.collapsed_ids:
-                        deps.update(entry.collapsed_ids)
+                if not privilege.interferes(entry.privilege):
+                    continue
+                if track:
+                    led.set_source(("eqset",)
+                                   + prov.domain_desc(eqset.space))
+                if not entry.collapsed_ids and oracle.covered(
+                        covered, entry.task_id):
                     if track:
-                        led.edge(
-                            entry.task_id,
-                            "summary" if entry.collapsed_ids else "eqset",
-                            prov.privilege_label(entry.privilege),
-                            prov.domain_desc(eqset.space),
-                            collapsed=entry.collapsed_ids)
+                        led.prune(entry.task_id, "transitive",
+                                  prov.domain_desc(eqset.space))
+                    continue
+                deps.add(entry.task_id)
+                covered |= oracle.reach_mask(entry.task_id)
+                if entry.collapsed_ids:
+                    deps.update(entry.collapsed_ids)
+                    for cid in entry.collapsed_ids:
+                        covered |= oracle.reach_mask(cid)
+                if track:
+                    led.edge(
+                        entry.task_id,
+                        "summary" if entry.collapsed_ids else "eqset",
+                        prov.privilege_label(entry.privilege),
+                        prov.domain_desc(eqset.space),
+                        collapsed=entry.collapsed_ids)
         if track:
             led.clear_source()
         deps.discard(INITIAL_TASK_ID)

@@ -1,0 +1,121 @@
+"""Differential harness: scan pruning preserves the transitive closure.
+
+The precedence oracle lets every visibility algorithm skip history
+entries that are already transitively ordered behind a collected
+dependence.  Unlike the geometry fast path, this *does* change the
+output — fewer direct edges, fewer intersection tests — so the contract
+is weaker than bit-identity and these tests pin exactly what survives:
+
+* the **transitive closure** of the dependence graph is identical with
+  the oracle on and off (for every task, the same ancestor set);
+* the analysis stays **sound** — every ``oracle_dependences`` pair is
+  covered by a path (``missing_pairs`` empty) on both settings;
+* the pruned graph is never *larger* (``edge_count`` on ≤ off);
+* materialized **values** are unaffected;
+
+for all five algorithms, on the plain runtime and sharded across every
+backend (``REPRO_PRECEDENCE`` propagates through the environment into
+forked workers, the same channel ``repro-cli analyze
+--precedence-oracle`` uses).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import ALGORITHMS, Runtime, oracle_dependences
+from repro.distributed import BACKENDS, ShardedRuntime
+from repro.runtime.order import ENV_DISABLE, ENV_ENABLE
+
+from tests.conftest import fig1_initial, fig1_stream, make_fig1_tree
+
+
+@pytest.fixture(autouse=True)
+def clean_precedence_env():
+    """Tests control the oracle per-runtime (or per-env); none of it may
+    leak into other tests' runtimes or forked workers."""
+    for var in (ENV_DISABLE, ENV_ENABLE):
+        os.environ.pop(var, None)
+    yield
+    for var in (ENV_DISABLE, ENV_ENABLE):
+        os.environ.pop(var, None)
+
+
+def _run_plain(algo: str, oracle_on: bool) -> Runtime:
+    tree, P, G = make_fig1_tree()
+    rt = Runtime(tree, fig1_initial(tree), algorithm=algo,
+                 precedence_oracle=oracle_on)
+    rt.replay(fig1_stream(tree, P, G, 2))
+    return rt
+
+
+def _closure(graph) -> dict[int, set[int]]:
+    return {tid: graph.ancestors_of(tid) for tid in graph.task_ids}
+
+
+class TestPlainRuntimeClosureEquality:
+    @pytest.mark.parametrize("algo", list(ALGORITHMS))
+    def test_closures_identical_and_sound(self, algo):
+        tree, P, G = make_fig1_tree()
+        want = oracle_dependences(list(fig1_stream(tree, P, G, 2)))
+
+        off = _run_plain(algo, oracle_on=False)
+        on = _run_plain(algo, oracle_on=True)
+        assert off.order is None and on.order is not None
+
+        assert _closure(off.graph) == _closure(on.graph), algo
+        assert off.graph.missing_pairs(want) == []
+        assert on.graph.missing_pairs(want) == []
+        assert on.graph.edge_count() <= off.graph.edge_count()
+
+    @pytest.mark.parametrize("algo", list(ALGORITHMS))
+    def test_values_unaffected(self, algo):
+        off = _run_plain(algo, oracle_on=False)
+        on = _run_plain(algo, oracle_on=True)
+        for field in ("up", "down"):
+            np.testing.assert_array_equal(
+                off.algorithm_for(field).read_root(),
+                on.algorithm_for(field).read_root(),
+                err_msg=f"{algo}:{field}")
+
+    @pytest.mark.parametrize("algo", list(ALGORITHMS))
+    def test_oracle_actually_pruned(self, algo):
+        """A differential over a no-op path proves nothing: the running
+        program must exercise the coverage test on every algorithm."""
+        on = _run_plain(algo, oracle_on=True)
+        assert on.order.hits + on.order.misses > 0, algo
+
+
+def _sharded_closure(algo: str, backend: str):
+    tree, P, G = make_fig1_tree()
+    stream = fig1_stream(tree, P, G, 2)
+    with ShardedRuntime(tree, fig1_initial(tree), shards=4,
+                        algorithm=algo, backend=backend) as srt:
+        reports = srt.analyze(stream)
+        graph = srt.graph
+        fingerprints = {r.fingerprint for r in reports}
+        closure = _closure(graph)
+        missing = graph.missing_pairs(oracle_dependences(list(stream)))
+        edges = graph.edge_count()
+    return fingerprints, closure, missing, edges
+
+
+class TestShardedClosureEquality:
+    @pytest.mark.parametrize("backend", list(BACKENDS))
+    @pytest.mark.parametrize("algo", list(ALGORITHMS))
+    def test_closures_identical_across_backends(self, algo, backend):
+        fp_off, closure_off, missing_off, edges_off = \
+            _sharded_closure(algo, backend)
+        assert len(fp_off) == 1, (algo, backend)
+        assert missing_off == []
+
+        # REPRO_PRECEDENCE reaches every shard's Runtime — including ones
+        # constructed inside forked/spawned worker processes
+        os.environ[ENV_ENABLE] = "1"
+        fp_on, closure_on, missing_on, edges_on = \
+            _sharded_closure(algo, backend)
+        assert len(fp_on) == 1, (algo, backend)
+        assert missing_on == []
+        assert closure_on == closure_off, (algo, backend)
+        assert edges_on <= edges_off, (algo, backend)

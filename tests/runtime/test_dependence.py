@@ -1,13 +1,15 @@
 """Tests for dependence graphs, the oracle, and schedule metrics."""
 
 import pytest
+from hypothesis import given, settings
 
 from repro import (READ, READ_WRITE, DependenceGraph, RegionRequirement,
-                   TaskStream, oracle_dependences, reduce)
+                   Runtime, TaskStream, oracle_dependences, reduce)
 from repro.analysis import profile_graph
 from repro.runtime.dependence import schedule_levels
 
-from tests.conftest import make_fig1_tree
+from tests.conftest import fig1_initial, fig1_stream, make_fig1_tree
+from tests.runtime.test_order import random_dags
 
 
 def diamond() -> DependenceGraph:
@@ -79,6 +81,77 @@ class TestDependenceGraph:
         assert p.critical_path == 3 and p.max_width == 2
         assert p.avg_parallelism == pytest.approx(4 / 3)
         assert "4 tasks" in str(p)
+
+    @given(random_dags())
+    @settings(max_examples=40)
+    def test_levels_respect_every_edge(self, edges):
+        """A task's level strictly exceeds each dependence's level, and
+        equals exactly 1 + the deepest one (longest path, not hop
+        count)."""
+        g = DependenceGraph()
+        for tid, deps in enumerate(edges):
+            g.add_task(tid, deps)
+        levels = g.levels()
+        for tid, deps in enumerate(edges):
+            for d in deps:
+                assert levels[d] < levels[tid]
+            want = 0 if not deps else 1 + max(levels[d] for d in deps)
+            assert levels[tid] == want
+
+
+class CountingLevelsGraph(DependenceGraph):
+    """Counts full longest-path passes — the unit the cache memoizes."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.computes = 0
+
+    def _compute_levels(self):
+        self.computes += 1
+        return super()._compute_levels()
+
+
+class TestLevelsCache:
+    def test_consumers_share_one_pass(self):
+        g = CountingLevelsGraph()
+        for tid, deps in enumerate([[], [0], [0], [1, 2]]):
+            g.add_task(tid, deps)
+        g.levels()
+        g.critical_path_length()
+        g.max_width()
+        schedule_levels(g)
+        assert g.computes == 1
+
+    def test_add_task_invalidates(self):
+        g = CountingLevelsGraph()
+        g.add_task(0, [])
+        assert g.levels() == {0: 0}
+        g.add_task(1, [0])
+        assert g.levels() == {0: 0, 1: 1}
+        assert g.computes == 2
+        # repeated queries after mutation still cost one pass
+        g.critical_path_length()
+        g.max_width()
+        assert g.computes == 2
+
+
+class TestTransitivePruning:
+    """The precedence oracle drops direct edges but never paths."""
+
+    def test_edge_count_shrinks_closure_does_not(self):
+        tree, P, G = make_fig1_tree()
+        stream = fig1_stream(tree, P, G, 2)
+        plain = Runtime(tree, fig1_initial(tree), algorithm="painter")
+        plain.replay(stream)
+        pruned = Runtime(tree, fig1_initial(tree), algorithm="painter",
+                         precedence_oracle=True)
+        pruned.replay(stream)
+        assert pruned.graph.edge_count() < plain.graph.edge_count()
+        want = oracle_dependences(list(stream))
+        assert pruned.graph.missing_pairs(want) == []
+        for tid in plain.graph.task_ids:
+            assert pruned.graph.ancestors_of(tid) == \
+                plain.graph.ancestors_of(tid)
 
 
 class TestOracle:

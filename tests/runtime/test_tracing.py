@@ -144,6 +144,63 @@ class TestTraceManagement:
         assert rt.meter.counters["traces_captured"] == 2
         assert "traces_replayed" not in rt.meter.counters
 
+    def test_empty_stream_capture_and_replay(self):
+        """An empty stream is a legal (degenerate) trace: arm, capture,
+        and replay all run, launch nothing, and never divide-by-zero on
+        the rebase base."""
+        tree, _, _ = make_fig1_tree()
+        rt = Runtime(tree, fig1_initial(tree))
+        empty = TaskStream()
+        assert rt.execute_trace("none", empty) == []     # arm
+        assert rt.execute_trace("none", empty) == []     # capture
+        assert rt.tracer.trace("none").relative_deps == []
+        assert rt.execute_trace("none", empty) == []     # replay
+        assert rt.execute_trace("none", empty, validate=True) == []
+        assert rt.meter.counters["traces_captured"] == 1
+        assert rt.meter.counters["traces_replayed"] == 1
+        assert rt.meter.counters["traces_validated"] == 1
+        assert len(rt.tasks) == 0
+
+    def test_shape_change_mid_loop_rearms_and_recaptures(self):
+        """A shape change mid-loop drops the stale template; returning to
+        the original shape must re-arm from scratch (the old capture is
+        gone, not resurrected)."""
+        tree, P, G = make_fig1_tree()
+        rt = Runtime(tree, fig1_initial(tree), algorithm="raycast")
+        loop = fig1_stream(tree, P, G, 1)
+        other = TaskStream()
+
+        def w(arr):
+            arr[:] = 7
+        other.append("odd", [RegionRequirement(P[0], "up", READ_WRITE)], w)
+
+        rt.execute_trace("loop", loop)    # arm A
+        rt.execute_trace("loop", loop)    # capture A
+        rt.execute_trace("loop", loop)    # replay A
+        rt.execute_trace("loop", other)   # shape B: untraced, re-arm
+        with pytest.raises(TaskError):
+            rt.tracer.trace("loop")       # stale template dropped
+        rt.execute_trace("loop", loop)    # back to shape A: untraced again
+        assert rt.meter.counters["traces_captured"] == 1
+        rt.execute_trace("loop", loop)    # recapture A
+        assert rt.meter.counters["traces_captured"] == 2
+        rt.execute_trace("loop", loop)    # replay the fresh template
+        assert rt.meter.counters["traces_replayed"] == 2
+
+    def test_validate_catches_corrupted_template(self):
+        """validate=True recomputes the analysis and must reject a
+        template whose memoized offsets no longer match."""
+        tree, P, G = make_fig1_tree()
+        rt = Runtime(tree, fig1_initial(tree), algorithm="raycast")
+        loop = fig1_stream(tree, P, G, 1)
+        rt.execute_trace("loop", loop)
+        rt.execute_trace("loop", loop)
+        trace = rt.tracer.trace("loop")
+        # corrupt one task's dependence offsets
+        trace.relative_deps[-1] = (-999,)
+        with pytest.raises(TaskError, match="failed validation"):
+            rt.execute_trace("loop", loop, validate=True)
+
     def test_unknown_trace_lookup(self):
         tree, _, _ = make_fig1_tree()
         rt = Runtime(tree, fig1_initial(tree))
