@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test check chaos lint bench bench-quick report examples \
-	introspect-smoke clean help
+	introspect-smoke service-smoke clean help
 
 help:
 	@echo "install      editable install (offline-friendly)"
@@ -15,6 +15,7 @@ help:
 	@echo "report       assemble benchmarks/results into markdown"
 	@echo "examples     run every example script"
 	@echo "introspect-smoke  census -> validate -> self-diff -> explain"
+	@echo "service-smoke  boot the analysis service, 3 tenants, chaos + verify"
 	@echo "clean        remove build/caches/results"
 
 install:
@@ -46,6 +47,15 @@ introspect-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro census-diff census.json census.json
 	PYTHONPATH=src $(PYTHON) -m repro explain 7 --app stencil --pieces 4 \
 		--iterations 2
+
+service-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/service/
+	PYTHONPATH=src $(PYTHON) -m repro serve --backend process \
+		--tenants 3 --sessions 24 --seed 2023 \
+		--max-inflight 32 --queue-limit 32 --rate 1000 --burst 64 --verify
+	PYTHONPATH=src $(PYTHON) -m repro serve --chaos 7 --fault-rate 0.1 \
+		--tenants 3 --sessions 24 --seed 2023 \
+		--max-inflight 32 --queue-limit 32 --rate 1000 --burst 64 --verify
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -154,6 +154,59 @@ def test_disabled_ledger_overhead_is_below_budget():
         f">= {PROVENANCE_BUDGET * 100:.0f}% of analysis time")
 
 
+def test_disabled_service_metrics_overhead_is_below_budget():
+    """The ``service.*`` instrument facade must be free when the service
+    layer is not in use.
+
+    Two properties gate this: (1) a run without the service never even
+    imports the asyncio front-end (the ``repro.service`` package is
+    lazy, so analysis code paths cannot accidentally pay for it); (2)
+    with no registry attached every hook is a single ``None`` test —
+    timed here and bounded against the analysis iteration the same way
+    as the tracer proof, using a generous per-session call count."""
+    import subprocess
+    import sys
+
+    # (1) plain analysis never imports the service front-end
+    probe = subprocess.run(
+        [sys.executable, "-c",
+         "import sys; import repro; from repro import Runtime; "
+         "assert 'repro.service.service' not in sys.modules, "
+         "'service front-end leaked into core import'"],
+        capture_output=True, text=True)
+    assert probe.returncode == 0, probe.stderr
+
+    # (2) disabled-hook cost x calls-per-session against iteration time
+    from repro.service.metrics import ServiceMetrics
+
+    metrics = ServiceMetrics(None)
+    assert not metrics.enabled
+    rt, app = make_runtime()
+    iter_seconds = min(timeit.repeat(
+        lambda: rt.replay(app.iteration_stream()), repeat=5, number=1))
+
+    calls = 200_000
+
+    def hooks():
+        metrics.admitted("t")
+        metrics.completed("t", 0.01)
+        metrics.rejected("t", "rate")
+        metrics.set_queue_depth("t", 1)
+        metrics.set_paused("t", False)
+        metrics.set_inflight(1)
+        metrics.set_breaker(0)
+
+    per_burst = min(timeit.repeat(hooks, repeat=5, number=calls)) / calls
+    # one session crosses far fewer than 4 such bursts
+    overhead = per_burst * 4 / iter_seconds
+    print(f"\ndisabled service metrics: 7-hook burst "
+          f"{per_burst * 1e9:.0f}ns x 4 over {iter_seconds * 1e3:.2f}ms "
+          f"-> {overhead * 100:.4f}%")
+    assert overhead < OVERHEAD_BUDGET, (
+        f"disabled service.* instruments cost {overhead * 100:.2f}% "
+        f">= {OVERHEAD_BUDGET * 100:.0f}% of analysis time")
+
+
 def test_enabled_vs_disabled_ab(benchmark):
     """For the record: the same iteration with tracing on. Not gated —
     enabled runs buy the timeline — but keeps the cost visible."""

@@ -58,15 +58,34 @@ def load_bench(path) -> dict:
     return doc
 
 
+def subset_rows(rows: Sequence[dict],
+                subsets: Optional[Sequence[str]]) -> list[dict]:
+    """Filter rows to those whose name starts with any given prefix.
+
+    ``None``/empty keeps everything.  This is what lets one committed
+    ``baseline.json`` hold rows from several benches (micro-analysis,
+    service load, ...) while each CI job gates only its own slice —
+    without the other slices showing up as spurious ``missing`` rows.
+    """
+    if not subsets:
+        return list(rows)
+    return [row for row in rows
+            if any(str(row["name"]).startswith(p) for p in subsets)]
+
+
 def compare(current: dict, baseline: dict, metric: str = "seconds",
-            warn: float = 0.10, fail: float = 2.0) -> list[GateRow]:
+            warn: float = 0.10, fail: float = 2.0,
+            subsets: Optional[Sequence[str]] = None) -> list[GateRow]:
     """Match rows by name and classify each ratio.
 
     ``warn`` is the tolerated *relative* slowdown (0.10 ⇒ warn above
-    1.10x); ``fail`` is the absolute ratio that fails the gate.
+    1.10x); ``fail`` is the absolute ratio that fails the gate;
+    ``subsets`` restricts both documents via :func:`subset_rows`.
     """
-    cur_rows = {row["name"]: row for row in current["rows"]}
-    base_rows = {row["name"]: row for row in baseline["rows"]}
+    cur_rows = {row["name"]: row
+                for row in subset_rows(current["rows"], subsets)}
+    base_rows = {row["name"]: row
+                 for row in subset_rows(baseline["rows"], subsets)}
     out: list[GateRow] = []
     for name in sorted(set(cur_rows) | set(base_rows)):
         cur = cur_rows.get(name)
@@ -121,6 +140,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="warn above 1+FRAC slowdown (default 0.10)")
     parser.add_argument("--fail", type=float, default=2.0, metavar="RATIO",
                         help="fail above RATIO slowdown (default 2.0)")
+    parser.add_argument("--subset", action="append", default=None,
+                        metavar="PREFIX",
+                        help="gate only rows whose name starts with "
+                             "PREFIX (repeatable); lets one baseline "
+                             "file serve several benches")
     args = parser.parse_args(argv)
     try:
         current = load_bench(args.current)
@@ -132,7 +156,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     rows = compare(current, baseline, metric=args.metric,
-                   warn=args.warn, fail=args.fail)
+                   warn=args.warn, fail=args.fail, subsets=args.subset)
+    if not rows:
+        print(f"error: no rows match subset(s) {args.subset}",
+              file=sys.stderr)
+        return 2
     print(render(rows, metric=args.metric))
     env = current.get("environment", {})
     base_env = baseline.get("environment", {})

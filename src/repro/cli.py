@@ -39,6 +39,13 @@ Commands
 ``census-diff``
     Structurally diff two census JSON documents; exit 1 when they
     differ.
+``serve``
+    Boot the always-on multi-tenant analysis service and drive it with
+    the seeded load generator: admission control, backpressure,
+    deadlines, circuit-breaker degradation, and (``--verify``) the
+    cold-replay fingerprint differential over every completed session.
+    ``--chaos SEED`` injects seeded worker faults while tenants are
+    live; ``--bench-out FILE`` writes a ``BENCH_service.json``.
 """
 
 from __future__ import annotations
@@ -180,6 +187,51 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="directory of result TSVs")
     rep.add_argument("--output", default=None,
                      help="write to a file instead of stdout")
+
+    srv = sub.add_parser("serve",
+                         help="boot the multi-tenant analysis service and "
+                              "drive it with the seeded load generator")
+    srv.add_argument("--backend", choices=["serial", "thread", "process"],
+                     default="process",
+                     help="backend for tenant runtime slots (default: "
+                          "process)")
+    srv.add_argument("--shards", type=int, default=2,
+                     help="shards per tenant runtime (default 2)")
+    srv.add_argument("--tenants", type=int, default=3,
+                     help="concurrent tenants in the load schedule")
+    srv.add_argument("--sessions", type=int, default=24,
+                     help="total sessions across all tenants")
+    srv.add_argument("--pieces", type=int, default=4)
+    srv.add_argument("--iterations", type=int, default=1,
+                     help="analysis iterations per session")
+    srv.add_argument("--seed", type=int, default=0,
+                     help="load-schedule seed (same seed, same schedule)")
+    srv.add_argument("--skew", type=float, default=1.0,
+                     help="zipf skew over tenant ranks (0 = uniform)")
+    srv.add_argument("--deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-session deadline budget")
+    srv.add_argument("--rate", type=float, default=50.0,
+                     help="per-tenant admission tokens per second")
+    srv.add_argument("--burst", type=float, default=16.0,
+                     help="per-tenant admission burst size")
+    srv.add_argument("--max-inflight", type=int, default=8,
+                     help="global inflight session cap")
+    srv.add_argument("--queue-limit", type=int, default=8,
+                     help="per-tenant queue bound")
+    srv.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                     help="inject seeded worker faults into the tenant "
+                          "process pools (forces the process backend)")
+    srv.add_argument("--fault-rate", type=float, default=0.05, metavar="P",
+                     help="per-request fault probability in chaos mode")
+    srv.add_argument("--verify", action="store_true",
+                     help="cold-replay every completed session and "
+                          "require bit-identical fingerprints (exit 1 "
+                          "on any mismatch)")
+    srv.add_argument("--bench-out", default=None, metavar="FILE",
+                     help="write a BENCH_service.json document to FILE")
+    srv.add_argument("--json", action="store_true", dest="as_json",
+                     help="emit the load summary as JSON")
     return parser
 
 
@@ -595,6 +647,95 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import json
+    import time
+
+    from repro.distributed.faults import FaultPlan
+    from repro.errors import MachineError
+    from repro.obs.metrics import MetricsRegistry
+    from repro.service import verify_sessions
+    from repro.service.loadgen import LoadSpec, run_load
+
+    faults = None
+    backend = args.backend
+    if args.chaos is not None:
+        faults = FaultPlan(seed=args.chaos, rate=args.fault_rate,
+                           kinds=("crash",))
+        backend = "process"
+        print(f"chaos mode: seed={args.chaos} rate={args.fault_rate} "
+              f"(process backend forced)")
+    spec = LoadSpec(seed=args.seed, tenants=args.tenants,
+                    sessions=args.sessions, pieces=args.pieces,
+                    iterations=args.iterations, skew=args.skew,
+                    deadline=args.deadline)
+    registry = MetricsRegistry()
+    t0 = time.perf_counter()
+    try:
+        results, summary = run_load(
+            spec, backend=backend, shards=args.shards, rate=args.rate,
+            burst=args.burst, max_inflight=args.max_inflight,
+            queue_limit=args.queue_limit, faults=faults, registry=registry,
+            recv_timeout=30.0 if args.chaos is not None else 10.0)
+    except MachineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    wall = time.perf_counter() - t0
+    summary["wall_seconds"] = round(wall, 6)
+
+    if args.as_json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        lat = summary["latency"]
+        print(f"served {summary['sessions']} sessions over "
+              f"{args.tenants} tenants in {wall:.2f}s "
+              f"({backend} backend, {args.shards} shards)")
+        print(f"  statuses: {summary['by_status']}")
+        print(f"  per tenant: {summary['by_tenant']}")
+        print(f"  latency: p50={lat['p50'] * 1e3:.1f}ms "
+              f"p95={lat['p95'] * 1e3:.1f}ms p99={lat['p99'] * 1e3:.1f}ms "
+              f"mean={lat['mean'] * 1e3:.1f}ms")
+        svc_block = summary.get("service", {})
+        if svc_block.get("degraded_sessions"):
+            print(f"  degraded sessions: {svc_block['degraded_sessions']} "
+                  f"(breaker state {svc_block['breaker_state']})")
+
+    if args.bench_out:
+        from repro.bench.harness import write_bench_json
+
+        lat = summary["latency"]
+        rows = [{"name": f"service_load[{q}]", "seconds": lat[q]}
+                for q in ("p50", "p95", "p99", "mean")]
+        rows.append({"name": "service_load[wall]", "seconds": wall,
+                     "sessions": spec.sessions})
+        out = write_bench_json(args.bench_out, "service_load", rows,
+                               extra={"summary": summary})
+        print(f"wrote {out}", file=sys.stderr)
+
+    if args.verify:
+        ok = [r for r in results if r.ok]
+        problems = verify_sessions(results)
+        if problems:
+            print(f"VERIFY FAILED: {len(problems)} session group(s) "
+                  "diverged from cold replay:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print(f"verify: {len(ok)} completed sessions replay "
+              "bit-identical from cold")
+
+    # non-ok sessions are structured outcomes, not failures — but chaos
+    # mode demands every session resolved one way or the other
+    unresolved = [r for r in results
+                  if r.status not in ("ok", "overloaded",
+                                      "deadline_exceeded", "error")]
+    if unresolved:
+        print(f"error: {len(unresolved)} sessions with unknown status",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -620,6 +761,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_census_diff(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -776,7 +776,7 @@ class ProcessBackend(AnalysisBackend):
             for attempt in range(self._retry.max_retries + 1):
                 self.recovery.retries += 1
                 self._kill(handle)
-                delay = self._retry.delay(attempt)
+                delay = self._retry.delay(attempt, salt=handle.worker_id)
                 if delay > 0:
                     self._clock.sleep(delay)
                 try:

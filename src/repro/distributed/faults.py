@@ -186,19 +186,44 @@ class RetryPolicy:
     ``max_delay``.  ``max_retries`` counts the *extra* attempts after
     the first, so a recovery makes at most ``max_retries + 1`` tries
     before declaring the worker permanently lost.
+
+    ``jitter`` desynchronizes simultaneous recoveries: with pure
+    exponential backoff every worker lost to the same event respawns in
+    lockstep, re-colliding on whatever resource killed them.  A nonzero
+    ``jitter`` stretches each wait by up to ``jitter`` of itself, with
+    the fraction drawn from ``SHA-256(seed, salt, attempt)`` — the same
+    ``(policy, salt)`` always sleeps the same schedule (chaos runs stay
+    reproducible), while different salts (worker ids) spread out.  The
+    default ``jitter=0.0`` preserves the exact historical schedule.
     """
 
     max_retries: int = 2
     base_delay: float = 0.05
     multiplier: float = 2.0
     max_delay: float = 2.0
+    jitter: float = 0.0
+    seed: int = 0
 
-    def delay(self, attempt: int) -> float:
-        """Backoff before recovery attempt ``attempt`` (0-based)."""
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.jitter <= 1.0:
+            raise MachineError(f"retry jitter {self.jitter} outside [0, 1]")
+
+    def delay(self, attempt: int, salt: int = 0) -> float:
+        """Backoff before recovery attempt ``attempt`` (0-based).
+
+        ``salt`` identifies the retrying party (the supervisor passes
+        the worker id) so concurrent recoveries draw independent jitter.
+        """
         if attempt <= 0:
             return 0.0
-        return min(self.base_delay * self.multiplier ** (attempt - 1),
+        base = min(self.base_delay * self.multiplier ** (attempt - 1),
                    self.max_delay)
+        if self.jitter <= 0.0:
+            return base
+        digest = hashlib.sha256(
+            f"{self.seed}:{salt}:{attempt}".encode()).digest()
+        frac = int.from_bytes(digest[:8], "little") / 2.0 ** 64
+        return base * (1.0 + self.jitter * frac)
 
 
 class SystemClock:

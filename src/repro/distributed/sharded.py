@@ -142,15 +142,11 @@ class ShardedRuntime:
             else dcr_sharding(shards)
         self.verify_replicas = verify_replicas and replicate_analysis
         self.profile = profile if profile is not None else PhaseProfile()
-        replicas = shards if replicate_analysis else 1
-        self._backend = make_backend(backend, tree, initial, algorithm,
-                                     replicas, max_workers=max_workers,
-                                     faults=faults,
-                                     recv_timeout=recv_timeout,
-                                     heartbeat=heartbeat, retry=retry,
-                                     checkpoint_interval=checkpoint_interval,
-                                     clock=clock)
         root_size = tree.root.space.size
+        # Validate the initial values *before* building the backend: a
+        # process backend spawns worker children as a side effect, and a
+        # constructor that raises after spawning leaks orphans (there is
+        # no runtime object for the caller to close).
         # shard-local memory: values[s] is shard s's copy of each field
         self._values: dict[str, np.ndarray] = {}
         # owner[k] = shard that last produced element k of the field
@@ -163,6 +159,14 @@ class ShardedRuntime:
                     f"expected ({root_size},)")
             self._values[name] = np.tile(base.copy(), (shards, 1))
             self._owners[name] = np.zeros(root_size, dtype=np.int64)
+        replicas = shards if replicate_analysis else 1
+        self._backend = make_backend(backend, tree, initial, algorithm,
+                                     replicas, max_workers=max_workers,
+                                     faults=faults,
+                                     recv_timeout=recv_timeout,
+                                     heartbeat=heartbeat, retry=retry,
+                                     checkpoint_interval=checkpoint_interval,
+                                     clock=clock)
         self.log = MessageLog()
         self._executed = 0
 

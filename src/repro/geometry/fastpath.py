@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 from contextlib import contextmanager
 from typing import Iterator, Optional, Sequence
 
@@ -64,6 +65,14 @@ from repro.geometry.index_space import IndexSpace
 ENV_DISABLE = "REPRO_NO_GEOM_CACHE"
 
 _MISS = object()  # sentinel: cached False must be distinguishable
+
+#: Globally unique generation tags.  Per-instance memos on IndexSpace
+#: objects (``space._uid``) are tagged with the assigning cache's
+#: generation; drawing generations from one process-wide counter means a
+#: memo written by one cache instance can never be mistaken for an
+#: assignment by another (tenant caches in the analysis service coexist
+#: with the process-wide cache over the same interned spaces).
+_GENERATIONS = iter(range(1 << 62)).__next__
 
 
 def _env_enabled() -> bool:
@@ -87,7 +96,7 @@ class GeometryCache:
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._generation = 0
+        self._generation = _GENERATIONS()
         self._next_uid = 0
         self._init_state(enabled)
 
@@ -223,7 +232,7 @@ class GeometryCache:
         state must be rebuilt, not leaked.  Re-reads ``REPRO_NO_GEOM_CACHE``
         unless ``enabled`` is given explicitly.
         """
-        self._generation += 1
+        self._generation = _GENERATIONS()
         self._init_state(enabled)
 
     # ------------------------------------------------------------------
@@ -275,6 +284,75 @@ class GeometryCache:
 # ----------------------------------------------------------------------
 _CACHE = GeometryCache()
 _ixmod._op_cache = _CACHE  # IndexSpace operators dispatch through this
+
+# Per-thread cache overrides (tenant isolation for the analysis service).
+# Routing is *engaged* only while at least one override is installed:
+# the default state keeps IndexSpace dispatching straight at the global
+# cache, so non-service runs pay nothing for this seam.
+_TLS = threading.local()
+_ROUTING_LOCK = threading.Lock()
+_ROUTING = 0  # live override count; > 0 => router installed
+
+
+class _CacheRouter:
+    """Dispatch target installed while tenant overrides exist: routes
+    each operator call to the calling thread's override cache, falling
+    back to the process-wide cache for threads without one."""
+
+    __slots__ = ()
+
+    def intersection(self, a, b):
+        return active_geometry_cache().intersection(a, b)
+
+    def difference(self, a, b):
+        return active_geometry_cache().difference(a, b)
+
+    def union(self, a, b):
+        return active_geometry_cache().union(a, b)
+
+    def overlaps(self, a, b):
+        return active_geometry_cache().overlaps(a, b)
+
+
+_ROUTER = _CacheRouter()
+
+
+def active_geometry_cache() -> GeometryCache:
+    """The cache serving the calling thread: its installed override
+    when routing is engaged, else the process-wide instance."""
+    if _ROUTING:
+        override = getattr(_TLS, "cache", None)
+        if override is not None:
+            return override
+    return _CACHE
+
+
+@contextmanager
+def tenant_geometry_cache(cache: GeometryCache) -> Iterator[GeometryCache]:
+    """Serve every geometry operation on the calling thread from
+    ``cache`` for the duration of the block.
+
+    The analysis service wraps each tenant session's driver-side
+    analysis in this scope so one tenant's churn can never evict
+    another's cached results (worker processes are already isolated:
+    each tenant's backend owns its workers, and each worker resets its
+    process-wide cache on spawn via :func:`reset_geometry_cache`).
+    Overrides nest; restoring the outer value on exit.
+    """
+    global _ROUTING
+    previous = getattr(_TLS, "cache", None)
+    _TLS.cache = cache
+    with _ROUTING_LOCK:
+        _ROUTING += 1
+        _ixmod._op_cache = _ROUTER
+    try:
+        yield cache
+    finally:
+        _TLS.cache = previous
+        with _ROUTING_LOCK:
+            _ROUTING -= 1
+            if _ROUTING == 0:
+                _ixmod._op_cache = _CACHE
 
 
 def geometry_cache() -> GeometryCache:
@@ -342,7 +420,8 @@ def batch_overlaps(query: IndexSpace,
     if live.size == 0:
         return out
 
-    cache = _CACHE if _CACHE.enabled else None
+    cache = active_geometry_cache()
+    cache = cache if cache.enabled else None
     unresolved: list[tuple[int, Optional[tuple[int, int]]]] = []
     if cache is not None:
         uq = cache.uid_of(query)

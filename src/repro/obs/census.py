@@ -50,6 +50,11 @@ CENSUS_SCHEMA = {
     # optional block, present only when the runtime carries a precedence
     # oracle (see repro.runtime.order); published as order.* gauges
     "order": ("labels", "queries", "comparisons", "hits", "misses"),
+    # optional block, attached when the census is taken under the
+    # analysis service (repro.service); published as service.* gauges
+    "service": ("tenants", "sessions", "admitted", "rejected",
+                "completed", "expired", "errors", "degraded_sessions",
+                "breaker_state"),
 }
 
 
@@ -101,12 +106,15 @@ def _field_census(algo) -> dict:
     return stats
 
 
-def census(runtime, registry=None, **labels) -> dict:
+def census(runtime, registry=None, service=None, **labels) -> dict:
     """One censused snapshot of ``runtime``'s analysis state.
 
     Pure observation: walks live structures and copies meter counters.
     When ``registry`` is given the document is also published as
-    ``census.*`` gauges (``labels`` become metric labels).
+    ``census.*`` gauges (``labels`` become metric labels).  ``service``
+    attaches an :meth:`AnalysisService.census_block
+    <repro.service.service.AnalysisService.census_block>` as the
+    optional ``service`` block.
     """
     meter = {k: int(v) for k, v in sorted(runtime.meter.snapshot().items())}
     coalesced = meter.get("eqsets_coalesced", 0)
@@ -134,6 +142,8 @@ def census(runtime, registry=None, **labels) -> dict:
     order = getattr(runtime, "order", None)
     if order is not None:
         doc["order"] = order.stats()
+    if service is not None:
+        doc["service"] = dict(service)
     if registry is not None:
         publish_census(doc, registry, **labels)
     return doc
@@ -186,16 +196,18 @@ def validate_census(doc: dict) -> None:
     for req in CENSUS_SCHEMA["derived"]:
         if req not in doc["derived"]:
             raise ValueError(f"census derived block missing {req!r}")
-    if "order" in doc:
-        if not isinstance(doc["order"], dict):
-            raise ValueError("census order block must be a dict")
-        for req in CENSUS_SCHEMA["order"]:
-            if req not in doc["order"]:
-                raise ValueError(f"census order block missing {req!r}")
-            if not isinstance(doc["order"][req], int):
+    for block in ("order", "service"):
+        if block not in doc:
+            continue
+        if not isinstance(doc[block], dict):
+            raise ValueError(f"census {block} block must be a dict")
+        for req in CENSUS_SCHEMA[block]:
+            if req not in doc[block]:
+                raise ValueError(f"census {block} block missing {req!r}")
+            if not isinstance(doc[block][req], int):
                 raise ValueError(
-                    f"census order counter {req!r} must be an int, "
-                    f"got {type(doc['order'][req]).__name__}")
+                    f"census {block} counter {req!r} must be an int, "
+                    f"got {type(doc[block][req]).__name__}")
 
 
 def _flatten(prefix: str, value, out: dict) -> None:
@@ -233,8 +245,9 @@ def publish_census(doc: dict, registry, **labels) -> None:
     flat: dict = {}
     numeric = {"fields": doc["fields"], "derived": doc["derived"],
                "tasks": doc["tasks"], "edges": doc["edges"]}
-    if "order" in doc:
-        numeric["order"] = doc["order"]
+    for block in ("order", "service"):
+        if block in doc:
+            numeric[block] = doc[block]
     _flatten("", numeric, flat)
     for path, value in flat.items():
         if isinstance(value, bool) or not isinstance(value, (int, float)):
@@ -289,4 +302,12 @@ def render_census(doc: dict) -> str:
             f"  precedence oracle: {order['labels']} labels, "
             f"{order['hits']} hits / {order['misses']} misses "
             f"({order['queries']} queries)")
+    if "service" in doc:
+        svc = doc["service"]
+        lines.append(
+            f"  service: {svc['tenants']} tenants, "
+            f"{svc['sessions']} sessions ({svc['completed']} ok, "
+            f"{svc['rejected']} rejected, {svc['expired']} expired, "
+            f"{svc['errors']} errors, {svc['degraded_sessions']} "
+            f"degraded), breaker state {svc['breaker_state']}")
     return "\n".join(lines)

@@ -154,6 +154,13 @@ class Histogram(Metric):
                 return bound
         return self.bounds[-1]
 
+    def quantile_summary(self,
+                         qs: Sequence[float] = (0.5, 0.95, 0.99)) -> dict:
+        """``{"p50": bound, "p95": bound, ...}`` for the given quantiles
+        (bucket upper bounds; the latency summary the service publishes)."""
+        return {f"p{round(q * 100) if q < 1 else 100}":
+                self.quantile_bound(q) for q in qs}
+
     def render(self, width: int = 40) -> str:
         """ASCII bar chart of the bucket distribution."""
         if self.count == 0:

@@ -121,6 +121,10 @@ class AccessRecord:
     domain: tuple
     phase: str = "materialize"
     shard: int = DRIVER_SHARD
+    #: Tenant attribution (analysis-service sessions); "" outside the
+    #: service.  Set from the ledger's thread-local scope at open time,
+    #: or stamped onto shipped worker fragments at absorb time.
+    tenant: str = ""
     edges: list = field(default_factory=list)
     pruned: list = field(default_factory=list)
     visited: dict = field(default_factory=dict)
@@ -150,27 +154,40 @@ _NOOP_SCOPE = _NoopScope()
 
 
 class _ShardScope:
-    """Context manager installing a thread-local shard attribution."""
+    """Context manager installing thread-local shard and/or tenant
+    attribution.  ``None`` leaves the respective field untouched, so a
+    replica's ``scope(shard=...)`` nested inside a service session's
+    ``scope(tenant=...)`` preserves the tenant tag."""
 
-    __slots__ = ("_ledger", "_shard", "_prev")
+    __slots__ = ("_ledger", "_shard", "_tenant", "_prev_shard",
+                 "_prev_tenant")
 
-    def __init__(self, ledger: "ProvenanceLedger", shard: int) -> None:
+    def __init__(self, ledger: "ProvenanceLedger", shard: Optional[int],
+                 tenant: Optional[str]) -> None:
         self._ledger = ledger
         self._shard = shard
-        self._prev = None
+        self._tenant = tenant
+        self._prev_shard = None
+        self._prev_tenant = None
 
     def __enter__(self):
         local = self._ledger._local
-        self._prev = getattr(local, "shard", None)
-        local.shard = self._shard
+        if self._shard is not None:
+            self._prev_shard = getattr(local, "shard", None)
+            local.shard = self._shard
+        if self._tenant is not None:
+            self._prev_tenant = getattr(local, "tenant", None)
+            local.tenant = self._tenant
         return self
 
     def __exit__(self, *exc):
         local = self._ledger._local
-        if self._prev is None:
-            local.shard = DRIVER_SHARD
-        else:
-            local.shard = self._prev
+        if self._shard is not None:
+            local.shard = (DRIVER_SHARD if self._prev_shard is None
+                           else self._prev_shard)
+        if self._tenant is not None:
+            local.tenant = ("" if self._prev_tenant is None
+                            else self._prev_tenant)
         return False
 
 
@@ -199,7 +216,8 @@ class ProvenanceLedger:
             privilege=privilege_label(privilege),
             domain=domain_desc(space),
             phase=phase,
-            shard=getattr(self._local, "shard", DRIVER_SHARD))
+            shard=getattr(self._local, "shard", DRIVER_SHARD),
+            tenant=getattr(self._local, "tenant", ""))
 
     def end_access(self, keep_empty: bool = True) -> None:
         """Close and store the calling thread's open record.  With
@@ -249,12 +267,14 @@ class ProvenanceLedger:
         rec.visited[kind] = rec.visited.get(kind, 0) + int(n)
 
     # -- shard attribution & shipping ----------------------------------
-    def scope(self, shard: int):
+    def scope(self, shard: Optional[int] = None,
+              tenant: Optional[str] = None):
         """Attribute records opened inside the ``with`` block to
-        ``shard``.  Returns a shared no-op when disabled."""
+        ``shard`` and/or ``tenant`` (``None`` leaves a field as-is, so
+        the scopes nest).  Returns a shared no-op when disabled."""
         if not self.enabled:
             return _NOOP_SCOPE
-        return _ShardScope(self, shard)
+        return _ShardScope(self, shard, tenant)
 
     def drain(self) -> list:
         """Remove and return every stored record (worker-side shipping)."""
@@ -263,10 +283,20 @@ class ProvenanceLedger:
         return records
 
     def absorb(self, records: Iterable[AccessRecord]) -> None:
-        """Fold shipped records (already shard-tagged) into this ledger."""
+        """Fold shipped records (already shard-tagged) into this ledger.
+
+        Worker processes know their shard but not their tenant; the
+        absorb happens on the driver thread running the session, so the
+        thread-local tenant attribution (if any) is stamped onto
+        fragments that arrive untagged."""
         records = list(records)
         if not records:
             return
+        tenant = getattr(self._local, "tenant", "")
+        if tenant:
+            for rec in records:
+                if not rec.tenant:
+                    rec.tenant = tenant
         with self._lock:
             self._records.extend(records)
 
@@ -285,18 +315,28 @@ class ProvenanceLedger:
 
     def records_for(self, task_id: int,
                     phase: Optional[str] = None,
-                    shard: Optional[int] = None) -> list:
+                    shard: Optional[int] = None,
+                    tenant: Optional[str] = None) -> list:
         """Records for one task, in recording order."""
         return [r for r in self.snapshot()
                 if r.task_id == task_id
                 and (phase is None or r.phase == phase)
-                and (shard is None or r.shard == shard)]
+                and (shard is None or r.shard == shard)
+                and (tenant is None or r.tenant == tenant)]
 
     def by_shard(self) -> dict:
         """``{shard: record count}`` over everything stored."""
         out: dict[int, int] = {}
         for rec in self.snapshot():
             out[rec.shard] = out.get(rec.shard, 0) + 1
+        return out
+
+    def by_tenant(self) -> dict:
+        """``{tenant: record count}`` over everything stored ("" is
+        everything recorded outside a service session)."""
+        out: dict[str, int] = {}
+        for rec in self.snapshot():
+            out[rec.tenant] = out.get(rec.tenant, 0) + 1
         return out
 
 

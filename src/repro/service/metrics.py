@@ -1,0 +1,116 @@
+"""The ``service.*`` instrument surface.
+
+One thin facade over :class:`repro.obs.metrics.MetricsRegistry` so the
+service code reads as intent (``metrics.rejected(tenant, reason)``)
+rather than registry plumbing, and so the *disabled* path — no registry
+attached — is a single ``None`` test per hook.  The overhead proof in
+``benchmarks/test_obs_overhead.py`` pins that property: a service-less
+run pays nothing for these instruments existing.
+
+Instruments:
+
+* counters ``service.admitted`` / ``service.rejected`` (labelled by
+  rejection reason) / ``service.completed`` / ``service.expired`` /
+  ``service.errors`` / ``service.degraded_sessions``, per tenant;
+* gauges ``service.queue_depth{tenant}``, ``service.paused{tenant}``,
+  ``service.inflight``, ``service.tenants``, ``service.breaker``
+  (0=closed, 1=half-open, 2=open);
+* histogram ``service.latency_seconds`` (global) with p50/p95/p99
+  summary via :meth:`~repro.obs.metrics.Histogram.quantile_summary`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Latency buckets (seconds): service sessions run milliseconds to tens
+#: of seconds; finer-grained at the low end than the analysis default.
+LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+                   0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
+
+
+class ServiceMetrics:
+    """Publishes service control-plane state; no-op without a registry."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry is not None
+
+    # -- admission ------------------------------------------------------
+    def admitted(self, tenant: str) -> None:
+        if self.registry is None:
+            return
+        self.registry.counter("service.admitted", tenant=tenant).inc()
+
+    def rejected(self, tenant: str, reason: str) -> None:
+        if self.registry is None:
+            return
+        self.registry.counter("service.rejected", tenant=tenant,
+                              reason=reason).inc()
+
+    # -- completion -----------------------------------------------------
+    def completed(self, tenant: str, seconds: float) -> None:
+        if self.registry is None:
+            return
+        self.registry.counter("service.completed", tenant=tenant).inc()
+        self.registry.histogram("service.latency_seconds",
+                                buckets=LATENCY_BUCKETS).observe(seconds)
+
+    def expired(self, tenant: str) -> None:
+        if self.registry is None:
+            return
+        self.registry.counter("service.expired", tenant=tenant).inc()
+
+    def errored(self, tenant: str) -> None:
+        if self.registry is None:
+            return
+        self.registry.counter("service.errors", tenant=tenant).inc()
+
+    def degraded(self, tenant: str) -> None:
+        if self.registry is None:
+            return
+        self.registry.counter("service.degraded_sessions",
+                              tenant=tenant).inc()
+
+    # -- gauges ---------------------------------------------------------
+    def set_queue_depth(self, tenant: str, depth: int) -> None:
+        if self.registry is None:
+            return
+        self.registry.gauge("service.queue_depth", tenant=tenant).set(depth)
+
+    def set_paused(self, tenant: str, paused: bool) -> None:
+        if self.registry is None:
+            return
+        self.registry.gauge("service.paused", tenant=tenant).set(
+            1 if paused else 0)
+
+    def set_inflight(self, n: int) -> None:
+        if self.registry is None:
+            return
+        self.registry.gauge("service.inflight").set(n)
+
+    def set_tenants(self, n: int) -> None:
+        if self.registry is None:
+            return
+        self.registry.gauge("service.tenants").set(n)
+
+    def set_breaker(self, code: int) -> None:
+        if self.registry is None:
+            return
+        self.registry.gauge("service.breaker").set(code)
+
+    # -- summaries ------------------------------------------------------
+    def latency_quantiles(self) -> dict:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` bucket bounds in
+        seconds (zeros when disabled or empty)."""
+        if self.registry is None:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        hist = self.registry.find("service.latency_seconds")
+        if hist is None:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return hist.quantile_summary()

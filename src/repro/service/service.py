@@ -1,0 +1,609 @@
+"""The always-on multi-tenant analysis service.
+
+:class:`AnalysisService` is a long-lived asyncio front-end over the
+repository's replicated analysis: many tenants submit
+:class:`~repro.service.session.SessionRequest` jobs concurrently, and
+each tenant's jobs run *in order* on a persistent per-tenant
+:class:`~repro.distributed.sharded.ShardedRuntime` slot (analysis state
+must evolve sequentially per tenant), while different tenants run in
+parallel on an executor-thread pool.
+
+Robustness is structural, not incidental:
+
+* **Admission control** — a per-tenant :class:`TokenBucket` plus a
+  global inflight cap; a request that would exceed either resolves
+  immediately to a structured ``overloaded`` result instead of joining
+  an unbounded queue.
+* **Backpressure** — per-tenant queues are bounded, with
+  :class:`WatermarkGate` hysteresis pausing intake at the high-water
+  mark; queue depth and paused state are live ``service.*`` gauges.
+* **Deadlines** — every session carries a :class:`DeadlineBudget`
+  started at admission; expiry (queued or mid-analysis) cancels the
+  work, ledgers the cancellation, and poisons the slot so the next
+  session starts on verified-clean state.
+* **Graceful degradation** — a :class:`CircuitBreaker` guards the
+  process backend: repeated infrastructure failures (worker loss,
+  timeouts) shed it, new slots fall back to serial in-process analysis
+  (``degraded=True`` results), and a half-open probe restores the
+  process backend automatically.
+* **Tenant isolation** — each tenant owns its geometry cache
+  (:func:`~repro.geometry.fastpath.tenant_geometry_cache`) and its
+  provenance records are tenant-tagged
+  (:meth:`~repro.obs.provenance.ProvenanceLedger.scope`); worker
+  processes are per-tenant by construction (each slot owns its
+  backend).
+
+Correctness bar: :func:`verify_sessions` cold-replays every completed
+session's stream on a fresh single-tenant runtime and demands
+bit-identical analysis fingerprints — the visibility-reasoning
+obligation that concurrent tenants observe results *as if* their stream
+ran alone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.distributed.faults import FaultPlan, SystemClock
+from repro.distributed.sharded import ShardedRuntime
+from repro.errors import MachineError
+from repro.geometry.fastpath import GeometryCache, tenant_geometry_cache
+from repro.obs import provenance as prov
+from repro.runtime.task import TaskStream
+from repro.service.admission import DeadlineBudget, TokenBucket, WatermarkGate
+from repro.service.breaker import HALF_OPEN, STATE_CODES, CircuitBreaker
+from repro.service.errors import (DEADLINE_EXCEEDED, ERROR, OK, OVERLOADED,
+                                  REJECT_BACKPRESSURE, REJECT_CAPACITY,
+                                  REJECT_RATE, ServiceLedger)
+from repro.service.metrics import ServiceMetrics
+from repro.service.session import SessionRequest, SessionResult
+
+
+def make_app(name: str, pieces: int):
+    from repro.apps import APPS
+
+    if name not in APPS:
+        raise MachineError(f"unknown app {name!r}; known: {sorted(APPS)}")
+    return APPS[name](pieces=pieces)
+
+
+def session_stream(app, iterations: int, include_init: bool) -> TaskStream:
+    """The deterministic task stream of one session: the app's init
+    stream (first session on a fresh slot only) plus ``iterations``
+    steady iterations."""
+    stream = TaskStream()
+    if include_init:
+        stream.extend_from(app.init_stream())
+    for _ in range(iterations):
+        stream.extend_from(app.iteration_stream())
+    return stream
+
+
+@dataclass
+class _Slot:
+    """One persistent per-tenant runtime (lazy-built, poisoned on any
+    non-ok session so slot state always equals its ordered ok
+    sessions)."""
+
+    key: tuple
+    app: object
+    runtime: Optional[ShardedRuntime]
+    backend: str
+    epoch: int
+    windows: int = 0    #: ok sessions analyzed on this slot so far
+    probe: bool = False  #: this slot is the breaker's half-open probe
+
+
+@dataclass
+class _Tenant:
+    name: str
+    bucket: TokenBucket
+    gate: WatermarkGate
+    cache: GeometryCache = field(default_factory=GeometryCache)
+    queue: deque = field(default_factory=deque)
+    slots: dict = field(default_factory=dict)
+    epochs: dict = field(default_factory=dict)
+    wake: Optional[asyncio.Event] = None
+    worker: Optional[asyncio.Task] = None
+
+
+class _Pending:
+    __slots__ = ("request", "session", "budget", "future", "abandoned")
+
+    def __init__(self, request: SessionRequest, session: int,
+                 budget: DeadlineBudget, future: asyncio.Future) -> None:
+        self.request = request
+        self.session = session
+        self.budget = budget
+        self.future = future
+        #: Set when a deadline fired while the executor thread was still
+        #: analyzing: the thread owns runtime teardown on its way out.
+        self.abandoned = threading.Event()
+
+
+class AnalysisService:
+    """See module docstring.  Use as an async context manager::
+
+        async with AnalysisService() as svc:
+            result = await svc.submit(SessionRequest(tenant="a"))
+    """
+
+    def __init__(self, *,
+                 backend: str = "process",
+                 shards: int = 2,
+                 max_inflight: int = 8,
+                 queue_limit: int = 8,
+                 high_water: Optional[int] = None,
+                 low_water: Optional[int] = None,
+                 rate: float = 50.0,
+                 burst: float = 16.0,
+                 breaker_threshold: int = 3,
+                 breaker_reset: float = 5.0,
+                 default_deadline: Optional[float] = None,
+                 registry=None,
+                 clock=None,
+                 faults: Optional[FaultPlan] = None,
+                 recv_timeout: float = 10.0,
+                 checkpoint_interval: int = 2,
+                 max_threads: int = 4,
+                 analyze_fn: Optional[Callable] = None) -> None:
+        if backend not in ("serial", "thread", "process"):
+            raise MachineError(f"unknown service backend {backend!r}")
+        if max_inflight < 1 or queue_limit < 1:
+            raise MachineError("max_inflight and queue_limit must be >= 1")
+        self.backend = backend
+        self.shards = shards
+        self.max_inflight = max_inflight
+        self.queue_limit = queue_limit
+        self.high_water = high_water if high_water is not None \
+            else max(1, (queue_limit * 3) // 4)
+        self.low_water = low_water if low_water is not None \
+            else max(0, self.high_water // 2)
+        self.rate = rate
+        self.burst = burst
+        self.default_deadline = default_deadline
+        self.faults = faults
+        self.recv_timeout = recv_timeout
+        self.checkpoint_interval = checkpoint_interval
+        self._clock = clock if clock is not None else SystemClock()
+        self._real_time = isinstance(self._clock, SystemClock)
+        self.metrics = ServiceMetrics(registry)
+        self.ledger = ServiceLedger()
+        self.breaker = CircuitBreaker(
+            failure_threshold=breaker_threshold,
+            reset_timeout=breaker_reset, clock=self._clock,
+            on_transition=self._on_breaker)
+        self._analyze_fn = analyze_fn
+        self._tenants: dict[str, _Tenant] = {}
+        self._inflight = 0
+        self._next_session = 0
+        self._running = False
+        self._stopping = False
+        self._max_threads = max_threads
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self.counts = {"sessions": 0, "admitted": 0, "rejected": 0,
+                       "completed": 0, "expired": 0, "errors": 0,
+                       "degraded_sessions": 0}
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> "AnalysisService":
+        if self._running:
+            return self
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._max_threads,
+            thread_name_prefix="service-session")
+        self._running = True
+        self._stopping = False
+        self.metrics.set_breaker(STATE_CODES[self.breaker.state])
+        return self
+
+    async def stop(self) -> None:
+        if not self._running:
+            return
+        self._stopping = True
+        workers = []
+        for tenant in self._tenants.values():
+            if tenant.wake is not None:
+                tenant.wake.set()
+            if tenant.worker is not None:
+                workers.append(tenant.worker)
+        if workers:
+            await asyncio.gather(*workers, return_exceptions=True)
+        # close every surviving slot (spawned workers must not outlive
+        # the service)
+        loop = asyncio.get_running_loop()
+        closers = []
+        for tenant in self._tenants.values():
+            for slot in tenant.slots.values():
+                if slot.runtime is not None:
+                    closers.append(loop.run_in_executor(
+                        self._executor, slot.runtime.close))
+            tenant.slots.clear()
+        if closers:
+            await asyncio.gather(*closers, return_exceptions=True)
+        self._executor.shutdown(wait=True)
+        self._executor = None
+        self._running = False
+
+    async def __aenter__(self) -> "AnalysisService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- admission ------------------------------------------------------
+    async def submit(self, request: SessionRequest) -> SessionResult:
+        """Admit, queue, run; resolves to the session's terminal result.
+
+        Never raises for load/deadline/infrastructure conditions — those
+        become structured statuses on the result.
+        """
+        if not self._running or self._stopping:
+            raise MachineError("service is not running")
+        tenant = self._tenant(request.tenant)
+        session = self._next_session
+        self._next_session += 1
+        self.counts["sessions"] += 1
+        if not tenant.bucket.try_acquire():
+            return self._reject(request, session, REJECT_RATE)
+        if self._inflight >= self.max_inflight:
+            return self._reject(request, session, REJECT_CAPACITY)
+        if tenant.gate.paused or len(tenant.queue) >= self.queue_limit:
+            return self._reject(request, session, REJECT_BACKPRESSURE)
+        self.counts["admitted"] += 1
+        self.metrics.admitted(request.tenant)
+        deadline = request.deadline if request.deadline is not None \
+            else self.default_deadline
+        pending = _Pending(request, session,
+                           DeadlineBudget(deadline, self._clock),
+                           asyncio.get_running_loop().create_future())
+        self._inflight += 1
+        self.metrics.set_inflight(self._inflight)
+        tenant.queue.append(pending)
+        paused = tenant.gate.update(len(tenant.queue))
+        self.metrics.set_queue_depth(tenant.name, len(tenant.queue))
+        self.metrics.set_paused(tenant.name, paused)
+        tenant.wake.set()
+        return await pending.future
+
+    def _reject(self, request: SessionRequest, session: int,
+                reason: str) -> SessionResult:
+        self.counts["rejected"] += 1
+        self.metrics.rejected(request.tenant, reason)
+        self.ledger.record("rejected", request.tenant, session, reason,
+                           at=self._clock.monotonic())
+        return SessionResult(request=request, session=session,
+                             status=OVERLOADED, reason=reason)
+
+    def _tenant(self, name: str) -> _Tenant:
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            tenant = _Tenant(
+                name=name,
+                bucket=TokenBucket(self.rate, self.burst, self._clock),
+                gate=WatermarkGate(self.high_water, self.low_water))
+            tenant.wake = asyncio.Event()
+            tenant.worker = asyncio.get_running_loop().create_task(
+                self._drain(tenant))
+            self._tenants[name] = tenant
+            self.metrics.set_tenants(len(self._tenants))
+        return tenant
+
+    # -- per-tenant serial drain ----------------------------------------
+    async def _drain(self, tenant: _Tenant) -> None:
+        while True:
+            while not tenant.queue:
+                if self._stopping:
+                    return
+                tenant.wake.clear()
+                await tenant.wake.wait()
+            pending = tenant.queue.popleft()
+            paused = tenant.gate.update(len(tenant.queue))
+            self.metrics.set_queue_depth(tenant.name, len(tenant.queue))
+            self.metrics.set_paused(tenant.name, paused)
+            if self._stopping:
+                result = SessionResult(
+                    request=pending.request, session=pending.session,
+                    status=ERROR, error="service stopped")
+                self.counts["errors"] += 1
+            else:
+                result = await self._run(tenant, pending)
+            self._resolve(pending, result)
+
+    def _resolve(self, pending: _Pending, result: SessionResult) -> None:
+        self._inflight -= 1
+        self.metrics.set_inflight(self._inflight)
+        if not pending.future.done():
+            pending.future.set_result(result)
+
+    # -- session execution ----------------------------------------------
+    async def _run(self, tenant: _Tenant,
+                   pending: _Pending) -> SessionResult:
+        request = pending.request
+        if pending.budget.expired():
+            return self._expire(tenant, pending, "expired in queue",
+                                slot=None)
+        slot = tenant.slots.get(request.slot_key)
+        fresh = slot is None
+        if not fresh and slot.backend != self.backend \
+                and self.backend == "process":
+            # degraded slot while the breaker would allow the process
+            # backend again: retire it and rebuild (automatic recovery;
+            # the rebuild is the half-open probe when one is pending)
+            backend, probe = self._choose_backend()
+            if backend == "process":
+                tenant.slots.pop(slot.key, None)
+                if slot.runtime is not None and self._executor is not None:
+                    self._executor.submit(slot.runtime.close)
+                self.ledger.record("slot_retired", tenant.name,
+                                   pending.session, "recovering from "
+                                   f"{slot.backend} to process",
+                                   at=self._clock.monotonic())
+                slot = None
+                fresh = True
+                try:
+                    slot = await self._build_slot(tenant, request,
+                                                  backend, probe)
+                except Exception as exc:  # noqa: BLE001
+                    return self._fail(tenant, pending, None, exc)
+        if fresh and slot is None:
+            backend, probe = self._choose_backend()
+            try:
+                slot = await self._build_slot(tenant, request, backend,
+                                              probe)
+            except Exception as exc:  # noqa: BLE001 - structured surface
+                return self._fail(tenant, pending, None, exc)
+        start = self._clock.monotonic()
+        try:
+            fingerprint = await self._analyze(tenant, slot, pending)
+        except asyncio.TimeoutError:
+            # the executor thread is still analyzing; hand it runtime
+            # teardown (it checks this flag on the way out)
+            pending.abandoned.set()
+            return self._expire(tenant, pending, "cancelled mid-analysis",
+                                slot=slot)
+        except Exception as exc:  # noqa: BLE001 - structured surface
+            return self._fail(tenant, pending, slot, exc)
+        seconds = self._clock.monotonic() - start
+        if pending.budget.expired():
+            # completed, but past the promise — still a deadline miss
+            return self._expire(tenant, pending, "finished past deadline",
+                                slot=slot)
+        slot.windows += 1
+        if slot.backend == "process":
+            self.breaker.record_success()
+            slot.probe = False
+        degraded = self.backend == "process" and slot.backend != "process"
+        if degraded:
+            self.counts["degraded_sessions"] += 1
+            self.metrics.degraded(tenant.name)
+            self.ledger.record("degraded", tenant.name, pending.session,
+                               f"served on {slot.backend} backend",
+                               at=self._clock.monotonic())
+        self.counts["completed"] += 1
+        self.metrics.completed(tenant.name, seconds)
+        return SessionResult(
+            request=request, session=pending.session, status=OK,
+            fingerprint=fingerprint, backend=slot.backend,
+            epoch=slot.epoch, fresh=fresh, degraded=degraded,
+            seconds=seconds)
+
+    def _choose_backend(self) -> tuple:
+        """Consult the breaker for the backend of the next slot build.
+
+        Returns ``(backend, probe)``; consuming the half-open probe when
+        one is available, falling back to serial when the breaker is
+        open (or the probe is already taken)."""
+        if self.backend != "process":
+            return self.backend, False
+        state = self.breaker.state
+        if self.breaker.allow():
+            return "process", state == HALF_OPEN
+        return "serial", False
+
+    async def _build_slot(self, tenant: _Tenant, request: SessionRequest,
+                          backend: str, probe: bool) -> _Slot:
+        epoch = tenant.epochs.get(request.slot_key, -1) + 1
+        tenant.epochs[request.slot_key] = epoch
+        if self._analyze_fn is not None:
+            slot = _Slot(key=request.slot_key, app=None, runtime=None,
+                         backend=backend, epoch=epoch, probe=probe)
+            tenant.slots[request.slot_key] = slot
+            return slot
+
+        def build() -> _Slot:
+            # app/tree/runtime construction does geometry work too: keep
+            # it on the tenant's cache, never the process-global one
+            with tenant_geometry_cache(tenant.cache):
+                app = make_app(request.app, request.pieces)
+                runtime = ShardedRuntime(
+                    app.tree, app.initial, shards=self.shards,
+                    algorithm=request.algorithm, backend=backend,
+                    faults=self.faults if backend == "process" else None,
+                    recv_timeout=self.recv_timeout,
+                    checkpoint_interval=self.checkpoint_interval)
+            return _Slot(key=request.slot_key, app=app, runtime=runtime,
+                         backend=backend, epoch=epoch, probe=probe)
+
+        slot = await asyncio.get_running_loop().run_in_executor(
+            self._executor, build)
+        tenant.slots[request.slot_key] = slot
+        return slot
+
+    async def _analyze(self, tenant: _Tenant, slot: _Slot,
+                       pending: _Pending) -> str:
+        request = pending.request
+        if self._analyze_fn is not None:
+            # injected analysis (FakeClock unit tests): run inline so
+            # the control plane stays single-threaded and sleep-free
+            return self._analyze_fn(request, slot.backend, tenant.name)
+        runtime = slot.runtime
+        app = slot.app
+        iterations = request.iterations
+        include_init = slot.windows == 0
+
+        def work() -> str:
+            try:
+                ledger = prov.active_ledger()
+                with tenant_geometry_cache(tenant.cache), \
+                        ledger.scope(tenant=tenant.name):
+                    # stream construction builds tasks and region
+                    # requirements — tenant-cache traffic as well
+                    stream = session_stream(app, iterations, include_init)
+                    reports = runtime.analyze(stream)
+                return reports[0].fingerprint
+            finally:
+                if pending.abandoned.is_set():
+                    # deadline fired while we were analyzing; the slot
+                    # was already dropped — tear the runtime down from
+                    # the thread that owns it
+                    try:
+                        runtime.close()
+                    except Exception:  # pragma: no cover - best effort
+                        pass
+
+        future = asyncio.get_running_loop().run_in_executor(
+            self._executor, work)
+        remaining = pending.budget.remaining()
+        if self._real_time and remaining is not None:
+            return await asyncio.wait_for(future, timeout=remaining)
+        return await future
+
+    # -- failure paths ---------------------------------------------------
+    def _expire(self, tenant: _Tenant, pending: _Pending, detail: str,
+                slot: Optional[_Slot]) -> SessionResult:
+        self.counts["expired"] += 1
+        self.metrics.expired(tenant.name)
+        self.ledger.record("expired" if slot is None else "cancelled",
+                           tenant.name, pending.session, detail,
+                           at=self._clock.monotonic())
+        if slot is not None:
+            if slot.backend == "process":
+                self.breaker.record_failure()
+            self._poison(tenant, pending, slot, detail)
+        return SessionResult(request=pending.request,
+                             session=pending.session,
+                             status=DEADLINE_EXCEEDED, reason=detail,
+                             seconds=pending.budget.elapsed())
+
+    def _fail(self, tenant: _Tenant, pending: _Pending,
+              slot: Optional[_Slot], exc: Exception) -> SessionResult:
+        self.counts["errors"] += 1
+        self.metrics.errored(tenant.name)
+        self.ledger.record("errored", tenant.name, pending.session,
+                           f"{type(exc).__name__}: {exc}",
+                           at=self._clock.monotonic())
+        if (slot is None or slot.backend == "process") \
+                and self.backend == "process":
+            # worker loss / spawn failure / corrupt pipes: count against
+            # the process pool's breaker
+            self.breaker.record_failure()
+        if slot is not None:
+            self._poison(tenant, pending, slot, type(exc).__name__)
+        return SessionResult(request=pending.request,
+                             session=pending.session, status=ERROR,
+                             error=f"{type(exc).__name__}: {exc}",
+                             seconds=pending.budget.elapsed())
+
+    def _poison(self, tenant: _Tenant, pending: _Pending, slot: _Slot,
+                detail: str) -> None:
+        """Drop a slot whose state can no longer be trusted; the next
+        session on its key starts a fresh epoch."""
+        tenant.slots.pop(slot.key, None)
+        self.ledger.record("slot_poisoned", tenant.name, pending.session,
+                           detail, at=self._clock.monotonic())
+        runtime = slot.runtime
+        if runtime is None:
+            return
+        if pending.abandoned.is_set():
+            return  # the abandoned analysis thread closes it
+        if self._executor is not None:
+            self._executor.submit(runtime.close)
+        else:  # pragma: no cover - defensive
+            runtime.close()
+
+    def _on_breaker(self, old: str, new: str) -> None:
+        self.metrics.set_breaker(STATE_CODES[new])
+        self.ledger.record("breaker", "", detail=f"{old}->{new}",
+                           at=self._clock.monotonic())
+
+    # -- introspection ---------------------------------------------------
+    def census_block(self) -> dict:
+        """The census ``service`` block (all ints; see
+        :data:`repro.obs.census.CENSUS_SCHEMA`)."""
+        return {
+            "tenants": len(self._tenants),
+            "sessions": self.counts["sessions"],
+            "admitted": self.counts["admitted"],
+            "rejected": self.counts["rejected"],
+            "completed": self.counts["completed"],
+            "expired": self.counts["expired"],
+            "errors": self.counts["errors"],
+            "degraded_sessions": self.counts["degraded_sessions"],
+            "breaker_state": STATE_CODES[self.breaker.state],
+            "breaker_transitions": len(self.breaker.transitions),
+        }
+
+    def render(self) -> str:
+        c = self.counts
+        q = self.metrics.latency_quantiles()
+        lat = (f" latency p50={q['p50'] * 1e3:.1f}ms "
+               f"p95={q['p95'] * 1e3:.1f}ms p99={q['p99'] * 1e3:.1f}ms"
+               if self.metrics.enabled and c["completed"] else "")
+        return (f"service: {len(self._tenants)} tenants, "
+                f"{c['sessions']} sessions "
+                f"({c['completed']} ok, {c['rejected']} rejected, "
+                f"{c['expired']} expired, {c['errors']} errors, "
+                f"{c['degraded_sessions']} degraded), "
+                f"breaker {self.breaker.state}{lat}")
+
+
+# ----------------------------------------------------------------------
+# cold-replay verification
+# ----------------------------------------------------------------------
+def verify_sessions(results, shards: int = 1) -> list[str]:
+    """Cold-replay every completed session and compare fingerprints.
+
+    Groups ok results by ``(tenant, slot_key, epoch)`` — exactly one
+    persistent runtime's life — replays each group's streams in session
+    order on a fresh serial runtime, and returns a list of mismatch
+    descriptions (empty ⇔ every session observed analysis results
+    bit-identical to an isolated single-tenant run: no cross-tenant
+    leaks, no corrupted recovery)."""
+    groups: dict[tuple, list] = {}
+    for result in results:
+        if result.status != OK:
+            continue
+        key = (result.tenant,) + result.request.slot_key + (result.epoch,)
+        groups.setdefault(key, []).append(result)
+    problems: list[str] = []
+    for key, sessions in sorted(groups.items()):
+        sessions.sort(key=lambda r: r.session)
+        if not sessions[0].fresh:
+            problems.append(
+                f"group {key}: first ok session {sessions[0].session} is "
+                "not the epoch head (missing fresh session — cannot "
+                "anchor the replay)")
+            continue
+        first = sessions[0].request
+        app = make_app(first.app, first.pieces)
+        with ShardedRuntime(app.tree, app.initial, shards=shards,
+                            algorithm=first.algorithm,
+                            backend="serial") as runtime:
+            include_init = True
+            for result in sessions:
+                stream = session_stream(app, result.request.iterations,
+                                        include_init=include_init)
+                include_init = False
+                fingerprint = runtime.analyze(stream)[0].fingerprint
+                if fingerprint != result.fingerprint:
+                    problems.append(
+                        f"group {key}: session {result.session} "
+                        f"fingerprint {result.fingerprint[:16]} != cold "
+                        f"replay {fingerprint[:16]}")
+    return problems

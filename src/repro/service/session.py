@@ -1,0 +1,87 @@
+"""Session request/result records — the service's wire surface.
+
+A *session* is one tenant-submitted analysis job: an application stream
+(init + ``iterations`` steady iterations, exactly what ``repro-cli
+analyze`` builds) analyzed on the tenant's persistent runtime slot.
+Requests are self-describing and deterministic — ``(app, pieces,
+iterations, algorithm)`` fully determines the task stream — which is
+what makes the cold-replay verification in
+:func:`repro.service.service.verify_sessions` possible: any completed
+session can be re-derived from its result record alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.service.errors import OK
+
+
+@dataclass(frozen=True)
+class SessionRequest:
+    """One tenant analysis job."""
+
+    tenant: str
+    app: str = "stencil"
+    pieces: int = 4
+    iterations: int = 1
+    algorithm: str = "raycast"
+    #: Wall-clock budget in seconds, from admission (``None`` = no
+    #: deadline).  The clock runs while queued.
+    deadline: Optional[float] = None
+
+    @property
+    def slot_key(self) -> tuple:
+        """Runtime-slot identity: sessions with the same key share one
+        persistent runtime (and therefore accumulate analysis state)."""
+        return (self.app, self.pieces, self.algorithm)
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """Terminal outcome of one session.  Always returned, never raised.
+
+    ``status`` ∈ {``ok``, ``overloaded``, ``deadline_exceeded``,
+    ``error``}; ``reason``/``error`` carry the structured detail.
+    ``epoch`` counts the tenant slot's rebuilds (a poisoned slot is
+    closed and the next session starts epoch+1 on fresh state), and
+    ``fresh`` marks the first session of an epoch — together they let
+    the verifier replay exactly the state each fingerprint was computed
+    on.  ``degraded`` marks sessions served by the serial fallback while
+    the circuit breaker held the process backend shed.
+    """
+
+    request: SessionRequest
+    session: int
+    status: str
+    fingerprint: str = ""
+    backend: str = ""
+    epoch: int = 0
+    fresh: bool = False
+    degraded: bool = False
+    seconds: float = 0.0
+    reason: str = ""
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+    @property
+    def tenant(self) -> str:
+        return self.request.tenant
+
+    def describe(self) -> str:
+        """One log line."""
+        extra = ""
+        if self.status == OK:
+            extra = (f" fp={self.fingerprint[:12]} {self.backend}"
+                     + (" degraded" if self.degraded else ""))
+        elif self.reason:
+            extra = f" ({self.reason})"
+        elif self.error:
+            extra = f" ({self.error})"
+        return (f"[{self.tenant}] session {self.session} "
+                f"{self.request.app}: {self.status}{extra} "
+                f"{self.seconds * 1e3:.1f}ms")

@@ -80,6 +80,24 @@ def test_compare_self_is_all_ok():
     assert all(r.status == "ok" for r in compare(doc, doc))
 
 
+def test_compare_subset_scopes_both_documents():
+    """A shared baseline carries rows from several benches; gating one
+    bench with ``subsets`` must neither fail on the other bench's rows
+    nor report them as missing."""
+    base = _doc([{"name": "micro[a]", "seconds": 1.0},
+                 {"name": "service_load[p95]", "seconds": 0.5}])
+    cur = _doc([{"name": "service_load[p95]", "seconds": 0.52}])
+    rows = compare(cur, base, subsets=["service_load"])
+    assert [r.name for r in rows] == ["service_load[p95]"]
+    assert rows[0].status == "ok"
+    # unscoped: the micro row from the baseline would read as missing
+    unscoped = {r.name: r.status for r in compare(cur, base)}
+    assert unscoped["micro[a]"] == "missing"
+    # multiple prefixes union together
+    both = compare(cur, base, subsets=["service_load", "micro"])
+    assert {r.name for r in both} == {"micro[a]", "service_load[p95]"}
+
+
 def test_render_table_is_aligned():
     text = render([GateRow("a", 1.0, 2.0, 0.5, "ok"),
                    GateRow("b", None, 2.0, None, "missing")])
@@ -124,6 +142,19 @@ def test_main_custom_thresholds(tmp_path):
     cur = _write(tmp_path, "cur.json", [{"name": "a", "seconds": 1.5}])
     assert main([cur, base, "--fail", "1.4"]) == 1
     assert main([cur, base, "--warn", "0.6"]) == 0
+
+
+def test_main_subset_flag(tmp_path, capsys):
+    base = _write(tmp_path, "base.json",
+                  [{"name": "micro[a]", "seconds": 1.0},
+                   {"name": "service_load[p95]", "seconds": 0.5}])
+    cur = _write(tmp_path, "cur.json",
+                 [{"name": "service_load[p95]", "seconds": 3.0}])
+    # scoped to the service slice the 6x regression fails the gate ...
+    assert main([cur, base, "--subset", "service_load"]) == 1
+    capsys.readouterr()
+    # ... and an empty slice is a usage error, not a silent pass
+    assert main([cur, base, "--subset", "nonexistent"]) == 2
 
 
 def test_main_reports_bad_input(tmp_path, capsys):

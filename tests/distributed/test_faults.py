@@ -106,6 +106,66 @@ class TestRetryPolicy:
         total = sum(retry.delay(k) for k in range(retry.max_retries + 1))
         assert total < 10.0
 
+    def test_jitter_default_off_preserves_schedule(self):
+        """jitter=0 must reproduce the historical pure-exponential
+        schedule exactly, for any salt."""
+        retry = RetryPolicy(max_retries=5, base_delay=0.1, multiplier=2.0,
+                            max_delay=0.5)
+        for salt in (0, 1, 7):
+            assert retry.delay(2, salt=salt) == pytest.approx(0.2)
+            assert retry.delay(4, salt=salt) == pytest.approx(0.5)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        retry = RetryPolicy(max_retries=5, base_delay=0.1, multiplier=2.0,
+                            max_delay=0.5, jitter=0.5, seed=3)
+        plain = RetryPolicy(max_retries=5, base_delay=0.1, multiplier=2.0,
+                            max_delay=0.5)
+        for salt in range(4):
+            schedule = [retry.delay(k, salt=salt) for k in range(6)]
+            again = [retry.delay(k, salt=salt) for k in range(6)]
+            assert schedule == again  # same (policy, salt) -> same waits
+            assert schedule[0] == 0.0
+            for k in range(1, 6):
+                base = plain.delay(k)
+                assert base <= schedule[k] <= base * 1.5
+
+    def test_jitter_desynchronizes_salts(self):
+        """Two workers recovering simultaneously must not back off in
+        lockstep — that is the whole point of the jitter."""
+        retry = RetryPolicy(jitter=0.5, seed=1)
+        a = [retry.delay(k, salt=0) for k in range(1, 3)]
+        b = [retry.delay(k, salt=1) for k in range(1, 3)]
+        assert a != b
+
+    def test_jittered_schedule_pins(self):
+        """Pin the exact jittered schedule through a FakeClock so any
+        change to the draw is a visible diff, not a silent reshuffle."""
+        retry = RetryPolicy(max_retries=3, base_delay=0.1, multiplier=2.0,
+                            max_delay=2.0, jitter=0.5, seed=42)
+        clock = FakeClock()
+        for attempt in range(1, 4):
+            clock.sleep(retry.delay(attempt, salt=2))
+        assert clock.sleeps == [retry.delay(1, salt=2),
+                                retry.delay(2, salt=2),
+                                retry.delay(3, salt=2)]
+        # frozen against the SHA-256 draw; update only deliberately
+        assert clock.sleeps == pytest.approx(
+            [0.1 * (1.0 + 0.5 * _frac(42, 2, 1)),
+             0.2 * (1.0 + 0.5 * _frac(42, 2, 2)),
+             0.4 * (1.0 + 0.5 * _frac(42, 2, 3))])
+
+    def test_jitter_validation(self):
+        with pytest.raises(MachineError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(MachineError):
+            RetryPolicy(jitter=-0.1)
+
+
+def _frac(seed: int, salt: int, attempt: int) -> float:
+    import hashlib
+    digest = hashlib.sha256(f"{seed}:{salt}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "little") / 2.0 ** 64
+
 
 class TestFakeClock:
     def test_sleep_advances_without_blocking(self):

@@ -1,0 +1,112 @@
+"""Regression tests: ShardedRuntime teardown on failure paths.
+
+A long-lived service keeps constructing and closing runtimes; any path
+that leaks worker processes turns into a fork bomb over hours.  Two
+historical hazards are pinned here:
+
+* a constructor that validated initial values *after* spawning the
+  process backend leaked orphans on bad input (there was no runtime
+  object for the caller to close);
+* an ``analyze()`` that raises mid-flight (reference replica fails while
+  workers are already running the shipped stream) must still tear every
+  worker down through the context-manager exit, and ``close()`` must
+  stay idempotent afterwards.
+"""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.distributed import ShardedRuntime
+from repro.errors import TaskError
+
+from tests.conftest import fig1_initial, fig1_stream, make_fig1_tree
+
+
+def _assert_no_worker_children() -> None:
+    """Every supervised worker joined: no live 'shard-worker' children.
+
+    pytest itself may own unrelated children (e.g. coverage helpers), so
+    the check joins and inspects rather than demanding an empty list.
+    """
+    leaked = []
+    for child in mp.active_children():
+        child.join(timeout=5)
+        if child.is_alive():
+            leaked.append(child)
+    assert not leaked, f"orphaned worker processes: {leaked}"
+
+
+class TestInitValidation:
+    def test_bad_initial_shape_raises_without_spawning(self):
+        tree, _, _ = make_fig1_tree()
+        initial = fig1_initial(tree)
+        initial["up"] = np.zeros(3, dtype=np.int64)  # wrong shape
+        before = len(mp.active_children())
+        with pytest.raises(TaskError, match="shape"):
+            ShardedRuntime(tree, initial, shards=2, backend="process",
+                           recv_timeout=10.0)
+        _assert_no_worker_children()
+        assert len(mp.active_children()) <= before
+
+    def test_bad_initial_shape_serial_backend(self):
+        tree, _, _ = make_fig1_tree()
+        initial = fig1_initial(tree)
+        initial["down"] = np.zeros((2, 12), dtype=np.int64)
+        with pytest.raises(TaskError, match="shape"):
+            ShardedRuntime(tree, initial, shards=2, backend="serial")
+
+
+class TestMidFlightFailure:
+    def _boom_after(self, runtime: ShardedRuntime, n: int):
+        """Make the reference replica raise after ``n`` launches — a
+        mid-flight analyze failure with workers already running."""
+        reference = runtime.backend.reference
+        real_launch = reference.launch
+        state = {"count": 0}
+
+        def launch(*args, **kwargs):
+            state["count"] += 1
+            if state["count"] > n:
+                raise RuntimeError("reference replica failed mid-stream")
+            return real_launch(*args, **kwargs)
+
+        reference.launch = launch
+
+    def test_exit_after_failed_analyze_joins_workers(self):
+        tree, P, G = make_fig1_tree()
+        with pytest.raises(RuntimeError, match="mid-stream"):
+            with ShardedRuntime(tree, fig1_initial(tree), shards=2,
+                                algorithm="raycast", backend="process",
+                                recv_timeout=10.0) as srt:
+                procs = [h.proc for h in srt.backend.handles if h.remote]
+                assert procs and all(p.is_alive() for p in procs)
+                self._boom_after(srt, 2)
+                srt.analyze(fig1_stream(tree, P, G, 1))
+        for proc in procs:
+            proc.join(timeout=5)
+            assert not proc.is_alive(), "worker survived __exit__"
+        _assert_no_worker_children()
+
+    def test_close_idempotent_after_failed_analyze(self):
+        tree, P, G = make_fig1_tree()
+        srt = ShardedRuntime(tree, fig1_initial(tree), shards=2,
+                             algorithm="warnock", backend="process",
+                             recv_timeout=10.0)
+        try:
+            self._boom_after(srt, 1)
+            with pytest.raises(RuntimeError):
+                srt.analyze(fig1_stream(tree, P, G, 1))
+        finally:
+            srt.close()
+        srt.close()  # second close must be a silent no-op
+        srt.close()
+        _assert_no_worker_children()
+
+    def test_serial_backend_close_idempotent(self):
+        tree, _, _ = make_fig1_tree()
+        srt = ShardedRuntime(tree, fig1_initial(tree), shards=2,
+                             backend="serial")
+        srt.close()
+        srt.close()

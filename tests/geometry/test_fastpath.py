@@ -222,3 +222,72 @@ class TestBatchOverlaps:
     def test_property_matches_scalar(self, query, candidates):
         got = batch_overlaps(query, candidates)
         assert list(got) == [query._overlaps_raw(c) for c in candidates]
+
+
+# ----------------------------------------------------------------------
+# tenant routing: per-thread cache overrides (the analysis service seam)
+# ----------------------------------------------------------------------
+class TestTenantRouting:
+    def test_override_routes_ops_away_from_global(self):
+        from repro.geometry.fastpath import tenant_geometry_cache
+
+        tenant = GeometryCache()
+        a = IndexSpace.from_range(0, 50)
+        b = IndexSpace.from_range(25, 75)
+        before = geometry_cache().stats()
+        with tenant_geometry_cache(tenant):
+            first = a & b
+            second = a & b
+        assert np.array_equal(first.indices, second.indices)
+        assert tenant.misses > 0 and tenant.hits > 0
+        assert geometry_cache().stats() == before
+
+    def test_overrides_nest_and_restore(self):
+        from repro.geometry.fastpath import (active_geometry_cache,
+                                             tenant_geometry_cache)
+
+        outer, inner = GeometryCache(), GeometryCache()
+        assert active_geometry_cache() is geometry_cache()
+        with tenant_geometry_cache(outer):
+            assert active_geometry_cache() is outer
+            with tenant_geometry_cache(inner):
+                assert active_geometry_cache() is inner
+            assert active_geometry_cache() is outer
+        assert active_geometry_cache() is geometry_cache()
+
+    def test_other_threads_keep_the_global_cache(self):
+        import threading
+
+        from repro.geometry.fastpath import (active_geometry_cache,
+                                             tenant_geometry_cache)
+
+        tenant = GeometryCache()
+        seen = []
+
+        def probe():
+            seen.append(active_geometry_cache())
+
+        with tenant_geometry_cache(tenant):
+            t = threading.Thread(target=probe)
+            t.start()
+            t.join()
+        assert seen == [geometry_cache()]
+
+    def test_cache_generations_are_globally_unique(self):
+        """Per-instance uid memos must never be trusted across cache
+        instances: every cache (and every reset) draws a fresh,
+        process-unique generation.  Regression for cross-tenant uid
+        poisoning — a space first interned in the global cache must
+        re-intern in a tenant cache, not reuse the stale memo."""
+        c1, c2 = GeometryCache(), GeometryCache()
+        assert c1._generation != c2._generation
+        old = c1._generation
+        c1.reset()
+        assert c1._generation != old
+        assert c1._generation != c2._generation
+
+        space = IndexSpace.from_range(0, 10)
+        uid1 = c1.uid_of(space)
+        uid2 = c2.uid_of(space)   # must miss c1's memo and re-intern
+        assert c2.uid_of(IndexSpace.from_range(0, 10)) == uid2
+        assert uid1 == c1.uid_of(space)

@@ -284,3 +284,45 @@ def test_explain_uses_task_names():
     task_id = 5
     text = explain_task(led, task_id, tasks=rt.tasks)
     assert f"task {task_id} ({rt.tasks[task_id].name})" in text
+
+
+# ----------------------------------------------------------------------
+# tenant attribution (the analysis-service isolation seam)
+# ----------------------------------------------------------------------
+def test_tenant_scope_stamps_records():
+    led = ProvenanceLedger(enabled=True)
+    space = IndexSpace.from_range(0, 4)
+    with led.scope(tenant="alice"):
+        led.begin_access(0, "x", "raycast", READ, space)
+        led.end_access()
+        # shard scopes nest inside a tenant scope without clobbering it
+        with led.scope(shard=3):
+            led.begin_access(1, "x", "raycast", READ, space)
+            led.end_access()
+    led.begin_access(2, "x", "raycast", READ, space)
+    led.end_access()
+    records = led.snapshot()
+    assert [r.tenant for r in records] == ["alice", "alice", ""]
+    assert records[1].shard == 3
+    assert led.by_tenant() == {"alice": 2, "": 1}
+    assert len(led.records_for(1, tenant="alice")) == 1
+    assert led.records_for(1, tenant="bob") == []
+
+
+def test_absorb_stamps_thread_local_tenant_on_untagged():
+    """Worker-shard fragments arrive untagged; absorbing them inside a
+    tenant scope claims them for that tenant (without overwriting
+    fragments another tenant already tagged)."""
+    led = ProvenanceLedger(enabled=True)
+    space = IndexSpace.from_range(0, 4)
+    worker = ProvenanceLedger(enabled=True)
+    worker.begin_access(0, "x", "raycast", READ, space)
+    worker.end_access()
+    with worker.scope(tenant="bob"):
+        worker.begin_access(1, "x", "raycast", READ, space)
+        worker.end_access()
+    fragments = worker.drain()
+    with led.scope(tenant="alice"):
+        led.absorb(fragments)
+    tenants = sorted(r.tenant for r in led.snapshot())
+    assert tenants == ["alice", "bob"]

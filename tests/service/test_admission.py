@@ -1,0 +1,116 @@
+"""Sleep-free unit tests for the admission-control state machines.
+
+Everything runs on a FakeClock: refill, hysteresis and expiry are
+functions of manually advanced time, never of real sleeping.
+"""
+
+import pytest
+
+from repro.distributed.faults import FakeClock
+from repro.errors import MachineError
+from repro.service.admission import (DeadlineBudget, TokenBucket,
+                                     WatermarkGate)
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert bucket.available == pytest.approx(3.0)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()  # empty, no time has passed
+
+    def test_refill_is_continuous_and_capped(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=4, clock=clock)
+        for _ in range(4):
+            assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 1 token back
+        assert bucket.available == pytest.approx(1.0)
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(100.0)  # refill caps at burst
+        assert bucket.available == pytest.approx(4.0)
+
+    def test_fractional_refill_accumulates(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+        bucket.try_acquire()
+        bucket.try_acquire()
+        clock.advance(0.4)
+        assert not bucket.try_acquire()
+        clock.advance(0.4)
+        assert not bucket.try_acquire()  # 0.8 tokens: still short
+        clock.advance(0.4)
+        assert bucket.try_acquire()      # 1.2 tokens
+
+    def test_validation(self):
+        with pytest.raises(MachineError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(MachineError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestWatermarkGate:
+    def test_hysteresis_pause_and_resume(self):
+        gate = WatermarkGate(high=4, low=1)
+        assert not gate.update(3)
+        assert gate.update(4)        # reaches high water: pause
+        assert gate.update(3)        # above low water: stay paused
+        assert gate.update(2)
+        assert not gate.update(1)    # drained to low water: resume
+        assert gate.pause_count == 1
+
+    def test_no_flapping_around_high_water(self):
+        gate = WatermarkGate(high=4, low=1)
+        gate.update(4)
+        # hovering just under high must not toggle
+        for depth in (3, 4, 3, 4, 2):
+            assert gate.update(depth)
+        assert gate.pause_count == 1
+        assert not gate.update(0)
+        assert gate.update(4)
+        assert gate.pause_count == 2
+
+    def test_validation(self):
+        with pytest.raises(MachineError):
+            WatermarkGate(high=2, low=2)
+        with pytest.raises(MachineError):
+            WatermarkGate(high=2, low=-1)
+
+
+class TestDeadlineBudget:
+    def test_none_never_expires(self):
+        clock = FakeClock()
+        budget = DeadlineBudget(None, clock)
+        clock.advance(1e9)
+        assert not budget.expired()
+        assert budget.remaining() is None
+
+    def test_expiry_and_remaining(self):
+        clock = FakeClock()
+        budget = DeadlineBudget(2.0, clock)
+        assert budget.remaining() == pytest.approx(2.0)
+        clock.advance(1.5)
+        assert budget.remaining() == pytest.approx(0.5)
+        assert not budget.expired()
+        clock.advance(0.5)
+        assert budget.expired()
+        assert budget.remaining() == 0.0
+        clock.advance(10.0)
+        assert budget.remaining() == 0.0  # never negative
+        assert budget.elapsed() == pytest.approx(12.0)
+
+    def test_clock_runs_from_creation(self):
+        """The budget starts at admission, not at execution."""
+        clock = FakeClock()
+        budget = DeadlineBudget(1.0, clock)
+        clock.advance(0.9)   # queued this long
+        assert budget.remaining() == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(MachineError):
+            DeadlineBudget(0.0, FakeClock())

@@ -1,0 +1,153 @@
+"""Chaos with tenants live: worker kills under multi-tenant service load.
+
+The service-level contract under infrastructure failure:
+
+* every submitted session resolves — ok with a cold-replay-verified
+  fingerprint, or a structured non-ok status; never a hang;
+* no cross-tenant corruption — ``verify_sessions`` stays clean over
+  exactly the sessions that reported ok;
+* no leaked worker processes after the service stops.
+
+Marked ``chaos`` alongside the runtime-level SIGKILL matrix in
+``tests/distributed/test_chaos.py``.
+"""
+
+import asyncio
+import multiprocessing as mp
+import os
+import signal
+
+import pytest
+
+from repro.distributed import FaultPlan
+from repro.service import (OK, STATUSES, AnalysisService, SessionRequest,
+                           verify_sessions)
+
+pytestmark = pytest.mark.chaos
+
+TENANTS = ("alice", "bob", "carol")
+
+
+def _assert_no_worker_children():
+    for child in mp.active_children():
+        child.join(timeout=10.0)
+    leftover = [c for c in mp.active_children() if c.is_alive()]
+    assert not leftover, f"leaked worker processes: {leftover}"
+
+
+def _requests(rounds: int):
+    return [SessionRequest(tenant=tenant, app="stencil", pieces=4,
+                           iterations=1, algorithm="raycast")
+            for _ in range(rounds) for tenant in TENANTS]
+
+
+class TestSeededFaultsUnderLoad:
+    def test_seeded_crashes_recover_transparently(self):
+        """A seeded crash plan fires inside the per-tenant process pools
+        while three tenants stream sessions; the supervisor's
+        journal-replay recovery must keep every session's fingerprint
+        cold-replay-exact."""
+        plan = FaultPlan(rate=0.12, kinds=("crash",), seed=7)
+        assert plan.active
+
+        async def main():
+            async with AnalysisService(
+                    backend="process", shards=2, faults=plan,
+                    rate=1000.0, burst=1000.0, max_inflight=64,
+                    queue_limit=64, recv_timeout=30.0,
+                    checkpoint_interval=2) as svc:
+                results = await asyncio.gather(
+                    *[svc.submit(r) for r in _requests(rounds=4)])
+                recoveries = sum(
+                    slot.runtime.recovery.respawns
+                    for tenant in svc._tenants.values()
+                    for slot in tenant.slots.values()
+                    if slot.runtime is not None)
+                return results, recoveries
+
+        results, recoveries = asyncio.run(main())
+        assert all(r.status in STATUSES for r in results)
+        ok = [r for r in results if r.status == OK]
+        # the seeded plan really fired and recovery really ran
+        assert recoveries >= 1, "fault plan never fired; raise the rate"
+        assert len(ok) == len(results), \
+            [r.describe() for r in results if r.status != OK]
+        assert verify_sessions(results) == []
+        _assert_no_worker_children()
+
+    def test_sigkill_live_worker_between_sessions(self):
+        """An external SIGKILL lands on a live slot worker while tenant
+        sessions keep flowing; later sessions on that slot must recover
+        to bit-identical fingerprints (or fail structurally) — and no
+        other tenant may be perturbed at all."""
+
+        async def main():
+            async with AnalysisService(
+                    backend="process", shards=2, rate=1000.0,
+                    burst=1000.0, max_inflight=64, queue_limit=64,
+                    recv_timeout=30.0, checkpoint_interval=2) as svc:
+                first = await asyncio.gather(
+                    *[svc.submit(r) for r in _requests(rounds=1)])
+                # assassinate one live worker of alice's slot
+                slot = next(iter(svc._tenants["alice"].slots.values()))
+                victims = [h for h in slot.runtime.backend.handles
+                           if h.remote and h.proc is not None
+                           and h.proc.is_alive()]
+                assert victims, "process slot has no live workers"
+                os.kill(victims[0].proc.pid, signal.SIGKILL)
+                victims[0].proc.join(timeout=10)
+                second = await asyncio.gather(
+                    *[svc.submit(r) for r in _requests(rounds=2)])
+                respawns = slot.runtime.recovery.respawns \
+                    if slot.runtime is not None else 0
+                return first + second, respawns
+
+        results, respawns = asyncio.run(main())
+        assert all(r.status in STATUSES for r in results)
+        assert all(r.status == OK for r in results), \
+            [r.describe() for r in results if r.status != OK]
+        assert respawns >= 1, "supervisor never noticed the SIGKILL"
+        # the killed tenant and the untouched tenants all replay clean
+        assert verify_sessions(results) == []
+        _assert_no_worker_children()
+
+    def test_kill_mid_flight_never_hangs(self):
+        """SIGKILL delivered *while* a session is being analyzed: the
+        session must still resolve (recovered ok or structured error)
+        within the service's recv timeout — never a hang."""
+
+        async def main():
+            async with AnalysisService(
+                    backend="process", shards=2, rate=1000.0,
+                    burst=1000.0, max_inflight=64, queue_limit=64,
+                    recv_timeout=30.0, checkpoint_interval=2) as svc:
+                warm = await svc.submit(SessionRequest(
+                    tenant="alice", app="stencil", pieces=4,
+                    algorithm="raycast"))
+                assert warm.status == OK
+                slot = next(iter(svc._tenants["alice"].slots.values()))
+                pid = next(h.proc.pid for h in slot.runtime.backend.handles
+                           if h.remote and h.proc is not None
+                           and h.proc.is_alive())
+
+                async def assassinate():
+                    await asyncio.sleep(0.05)
+                    try:
+                        os.kill(pid, signal.SIGKILL)
+                    except ProcessLookupError:
+                        pass
+
+                killer = asyncio.ensure_future(assassinate())
+                inflight = await asyncio.gather(
+                    *[svc.submit(SessionRequest(
+                        tenant="alice", app="stencil", pieces=4,
+                        iterations=2, algorithm="raycast"))
+                      for _ in range(3)])
+                await killer
+                return [warm] + inflight
+
+        results = asyncio.run(asyncio.wait_for(main(), timeout=120.0))
+        assert all(r.status in STATUSES for r in results)
+        assert verify_sessions([r for r in results if r.status == OK]) \
+            == []
+        _assert_no_worker_children()

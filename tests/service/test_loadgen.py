@@ -1,0 +1,78 @@
+"""Load-generator tests: seeded determinism, skew, and summaries."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.service.loadgen import (ALGOS_CYCLE, APPS_CYCLE, LoadSpec,
+                                   build_requests, run_load, summarize)
+from repro.service.session import SessionRequest, SessionResult
+
+
+def test_degenerate_specs_fail_cleanly():
+    with pytest.raises(MachineError, match="tenant"):
+        build_requests(LoadSpec(tenants=0))
+    with pytest.raises(MachineError, match="session"):
+        build_requests(LoadSpec(sessions=0))
+
+
+def test_schedule_is_seed_deterministic():
+    spec = LoadSpec(seed=42, tenants=4, sessions=40)
+    assert build_requests(spec) == build_requests(spec)
+    assert build_requests(spec) != build_requests(
+        LoadSpec(seed=43, tenants=4, sessions=40))
+
+
+def test_skew_concentrates_on_low_ranks():
+    spec = LoadSpec(seed=1, tenants=4, sessions=200, skew=1.5)
+    counts: dict = {}
+    for request in build_requests(spec):
+        counts[request.tenant] = counts.get(request.tenant, 0) + 1
+    assert counts["tenant0"] == max(counts.values())
+    assert counts["tenant0"] > counts.get("tenant3", 0)
+    # uniform skew spreads traffic
+    flat = LoadSpec(seed=1, tenants=4, sessions=200, skew=0.0)
+    flat_counts: dict = {}
+    for request in build_requests(flat):
+        flat_counts[request.tenant] = flat_counts.get(request.tenant, 0) + 1
+    assert max(flat_counts.values()) < counts["tenant0"]
+
+
+def test_tenants_cycle_apps_and_algorithms():
+    spec = LoadSpec(tenants=5)
+    for rank in range(5):
+        request = spec.request_for(rank)
+        assert request.app == APPS_CYCLE[rank % 3]
+        assert request.algorithm == ALGOS_CYCLE[rank % 3]
+        assert request.tenant == f"tenant{rank}"
+
+
+def test_summarize_counts_and_percentiles():
+    def result(tenant, status, seconds=0.0, degraded=False):
+        return SessionResult(
+            request=SessionRequest(tenant=tenant), session=0,
+            status=status, seconds=seconds, degraded=degraded,
+            fingerprint="f" if status == "ok" else "")
+
+    results = [result("a", "ok", 0.010),
+               result("a", "ok", 0.020, degraded=True),
+               result("b", "ok", 0.030),
+               result("b", "overloaded")]
+    summary = summarize(results)
+    assert summary["sessions"] == 4
+    assert summary["by_status"] == {"ok": 3, "overloaded": 1}
+    assert summary["by_tenant"] == {"a": 2, "b": 2}
+    assert summary["degraded"] == 1
+    assert summary["latency"]["p50"] == 0.020
+    assert summary["latency"]["p99"] == 0.030
+    assert abs(summary["latency"]["mean"] - 0.020) < 1e-12
+
+
+def test_run_load_end_to_end_serial():
+    spec = LoadSpec(seed=3, tenants=2, sessions=6, pieces=2)
+    results, summary = run_load(
+        spec, backend="serial", shards=2, rate=1000.0, burst=1000.0,
+        max_inflight=32, queue_limit=32)
+    assert summary["by_status"] == {"ok": 6}
+    assert summary["latency"]["p95"] > 0
+    assert summary["service"]["completed"] == 6
+    assert {r.tenant for r in results} <= {"tenant0", "tenant1"}
