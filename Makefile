@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test check chaos lint bench bench-quick report examples \
-	introspect-smoke service-smoke clean help
+	introspect-smoke service-smoke telemetry-smoke clean help
 
 help:
 	@echo "install      editable install (offline-friendly)"
@@ -16,6 +16,7 @@ help:
 	@echo "examples     run every example script"
 	@echo "introspect-smoke  census -> validate -> self-diff -> explain"
 	@echo "service-smoke  boot the analysis service, 3 tenants, chaos + verify"
+	@echo "telemetry-smoke  serve --telemetry-out -> validate stream -> top --once"
 	@echo "clean        remove build/caches/results"
 
 install:
@@ -57,6 +58,20 @@ service-smoke:
 		--tenants 3 --sessions 24 --seed 2023 \
 		--max-inflight 32 --queue-limit 32 --rate 1000 --burst 64 --verify
 
+telemetry-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/obs/test_telemetry.py \
+		tests/obs/test_slo.py tests/obs/test_top.py
+	rm -rf telemetry-out
+	PYTHONPATH=src $(PYTHON) -m repro serve --backend process \
+		--tenants 3 --sessions 24 --seed 2023 \
+		--max-inflight 32 --queue-limit 32 --rate 1000 --burst 64 \
+		--telemetry-out telemetry-out --telemetry-interval 0.1
+	PYTHONPATH=src $(PYTHON) -c "from repro.obs.telemetry import \
+		validate_telemetry; problems = validate_telemetry('telemetry-out'); \
+		assert not problems, problems; \
+		print('telemetry-out: repro.telemetry/1 schema valid')"
+	PYTHONPATH=src $(PYTHON) -m repro top telemetry-out --once --window 5m
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -73,5 +88,5 @@ examples:
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis \
-		benchmarks/results
+		benchmarks/results telemetry-out census.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

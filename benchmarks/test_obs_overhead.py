@@ -231,3 +231,91 @@ def test_span_primitive_cost(benchmark, state):
             tracer.drain()
 
     benchmark(one_span)
+
+
+TELEMETRY_DISABLED_BUDGET = 0.01
+TELEMETRY_ENABLED_BUDGET = 0.02
+
+
+def test_no_telemetry_hub_overhead_is_below_budget():
+    """A run without a hub pays nothing for the telemetry pipeline.
+
+    The hub is pull-based: the hot paths never call into it — they keep
+    publishing the same cumulative instruments, and the hub differences
+    those totals from *outside* on its own tick.  The only residual
+    telemetry cost in a hub-less run is the ``hub is not None`` guard the
+    load driver evaluates once per run; time that primitive and bound it
+    (generously, as if it ran once per task) against the iteration."""
+    rt, app = make_runtime()
+    iter_seconds = min(timeit.repeat(
+        lambda: rt.replay(app.iteration_stream()), repeat=5, number=1))
+
+    hub = None
+    calls = 200_000
+
+    def guard():
+        if hub is not None:
+            return 1
+        return 0
+
+    per_guard = min(timeit.repeat(guard, repeat=5, number=calls)) / calls
+    tasks = len(app.iteration_stream())
+    overhead = per_guard * tasks / iter_seconds
+    print(f"\nno-hub telemetry overhead: {tasks} guards x "
+          f"{per_guard * 1e9:.0f}ns over {iter_seconds * 1e3:.2f}ms "
+          f"-> {overhead * 100:.4f}%")
+    assert overhead < TELEMETRY_DISABLED_BUDGET, (
+        f"hub-less telemetry costs {overhead * 100:.2f}% "
+        f">= {TELEMETRY_DISABLED_BUDGET * 100:.0f}% of analysis time")
+
+
+def test_enabled_1hz_sampler_overhead_is_below_budget():
+    """With a hub attached at the default 1 Hz, one tick's cost over a
+    realistically populated registry must stay under 2% of the second it
+    samples (the tick runs on the service event loop, so its cost is
+    admission latency for whatever is queued behind it)."""
+    from repro.distributed.faults import FakeClock
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.slo import SloEvaluator, default_service_slos
+    from repro.obs.telemetry import TelemetryHub
+    from repro.service.metrics import LATENCY_BUCKETS
+
+    registry = MetricsRegistry()
+    for t in range(8):
+        tenant = f"tenant{t}"
+        registry.counter("service.admitted", tenant=tenant).inc(100)
+        registry.counter("service.completed", tenant=tenant).inc(95)
+        registry.counter("service.rejected", tenant=tenant,
+                         reason="queue_full").inc(3)
+        registry.counter("service.errors", tenant=tenant).inc(2)
+        registry.counter("geom.cache.hits", tenant=tenant).inc(900)
+        registry.counter("geom.cache.misses", tenant=tenant).inc(100)
+        registry.gauge("service.queue_depth", tenant=tenant).set(2)
+        hist = registry.histogram("service.latency_seconds",
+                                  buckets=LATENCY_BUCKETS, tenant=tenant)
+        for k in range(50):
+            hist.observe(0.001 * (k + 1))
+    glob = registry.histogram("service.latency_seconds",
+                              buckets=LATENCY_BUCKETS)
+    for k in range(400):
+        glob.observe(0.001 * (k % 50 + 1))
+    registry.gauge("service.inflight").set(4)
+    registry.gauge("service.breaker").set(0)
+
+    clock = FakeClock()
+    hub = TelemetryHub(
+        registry, clock=clock, interval=1.0,
+        evaluator=SloEvaluator(default_service_slos(), registry=registry))
+
+    def tick():
+        clock.advance(1.0)
+        hub.sample()
+
+    ticks = 200
+    per_sample = min(timeit.repeat(tick, repeat=5, number=ticks)) / ticks
+    overhead = per_sample / 1.0  # one tick per sampled second at 1 Hz
+    print(f"\n1Hz sampler overhead: {len(registry)} instruments, "
+          f"{per_sample * 1e6:.0f}us/tick -> {overhead * 100:.3f}%")
+    assert overhead < TELEMETRY_ENABLED_BUDGET, (
+        f"1Hz telemetry sampling costs {overhead * 100:.2f}% "
+        f">= {TELEMETRY_ENABLED_BUDGET * 100:.0f}% of sampled wall time")

@@ -45,7 +45,13 @@ Commands
     deadlines, circuit-breaker degradation, and (``--verify``) the
     cold-replay fingerprint differential over every completed session.
     ``--chaos SEED`` injects seeded worker faults while tenants are
-    live; ``--bench-out FILE`` writes a ``BENCH_service.json``.
+    live; ``--bench-out FILE`` writes a ``BENCH_service.json``;
+    ``--telemetry-out DIR`` streams windowed telemetry samples and SLO
+    burn-rate alerts as size-rotated ``repro.telemetry/1`` JSONL.
+``top``
+    Terminal dashboard over a telemetry stream (live-follow or
+    ``--once`` snapshot): per-tenant QPS, queue depth, windowed latency
+    percentiles, breaker/degradation state, and firing SLO alerts.
 """
 
 from __future__ import annotations
@@ -232,6 +238,32 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="write a BENCH_service.json document to FILE")
     srv.add_argument("--json", action="store_true", dest="as_json",
                      help="emit the load summary as JSON")
+    srv.add_argument("--telemetry-out", default=None, metavar="DIR",
+                     help="stream repro.telemetry/1 JSONL samples + SLO "
+                          "burn-rate alerts into DIR (size-rotated; "
+                          "render with 'repro top DIR')")
+    srv.add_argument("--telemetry-interval", type=float, default=1.0,
+                     metavar="SECONDS",
+                     help="telemetry sampling period (default 1.0)")
+
+    top = sub.add_parser("top",
+                         help="terminal dashboard over a telemetry "
+                              "stream: per-tenant QPS, queue depth, "
+                              "windowed latency percentiles, breaker "
+                              "state, firing SLO alerts")
+    top.add_argument("path", metavar="DIR_OR_FILE",
+                     help="telemetry directory (or one .jsonl segment) "
+                          "written by serve --telemetry-out")
+    top.add_argument("--window", default="1m",
+                     choices=["10s", "1m", "5m"],
+                     help="sliding window to aggregate over (default 1m)")
+    top.add_argument("--width", type=int, default=100,
+                     help="terminal width to render at (default 100)")
+    top.add_argument("--once", action="store_true",
+                     help="render one frame and exit (tests/CI)")
+    top.add_argument("--refresh", type=float, default=1.0,
+                     metavar="SECONDS",
+                     help="live repaint period (default 1.0)")
     return parser
 
 
@@ -670,18 +702,44 @@ def _cmd_serve(args) -> int:
                     iterations=args.iterations, skew=args.skew,
                     deadline=args.deadline)
     registry = MetricsRegistry()
+    hub = None
+    if args.telemetry_out:
+        from repro.obs.slo import SloEvaluator, default_service_slos
+        from repro.obs.telemetry import (TelemetryHub, TelemetrySink,
+                                         WINDOWS)
+
+        sink = TelemetrySink(
+            args.telemetry_out,
+            meta={"interval": args.telemetry_interval,
+                  "windows": WINDOWS, "seed": args.seed,
+                  "tenants": args.tenants, "backend": backend})
+        hub = TelemetryHub(
+            registry, interval=args.telemetry_interval, sink=sink,
+            evaluator=SloEvaluator(default_service_slos(),
+                                   registry=registry))
     t0 = time.perf_counter()
     try:
         results, summary = run_load(
             spec, backend=backend, shards=args.shards, rate=args.rate,
             burst=args.burst, max_inflight=args.max_inflight,
             queue_limit=args.queue_limit, faults=faults, registry=registry,
+            hub=hub,
             recv_timeout=30.0 if args.chaos is not None else 10.0)
     except MachineError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if hub is not None:
+            hub.close()
     wall = time.perf_counter() - t0
     summary["wall_seconds"] = round(wall, 6)
+    if hub is not None:
+        firing = hub.firing_alerts()
+        print(f"telemetry: {len(hub)} samples "
+              f"({len(hub.sink.paths)} segment(s), "
+              f"{len(hub.alerts)} alert transition(s), "
+              f"{len(firing)} firing) -> {args.telemetry_out}",
+              file=sys.stderr)
 
     if args.as_json:
         print(json.dumps(summary, indent=2, sort_keys=True))
@@ -736,6 +794,20 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_top(args) -> int:
+    from repro.obs.top import run_top
+
+    try:
+        return run_top(args.path, window=args.window, width=args.width,
+                       once=args.once, refresh=args.refresh)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -763,6 +835,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "top":
+        return _cmd_top(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

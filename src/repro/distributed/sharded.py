@@ -192,6 +192,28 @@ class ShardedRuntime:
         backends, which have no workers to supervise)."""
         return self._backend.recovery
 
+    def publish_telemetry(self, registry, **labels) -> None:
+        """Publish this runtime's live internals into a
+        :class:`~repro.obs.metrics.MetricsRegistry` — the telemetry
+        hub's per-tick sampler hook.
+
+        Covers the per-phase profile (including ``recover.*`` phases),
+        the supervision :class:`RecoveryReport` (faults, respawns,
+        checkpoint restores — ``None`` for in-process backends), and the
+        precedence oracle's ``order.*`` counters when one is attached.
+        Everything published is a cumulative total through idempotent
+        ``publish_to`` bridges, so re-sampling every tick is safe; the
+        hub turns the totals into windowed deltas.
+        """
+        self.profile.publish_to(registry, **labels)
+        recovery = self.recovery
+        if recovery is not None:
+            recovery.publish_to(registry, **labels)
+        reference = getattr(self._backend, "reference", None)
+        order = getattr(reference, "order", None)
+        if order is not None:
+            order.publish_to(registry, **labels)
+
     def close(self) -> None:
         """Release backend workers (no-op for in-process backends)."""
         self._backend.close()

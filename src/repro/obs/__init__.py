@@ -17,13 +17,21 @@ from repro.obs.census import (CENSUS_SCHEMA, census_diff, publish_census,
                               render_census, validate_census)
 from repro.obs.census import census as take_census
 from repro.obs.critpath import CritPathReport, critical_path, deps_from_spans
-from repro.obs.export import (load_trace, to_chrome_trace, trace_events,
-                              validate_trace, write_trace)
+from repro.obs.export import (load_trace, telemetry_counter_events,
+                              telemetry_trace, to_chrome_trace,
+                              trace_events, validate_trace, write_trace)
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                                DEFAULT_BUCKETS)
 from repro.obs.provenance import (AccessRecord, EdgeWitness, PruneRecord,
                                   ProvenanceLedger, active_ledger,
                                   explain_task, set_ledger)
+from repro.obs.slo import (SloEvaluator, SloSpec, SloStatus,
+                           default_service_slos)
+from repro.obs.telemetry import (TELEMETRY_SCHEMA, QuantileDigest,
+                                 TelemetryHub, TelemetrySample,
+                                 TelemetrySink, load_telemetry,
+                                 parse_full_name, validate_telemetry)
+from repro.obs.top import render_top, run_top
 from repro.obs.tracer import (DRIVER_PID, CounterSample, Instant, Span,
                               TraceBuffer, Tracer, active_tracer, counter,
                               instant, set_tracer, span, traced)
@@ -32,11 +40,16 @@ __all__ = [
     "CENSUS_SCHEMA", "take_census", "census_diff", "publish_census",
     "render_census", "validate_census",
     "CritPathReport", "critical_path", "deps_from_spans",
-    "load_trace", "to_chrome_trace", "trace_events", "validate_trace",
-    "write_trace",
+    "load_trace", "telemetry_counter_events", "telemetry_trace",
+    "to_chrome_trace", "trace_events", "validate_trace", "write_trace",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS",
     "AccessRecord", "EdgeWitness", "PruneRecord", "ProvenanceLedger",
     "active_ledger", "explain_task", "set_ledger",
+    "SloEvaluator", "SloSpec", "SloStatus", "default_service_slos",
+    "TELEMETRY_SCHEMA", "QuantileDigest", "TelemetryHub",
+    "TelemetrySample", "TelemetrySink", "load_telemetry",
+    "parse_full_name", "validate_telemetry",
+    "render_top", "run_top",
     "DRIVER_PID", "CounterSample", "Instant", "Span", "TraceBuffer",
     "Tracer", "active_tracer", "counter", "instant", "set_tracer", "span",
     "traced",

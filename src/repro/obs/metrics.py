@@ -140,15 +140,26 @@ class Histogram(Metric):
             self.sum += value
             self.count += 1
 
+    def bucket_counts(self) -> tuple[list[int], int, float]:
+        """Tear-free ``(counts, count, sum)`` snapshot — safe to read
+        while other threads observe (the telemetry hub's delta source)."""
+        with self._lock:
+            return list(self.counts), self.count, self.sum
+
     def quantile_bound(self, q: float) -> float:
-        """Upper bound of the bucket containing the ``q``-quantile."""
+        """Upper bound of the bucket containing the ``q``-quantile.
+
+        An empty histogram has no quantiles: returns ``nan`` (render
+        shows "no samples") rather than inventing a bound of 0.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile {q} outside [0, 1]")
-        if self.count == 0:
-            return 0.0
-        target = q * self.count
+        counts, count, _ = self.bucket_counts()
+        if count == 0:
+            return math.nan
+        target = q * count
         seen = 0
-        for bound, n in zip(self.bounds, self.counts):
+        for bound, n in zip(self.bounds, counts):
             seen += n
             if seen >= target:
                 return bound
@@ -157,17 +168,19 @@ class Histogram(Metric):
     def quantile_summary(self,
                          qs: Sequence[float] = (0.5, 0.95, 0.99)) -> dict:
         """``{"p50": bound, "p95": bound, ...}`` for the given quantiles
-        (bucket upper bounds; the latency summary the service publishes)."""
+        (bucket upper bounds; the latency summary the service publishes).
+        All values are ``nan`` when the histogram is empty."""
         return {f"p{round(q * 100) if q < 1 else 100}":
                 self.quantile_bound(q) for q in qs}
 
     def render(self, width: int = 40) -> str:
         """ASCII bar chart of the bucket distribution."""
-        if self.count == 0:
-            return "(no observations)"
-        peak = max(self.counts)
+        counts, count, _ = self.bucket_counts()
+        if count == 0:
+            return "(no samples)"
+        peak = max(counts)
         lines = []
-        for bound, n in zip(self.bounds, self.counts):
+        for bound, n in zip(self.bounds, counts):
             if n == 0:
                 continue
             label = "+inf" if math.isinf(bound) else _si(bound)
@@ -227,19 +240,21 @@ class MetricsRegistry:
         return iter(sorted(metrics, key=lambda m: m.full_name))
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
     def find(self, name: str, **labels) -> Optional[Metric]:
         """Look an instrument up without creating it."""
-        return self._metrics.get((name, _label_key(labels)))
+        with self._lock:
+            return self._metrics.get((name, _label_key(labels)))
 
     def snapshot(self) -> dict[str, float | dict]:
         """Flat ``{full_name: value}`` mapping (histograms nest a dict)."""
         out: dict[str, float | dict] = {}
         for metric in self:
             if isinstance(metric, Histogram):
-                out[metric.full_name] = {
-                    "count": metric.count, "sum": metric.sum}
+                _, count, total = metric.bucket_counts()
+                out[metric.full_name] = {"count": count, "sum": total}
             else:
                 out[metric.full_name] = metric.value
         return out
@@ -251,7 +266,8 @@ class MetricsRegistry:
         rows = [("metric", "kind", "value")]
         for metric in self:
             if isinstance(metric, Histogram):
-                value = f"count={metric.count} sum={metric.sum:.6f}"
+                _, count, total = metric.bucket_counts()
+                value = f"count={count} sum={total:.6f}"
             elif isinstance(metric, Gauge):
                 value = f"{metric.value:.6f}"
             else:

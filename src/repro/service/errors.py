@@ -56,8 +56,9 @@ class ServiceEvent:
     """One ledgered control-plane decision.
 
     ``kind`` ∈ {``rejected``, ``expired``, ``cancelled``, ``errored``,
-    ``degraded``, ``breaker``, ``slot_poisoned``}; ``detail`` carries
-    kind-specific context (rejection reason, breaker transition, ...).
+    ``degraded``, ``breaker``, ``slot_poisoned``, ``alert``}; ``detail``
+    carries kind-specific context (rejection reason, breaker
+    transition, SLO burn-rate alert transition, ...).
     """
 
     kind: str

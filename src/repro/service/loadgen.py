@@ -116,17 +116,46 @@ def summarize(results, service=None) -> dict:
     return out
 
 
-def run_load(spec: LoadSpec, gap: float = 0.0, **service_kwargs) -> tuple:
+def run_load(spec: LoadSpec, gap: float = 0.0, hub=None,
+             **service_kwargs) -> tuple:
     """Synchronous driver: boot a service, run the schedule, stop.
 
     Returns ``(results, summary)``.  Keyword arguments go to
     :class:`~repro.service.service.AnalysisService`.
+
+    ``hub`` (a :class:`~repro.obs.telemetry.TelemetryHub`) is sampled
+    on its own interval from an asyncio task for the duration of the
+    run — same event loop as the service, so its samplers can read slot
+    state without locks — with the service's runtime sampler attached
+    and one final flush tick after the last session resolves.
     """
     from repro.service.service import AnalysisService
 
+    async def sample_loop(active_hub):
+        while True:
+            active_hub.sample()
+            await asyncio.sleep(active_hub.interval)
+
     async def main():
         async with AnalysisService(**service_kwargs) as service:
-            results = await drive(service, build_requests(spec), gap=gap)
+            ticker = None
+            if hub is not None:
+                hub.add_sampler(service.telemetry_sampler())
+                if hub.evaluator is not None \
+                        and hub.evaluator.ledger is None:
+                    hub.evaluator.ledger = service.ledger
+                ticker = asyncio.ensure_future(sample_loop(hub))
+            try:
+                results = await drive(service, build_requests(spec),
+                                      gap=gap)
+            finally:
+                if ticker is not None:
+                    ticker.cancel()
+                    try:
+                        await ticker
+                    except asyncio.CancelledError:
+                        pass
+                    hub.sample()  # flush the tail of the run
             return results, summarize(results, service)
 
     return asyncio.run(main())

@@ -15,8 +15,11 @@ Instruments:
 * gauges ``service.queue_depth{tenant}``, ``service.paused{tenant}``,
   ``service.inflight``, ``service.tenants``, ``service.breaker``
   (0=closed, 1=half-open, 2=open);
-* histogram ``service.latency_seconds`` (global) with p50/p95/p99
-  summary via :meth:`~repro.obs.metrics.Histogram.quantile_summary`.
+* histograms ``service.latency_seconds`` (global) and
+  ``service.latency_seconds{tenant}`` (per tenant — the series the
+  telemetry hub's windowed quantile digests are built from) with
+  p50/p95/p99 summary via
+  :meth:`~repro.obs.metrics.Histogram.quantile_summary`.
 """
 
 from __future__ import annotations
@@ -58,8 +61,14 @@ class ServiceMetrics:
         if self.registry is None:
             return
         self.registry.counter("service.completed", tenant=tenant).inc()
+        # global and per-tenant latency series: the telemetry hub's
+        # windowed digests need the tenant label to answer "what is
+        # tenant X's p99 right now" without storing raw samples
         self.registry.histogram("service.latency_seconds",
                                 buckets=LATENCY_BUCKETS).observe(seconds)
+        self.registry.histogram("service.latency_seconds",
+                                buckets=LATENCY_BUCKETS,
+                                tenant=tenant).observe(seconds)
 
     def expired(self, tenant: str) -> None:
         if self.registry is None:
@@ -111,6 +120,6 @@ class ServiceMetrics:
         if self.registry is None:
             return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
         hist = self.registry.find("service.latency_seconds")
-        if hist is None:
+        if hist is None or hist.count == 0:
             return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
         return hist.quantile_summary()

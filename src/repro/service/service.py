@@ -532,6 +532,28 @@ class AnalysisService:
         self.ledger.record("breaker", "", detail=f"{old}->{new}",
                            at=self._clock.monotonic())
 
+    # -- telemetry -------------------------------------------------------
+    def telemetry_sampler(self):
+        """A :meth:`~repro.obs.telemetry.TelemetryHub.add_sampler`
+        callable publishing live runtime internals into the registry
+        before each tick: per-tenant geometry-cache counters and every
+        live slot's analysis profile / recovery / precedence-oracle
+        state (via :meth:`~repro.distributed.sharded.ShardedRuntime
+        .publish_telemetry`).
+
+        Must run on the service's event loop (``repro serve`` ticks the
+        hub from an asyncio task), where slot maps are only ever
+        mutated — no extra locking needed.
+        """
+        def sample(registry) -> None:
+            for tenant in self._tenants.values():
+                tenant.cache.publish_to(registry, tenant=tenant.name)
+                for slot in tenant.slots.values():
+                    if slot.runtime is not None:
+                        slot.runtime.publish_telemetry(
+                            registry, tenant=tenant.name)
+        return sample
+
     # -- introspection ---------------------------------------------------
     def census_block(self) -> dict:
         """The census ``service`` block (all ints; see

@@ -48,6 +48,28 @@ class TestInstruments:
         with pytest.raises(ValueError):
             Histogram("bad", {}, buckets=(0.1, 0.01))
 
+    def test_empty_histogram_has_no_quantiles(self):
+        """An empty distribution has no quantiles: NaN, not an invented
+        bound of zero (zero is a *claim* about latency; NaN is 'no
+        data')."""
+        import math
+
+        h = Histogram("lat", {})
+        assert math.isnan(h.quantile_bound(0.5))
+        assert all(math.isnan(v) for v in h.quantile_summary().values())
+        assert h.render() == "(no samples)"
+        h.observe(0.005)
+        assert h.quantile_bound(0.5) == 0.01
+        assert "(no samples)" not in h.render()
+
+    def test_histogram_bucket_counts_snapshot_is_detached(self):
+        h = Histogram("lat", {}, buckets=(0.01, 0.1))
+        h.observe(0.005)
+        counts, count, total = h.bucket_counts()
+        assert (counts, count, total) == ([1, 0, 0], 1, 0.005)
+        counts[0] = 99  # mutating the snapshot must not touch the metric
+        assert h.counts == [1, 0, 0]
+
 
 class TestRegistry:
     def test_get_or_create_same_instrument(self):

@@ -1,0 +1,355 @@
+"""Streaming telemetry: digests, windowed hub queries, sink rotation,
+schema validation, and replay — all clock-injected, no real sleeps."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import MachineError
+from repro.distributed.faults import FakeClock
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.telemetry import (TELEMETRY_SCHEMA, QuantileDigest,
+                                 TelemetryHub, TelemetrySample,
+                                 TelemetrySink, load_telemetry,
+                                 parse_full_name, validate_telemetry)
+
+
+# ----------------------------------------------------------------------
+# full-name parsing
+# ----------------------------------------------------------------------
+def test_parse_full_name_round_trips_format_labels():
+    from repro.obs.metrics import format_labels
+
+    labels = {"tenant": "t0", "reason": "queue_full"}
+    full = "service.rejected" + format_labels(labels)
+    assert parse_full_name(full) == ("service.rejected", labels)
+    assert parse_full_name("service.inflight") == ("service.inflight", {})
+
+
+# ----------------------------------------------------------------------
+# quantile digest
+# ----------------------------------------------------------------------
+def test_digest_validates_centroids():
+    with pytest.raises(MachineError):
+        QuantileDigest([])
+    with pytest.raises(MachineError):
+        QuantileDigest([1.0, 1.0, 2.0])
+    with pytest.raises(MachineError):
+        QuantileDigest([2.0, 1.0])
+
+
+def test_digest_appends_inf_tail():
+    digest = QuantileDigest([1.0, 2.0])
+    assert digest.centroids == (1.0, 2.0, math.inf)
+    # an explicit inf tail is not doubled
+    assert QuantileDigest([1.0, math.inf]).centroids == (1.0, math.inf)
+
+
+def test_digest_empty_quantiles_are_nan():
+    digest = QuantileDigest(DEFAULT_BUCKETS)
+    assert math.isnan(digest.quantile(0.5))
+    assert math.isnan(digest.fraction_at_most(1.0))
+    assert all(math.isnan(v) for v in digest.quantiles().values())
+
+
+def test_digest_quantile_matches_bucket_rule():
+    digest = QuantileDigest([0.1, 0.5, 1.0])
+    for value in (0.05, 0.05, 0.05, 0.3, 0.7, 0.7, 0.7, 0.7, 0.7, 5.0):
+        digest.observe(value)
+    assert digest.count == 10
+    assert digest.quantile(0.0) == 0.1
+    assert digest.quantile(0.5) == 1.0    # 5th obs lands in <=1.0 bucket
+    assert digest.quantile(1.0) == math.inf
+    assert digest.fraction_at_most(0.5) == pytest.approx(0.4)
+    with pytest.raises(MachineError):
+        digest.quantile(1.5)
+
+
+def test_digest_merge_adds_counts():
+    a = QuantileDigest([0.1, 1.0])
+    b = QuantileDigest([0.1, 1.0])
+    a.observe(0.05, n=3)
+    b.observe(0.5, n=2)
+    a.merge(b)
+    assert a.count == 5
+    assert a.counts == [3, 2, 0]
+    assert a.sum == pytest.approx(0.05 * 3 + 0.5 * 2)
+    with pytest.raises(MachineError):
+        a.merge(QuantileDigest([0.2, 1.0]))
+
+
+def test_digest_dict_round_trip_encodes_inf_as_null():
+    digest = QuantileDigest([0.1, 1.0])
+    digest.observe(0.05, n=2)
+    digest.observe(9.0)
+    wire = digest.to_dict()
+    assert wire["centroids"][-1] is None
+    assert json.loads(json.dumps(wire)) == wire
+    back = QuantileDigest.from_dict(wire)
+    assert back.centroids == digest.centroids
+    assert back.counts == digest.counts
+    assert back.count == digest.count
+    assert back.sum == pytest.approx(digest.sum)
+
+
+# ----------------------------------------------------------------------
+# the hub: deltas, windows, derived gauges
+# ----------------------------------------------------------------------
+def make_hub(**kwargs):
+    registry = MetricsRegistry()
+    clock = FakeClock()
+    hub = TelemetryHub(registry, clock=clock, interval=1.0, **kwargs)
+    return hub, registry, clock
+
+
+def test_hub_counters_become_deltas():
+    hub, registry, clock = make_hub()
+    done = registry.counter("service.completed", tenant="t0")
+    done.inc(5)
+    clock.advance(1.0)
+    first = hub.sample()
+    assert first.counters['service.completed{tenant="t0"}'] == 5
+    done.inc(2)
+    clock.advance(1.0)
+    second = hub.sample()
+    assert second.counters['service.completed{tenant="t0"}'] == 2
+    assert hub.delta('service.completed{tenant="t0"}', "10s") == 7
+    assert hub.delta_matching("service.completed", "10s") == 7
+
+
+def test_hub_counter_reset_detection():
+    hub, registry, clock = make_hub()
+    done = registry.counter("service.completed")
+    done.inc(10)
+    clock.advance(1.0)
+    hub.sample()
+    # simulate a source restart: the cumulative total goes backwards
+    done.value = 3
+    clock.advance(1.0)
+    sample = hub.sample()
+    assert sample.counters["service.completed"] == 3  # whole total is new
+
+
+def test_hub_histogram_becomes_per_tick_digest():
+    hub, registry, clock = make_hub()
+    hist = registry.histogram("service.latency_seconds",
+                              buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    clock.advance(1.0)
+    hub.sample()
+    hist.observe(0.5)
+    clock.advance(1.0)
+    hub.sample()
+    merged = hub.digest("service.latency_seconds", "10s")
+    assert merged.count == 3
+    assert merged.counts == [1, 2, 0]
+    q = hub.quantiles("service.latency_seconds", "10s")
+    assert q["p50"] == 1.0 and q["p99"] == 1.0
+    # an empty window answers NaN, not zero
+    assert all(math.isnan(v) for v in
+               hub.quantiles("service.other", "10s").values())
+
+
+def test_hub_derives_cache_hit_rate_gauges():
+    hub, registry, clock = make_hub()
+    registry.counter("geom.cache.hits", tenant="t0").inc(9)
+    registry.counter("geom.cache.misses", tenant="t0").inc(1)
+    clock.advance(1.0)
+    sample = hub.sample()
+    assert sample.gauges['geom.cache.hit_rate{tenant="t0"}'] == \
+        pytest.approx(0.9)
+    # no traffic this tick -> no rate published (stale gauge remains
+    # reachable via the scan-back)
+    clock.advance(1.0)
+    second = hub.sample()
+    assert 'geom.cache.hit_rate{tenant="t0"}' not in second.gauges
+    assert hub.gauge('geom.cache.hit_rate{tenant="t0"}') == \
+        pytest.approx(0.9)
+
+
+def test_hub_windows_slide_and_ring_evicts():
+    hub, registry, clock = make_hub(windows={"10s": 10.0, "1m": 60.0})
+    done = registry.counter("service.completed")
+    for _ in range(70):
+        done.inc(1)
+        clock.advance(1.0)
+        hub.sample()
+    # ring capacity = 60/1 + 1; the 10s window sees only its tail
+    assert len(hub) == 61
+    assert hub.delta("service.completed", "10s") == 10
+    assert hub.delta("service.completed", "1m") == 60
+    assert hub.rate("service.completed", "10s") == pytest.approx(1.0)
+    assert hub.span("10s") == pytest.approx(10.0)
+    with pytest.raises(MachineError):
+        hub.delta("service.completed", "5m")  # window not configured
+    assert hub.delta("service.completed", 10.0) == 10  # raw seconds ok
+
+
+def test_hub_requires_positive_interval_and_windows():
+    with pytest.raises(MachineError):
+        TelemetryHub(MetricsRegistry(), interval=0.0)
+    with pytest.raises(MachineError):
+        TelemetryHub(MetricsRegistry(), windows={})
+
+
+# ----------------------------------------------------------------------
+# sink rotation
+# ----------------------------------------------------------------------
+def test_sink_rotates_by_size_with_meta_per_segment(tmp_path):
+    sink = TelemetrySink(tmp_path, max_bytes=1024, meta={"seed": 7})
+    for k in range(40):
+        sink.write({"kind": "sample", "ts": float(k), "interval": 1.0,
+                    "counters": {}, "gauges": {},
+                    "digests": {}, "pad": "x" * 80})
+    sink.close()
+    paths = sink.paths
+    assert len(paths) > 1
+    assert sink.rotations == len(paths) - 1
+    for index, path in enumerate(paths):
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["kind"] == "meta"
+        assert first["schema"] == TELEMETRY_SCHEMA
+        assert first["segment"] == index
+        assert first["seed"] == 7
+    assert validate_telemetry(tmp_path) == []
+
+
+def test_hub_writes_samples_to_sink(tmp_path):
+    sink = TelemetrySink(tmp_path, meta={"interval": 1.0})
+    hub, registry, clock = make_hub(sink=sink)
+    hub.sink = sink
+    registry.counter("service.completed").inc(3)
+    clock.advance(1.0)
+    hub.sample()
+    hub.close()
+    assert validate_telemetry(tmp_path) == []
+    lines = [json.loads(t) for path in sink.paths
+             for t in path.read_text().splitlines()]
+    kinds = [line["kind"] for line in lines]
+    assert kinds == ["meta", "sample"]
+    assert lines[1]["counters"]["service.completed"] == 3
+
+
+# ----------------------------------------------------------------------
+# schema validation negatives
+# ----------------------------------------------------------------------
+def _meta():
+    return {"kind": "meta", "schema": TELEMETRY_SCHEMA, "segment": 0}
+
+
+def _sample(ts, **over):
+    line = {"kind": "sample", "ts": ts, "interval": 1.0,
+            "counters": {}, "gauges": {}, "digests": {}}
+    line.update(over)
+    return line
+
+
+def test_validate_requires_meta_first():
+    assert validate_telemetry([_sample(1.0)]) \
+        == ["<lines> line 0: segment must open with a meta line"]
+    bad = dict(_meta(), schema="nope/9")
+    problems = validate_telemetry([bad])
+    assert problems and "schema" in problems[0]
+
+
+def test_validate_rejects_backwards_time_and_negative_deltas():
+    problems = validate_telemetry(
+        [_meta(), _sample(5.0), _sample(3.0)])
+    assert any("precedes" in p for p in problems)
+    problems = validate_telemetry(
+        [_meta(), _sample(1.0, counters={"service.completed": -2})])
+    assert any("negative" in p for p in problems)
+
+
+def test_validate_rejects_malformed_digests_and_alerts():
+    bad_digest = _sample(1.0, digests={"h": {"centroids": [2.0, 1.0, None],
+                                             "counts": [0, 0, 0]}})
+    assert any("increasing" in p
+               for p in validate_telemetry([_meta(), bad_digest]))
+    misaligned = _sample(1.0, digests={"h": {"centroids": [1.0, None],
+                                             "counts": [0]}})
+    assert any("centroids vs" in p
+               for p in validate_telemetry([_meta(), misaligned]))
+    bad_alert = {"kind": "alert", "ts": 1.0, "name": "a", "state": "maybe"}
+    assert any("firing/resolved" in p
+               for p in validate_telemetry([_meta(), bad_alert]))
+    assert any("unknown kind" in p
+               for p in validate_telemetry([_meta(), {"kind": "bogus"}]))
+
+
+def test_validate_missing_path_reports_not_raises(tmp_path):
+    problems = validate_telemetry(tmp_path / "absent")
+    assert problems and "no such telemetry file" in problems[0]
+
+
+# ----------------------------------------------------------------------
+# replay
+# ----------------------------------------------------------------------
+def test_load_telemetry_round_trips_window_queries(tmp_path):
+    sink = TelemetrySink(tmp_path, max_bytes=1024,
+                         meta={"interval": 1.0,
+                               "windows": {"10s": 10.0, "1m": 60.0}})
+    hub, registry, clock = make_hub(sink=sink,
+                                    windows={"10s": 10.0, "1m": 60.0})
+    done = registry.counter("service.completed", tenant="t0")
+    hist = registry.histogram("service.latency_seconds",
+                              buckets=DEFAULT_BUCKETS)
+    for k in range(20):
+        done.inc(2)
+        hist.observe(0.01 * (k + 1))
+        clock.advance(1.0)
+        hub.sample()
+    hub.close()
+
+    replay = load_telemetry(tmp_path)
+    assert len(replay) == len(hub)
+    assert replay.windows == hub.windows
+    for window in ("10s", "1m"):
+        assert replay.delta('service.completed{tenant="t0"}', window) \
+            == hub.delta('service.completed{tenant="t0"}', window)
+        assert replay.quantiles("service.latency_seconds", window) \
+            == hub.quantiles("service.latency_seconds", window)
+    with pytest.raises(MachineError):
+        replay.sample()  # replayed hubs are query-only
+
+
+def test_load_telemetry_refuses_invalid_stream(tmp_path):
+    (tmp_path / "telemetry-00000.jsonl").write_text(
+        json.dumps(_sample(1.0)) + "\n")
+    with pytest.raises(ValueError, match="not a valid telemetry stream"):
+        load_telemetry(tmp_path)
+    with pytest.raises(FileNotFoundError):
+        load_telemetry(tmp_path / "absent")
+
+
+# ----------------------------------------------------------------------
+# acceptance: windowed digests vs the offline cumulative histogram
+# ----------------------------------------------------------------------
+def test_digest_agrees_with_offline_histogram_on_seeded_load():
+    """Merging every per-tick digest of the seeded loadgen run must
+    reproduce the offline cumulative Histogram exactly (same bucket
+    counts), so every windowed quantile bound agrees with the offline
+    bound within one bucket width by construction."""
+    from repro.service.loadgen import LoadSpec, run_load
+
+    registry = MetricsRegistry()
+    hub = TelemetryHub(registry, interval=0.05,
+                       windows={"10s": 10.0, "1m": 60.0, "5m": 300.0})
+    spec = LoadSpec(seed=2023, tenants=3, sessions=12)
+    results, summary = run_load(spec, hub=hub, backend="serial",
+                                registry=registry, max_inflight=32,
+                                queue_limit=32, rate=1000.0, burst=64)
+    assert summary["by_status"] == {"ok": 12}
+    assert len(hub) >= 1  # the final flush tick always lands
+
+    offline = registry.find("service.latency_seconds")
+    merged = hub.digest("service.latency_seconds", "5m")
+    counts, count, total = offline.bucket_counts()
+    assert merged.centroids == offline.bounds
+    assert merged.counts == counts
+    assert merged.count == count == 12
+    assert merged.sum == pytest.approx(total)
+    for q in (0.5, 0.95, 0.99):
+        assert merged.quantile(q) == offline.quantile_bound(q)
