@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test check chaos lint bench bench-quick report examples \
-	introspect-smoke service-smoke telemetry-smoke clean help
+	introspect-smoke service-smoke telemetry-smoke columnar-smoke clean help
 
 help:
 	@echo "install      editable install (offline-friendly)"
@@ -17,6 +17,7 @@ help:
 	@echo "introspect-smoke  census -> validate -> self-diff -> explain"
 	@echo "service-smoke  boot the analysis service, 3 tenants, chaos + verify"
 	@echo "telemetry-smoke  serve --telemetry-out -> validate stream -> top --once"
+	@echo "columnar-smoke  differential fingerprint check, columnar on vs off"
 	@echo "clean        remove build/caches/results"
 
 install:
@@ -71,6 +72,12 @@ telemetry-smoke:
 		assert not problems, problems; \
 		print('telemetry-out: repro.telemetry/1 schema valid')"
 	PYTHONPATH=src $(PYTHON) -m repro top telemetry-out --once --window 5m
+
+columnar-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest -q \
+		tests/distributed/test_columnar_differential.py -k "not sharded"
+	PYTHONPATH=src $(PYTHON) -m repro analyze --app stencil --pieces 4 \
+		--iterations 2 --shards 2 --parallel 2 --no-columnar --profile
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

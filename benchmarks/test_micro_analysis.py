@@ -199,6 +199,126 @@ def test_precedence_oracle_smoke():
 
 
 # ----------------------------------------------------------------------
+# columnar histories: vectorized whole-history scan vs the object walk
+# ----------------------------------------------------------------------
+COLUMNAR_ENTRIES = 2048
+COLUMNAR_REPS = 5
+_COLUMNAR_CACHE: dict = {}
+
+
+def _columnar_scan_data() -> dict:
+    """Time one whole-history dependence scan over a long reduction
+    history (Pennant's ``dt`` pattern: one write, then same-operator
+    reductions forever) with the columnar sweep on and off, checking the
+    two modes agree on dependences and meter totals."""
+    if _COLUMNAR_CACHE:
+        return _COLUMNAR_CACHE
+    import numpy as np
+    from repro.geometry.index_space import IndexSpace
+    from repro.privileges import READ_WRITE, reduce as reduce_priv
+    from repro.visibility.history import (ColumnarHistory, HistoryEntry,
+                                          RegionValues, columnar_disabled,
+                                          scan_dependences)
+    from repro.visibility.meter import CostMeter
+
+    n = 4096
+    root = IndexSpace.from_indices(range(n))
+    entries = [HistoryEntry(READ_WRITE, root,
+                            RegionValues(root, np.zeros(n)), 0)]
+    priv = reduce_priv("sum")
+    for i in range(1, COLUMNAR_ENTRIES):
+        lo = (i * 17) % (n - 64)
+        dom = IndexSpace.from_indices(range(lo, lo + 64))
+        entries.append(HistoryEntry(priv, dom,
+                                    RegionValues(dom, np.ones(64)), i))
+    history = ColumnarHistory(entries)
+    query = IndexSpace.from_indices(range(128, 256))
+
+    def run(columnar: bool):
+        from contextlib import nullcontext
+        reset_geometry_cache()
+        with (nullcontext() if columnar else columnar_disabled()):
+            meter = CostMeter()
+            deps: set = set()
+            scan_dependences(priv, query, history, deps, meter)  # warm
+            t0 = time.perf_counter()
+            for _ in range(COLUMNAR_REPS):
+                deps = set()
+                scan_dependences(priv, query, history, deps, meter)
+            seconds = (time.perf_counter() - t0) / COLUMNAR_REPS
+        reset_geometry_cache()
+        return deps, meter.snapshot(), seconds
+
+    deps_on, meter_on, on_s = run(True)
+    deps_off, meter_off, off_s = run(False)
+    _COLUMNAR_CACHE.update(deps_on=deps_on, deps_off=deps_off,
+                           meter_on=meter_on, meter_off=meter_off,
+                           on_s=on_s, off_s=off_s,
+                           entries=len(history))
+    return _COLUMNAR_CACHE
+
+
+_REFINE_CACHE: dict = {}
+
+
+def _refinement_batch_data() -> dict:
+    """Warnock's refinement-heavy cold start (every split the stream
+    forces) with batched refinement rounds on and off, fingerprints
+    compared — the round batching must be invisible too."""
+    if _REFINE_CACHE:
+        return _REFINE_CACHE
+    from contextlib import nullcontext
+    from repro.visibility.history import columnar_disabled
+
+    app = CircuitApp(pieces=16, nodes_per_piece=16, wires_per_piece=24)
+
+    def run(columnar: bool):
+        reset_geometry_cache()
+        with (nullcontext() if columnar else columnar_disabled()):
+            rt = Runtime(app.tree, app.initial, algorithm="warnock")
+            t0 = time.perf_counter()
+            rt.replay(app.init_stream())
+            rt.replay(app.iteration_stream())
+            seconds = time.perf_counter() - t0
+        reset_geometry_cache()
+        return analysis_fingerprint(rt), seconds
+
+    fp_on, on_s = run(True)
+    fp_off, off_s = run(False)
+    _REFINE_CACHE.update(fp_on=fp_on, fp_off=fp_off, on_s=on_s,
+                         off_s=off_s)
+    return _REFINE_CACHE
+
+
+def test_columnar_scan_smoke():
+    """CI's columnar-correctness gate, in smoke mode like the geometry
+    differential above: on the long-reduction-history scan the columnar
+    sweep must agree with the object walk on dependences *and* meter
+    totals, and must beat it by at least 2x (the tentpole's bar — the
+    object walk pays two locked meter increments and one interference
+    call per entry; the sweep pays one mask and one batched kernel)."""
+    data = _columnar_scan_data()
+    assert data["deps_on"] == data["deps_off"] == {0}
+    assert data["meter_on"] == data["meter_off"]
+    speedup = data["off_s"] / max(data["on_s"], 1e-9)
+    assert speedup >= 2.0, (
+        f"columnar scan only {speedup:.2f}x over the object walk "
+        f"({data['on_s'] * 1e3:.3f}ms vs {data['off_s'] * 1e3:.3f}ms)")
+    print(f"columnar_scan: {data['entries']} entries, "
+          f"on {data['on_s'] * 1e3:.3f}ms vs off "
+          f"{data['off_s'] * 1e3:.3f}ms ({speedup:.1f}x)")
+
+
+def test_refinement_batch_smoke():
+    data = _refinement_batch_data()
+    assert data["fp_on"] == data["fp_off"], \
+        "batched refinement rounds changed the analysis fingerprint"
+    print(f"refinement_batch: on {data['on_s']:.3f}s vs off "
+          f"{data['off_s']:.3f}s "
+          f"({data['off_s'] / max(data['on_s'], 1e-9):.2f}x)")
+
+
+# ----------------------------------------------------------------------
 # machine-readable bench document + soft gate (runs in smoke mode too)
 # ----------------------------------------------------------------------
 def test_bench_json_emission():
@@ -240,6 +360,19 @@ def test_bench_json_emission():
     rows.append({"name": "precedence_soundness[bfs]",
                  "seconds": prec["bfs_s"], "pairs": prec["pairs"]})
 
+    # columnar-history rows: the vectorized whole-history scan vs the
+    # object walk, and Warnock's batched refinement rounds on/off
+    col = _columnar_scan_data()
+    rows.append({"name": "columnar_scan[columnar]",
+                 "seconds": col["on_s"], "entries": col["entries"]})
+    rows.append({"name": "columnar_scan[object]",
+                 "seconds": col["off_s"], "entries": col["entries"]})
+    refine = _refinement_batch_data()
+    rows.append({"name": "refinement_batch[columnar]",
+                 "seconds": refine["on_s"]})
+    rows.append({"name": "refinement_batch[object]",
+                 "seconds": refine["off_s"]})
+
     out = write_bench_json(RESULTS_DIR / "BENCH_micro_analysis.json",
                            "micro_analysis", rows,
                            extra={"pieces": 8, "iterations": 1})
@@ -249,7 +382,9 @@ def test_bench_json_emission():
     assert {row["name"] for row in doc["rows"]} \
         == ({f"steady_iteration[{a}]" for a in ALGOS}
             | {"precedence_scan[raycast+oracle]", "precedence_scan[raycast]",
-               "precedence_soundness[labels]", "precedence_soundness[bfs]"})
+               "precedence_soundness[labels]", "precedence_soundness[bfs]",
+               "columnar_scan[columnar]", "columnar_scan[object]",
+               "refinement_batch[columnar]", "refinement_batch[object]"})
     assert all(row["seconds"] > 0 for row in doc["rows"])
     assert "python" in doc["environment"]
 

@@ -122,6 +122,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="disable the geometry fast path (interning + "
                           "operation cache); sets REPRO_NO_GEOM_CACHE so "
                           "worker processes inherit the setting")
+    ana.add_argument("--no-columnar", action="store_true",
+                     help="disable the columnar history scan (vectorized "
+                          "interference + batched overlap sweep); sets "
+                          "REPRO_NO_COLUMNAR so worker processes inherit "
+                          "the setting")
     ana.add_argument("--precedence-oracle", action="store_true",
                      help="prune history scans with the O(1) order-"
                           "maintenance precedence oracle (skips entries "
@@ -421,6 +426,14 @@ def _cmd_analyze(args) -> int:
         # their caches on spawn) pick the setting up too.
         os.environ[ENV_DISABLE] = "1"
         reset_geometry_cache()
+    if args.no_columnar:
+        from repro.visibility.history import (ENV_DISABLE as COL_DISABLE,
+                                              set_columnar_enabled)
+
+        # Same channel: histories consult the environment at scan time,
+        # and workers re-read it on spawn.
+        os.environ[COL_DISABLE] = "1"
+        set_columnar_enabled(None)
     if args.precedence_oracle:
         from repro.runtime.order import ENV_ENABLE as PREC_ENABLE
 

@@ -47,13 +47,16 @@ def _privilege_key(privilege) -> Hashable:
 
 
 def trace_signature(stream: TaskStream) -> tuple:
-    """Structural fingerprint of a task sequence: names, regions, fields,
-    privileges — everything the dependence analysis can observe."""
+    """Structural fingerprint of a task sequence: names, launch points,
+    regions, fields, privileges — everything the dependence analysis can
+    observe.  The point matters even though the scan itself never reads
+    it: sharded runtimes assign tasks to shards by point, so two streams
+    differing only in points must not replay each other's template."""
     out = []
     for task in stream:
         reqs = tuple((r.region.uid, r.field, _privilege_key(r.privilege))
                      for r in task.requirements)
-        out.append((task.name, reqs))
+        out.append((task.name, task.point, reqs))
     return tuple(out)
 
 

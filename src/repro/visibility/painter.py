@@ -22,7 +22,8 @@ from repro.regions.region import Region
 from repro.regions.tree import RegionTree
 from repro.visibility.base import (AnalysisOutcome, CoherenceAlgorithm,
                                    INITIAL_TASK_ID)
-from repro.visibility.history import (HistoryEntry, RegionValues, paint_entry,
+from repro.visibility.history import (ColumnarHistory, HistoryEntry,
+                                      RegionValues, paint_entry,
                                       scan_dependences)
 from repro.visibility.meter import CostMeter
 from repro.obs import provenance as prov
@@ -40,10 +41,12 @@ class PainterAlgorithm(CoherenceAlgorithm):
         root_values = RegionValues(tree.root.space, np.asarray(initial).copy())
         from repro.privileges import READ_WRITE
 
-        self._history: list[HistoryEntry] = [
+        # columnar backing: list-like for painting/pickling, SoA columns
+        # for the vectorized dependence sweep
+        self._history = ColumnarHistory([
             HistoryEntry(READ_WRITE, tree.root.space, root_values,
                          INITIAL_TASK_ID)
-        ]
+        ])
 
     # ------------------------------------------------------------------
     @property

@@ -25,6 +25,7 @@ from repro.visibility.base import (AnalysisOutcome, CoherenceAlgorithm,
                                    INITIAL_TASK_ID)
 from repro.visibility.eqset import (EqEntry, EquivalenceSet, EqSetStore,
                                     RefinementTreeStore)
+from repro.visibility.history import (columnar_enabled, interference_mask)
 from repro.visibility.meter import CostMeter
 from repro.obs import provenance as prov
 from repro.obs.tracer import traced
@@ -68,6 +69,7 @@ class EqSetAlgorithmBase(CoherenceAlgorithm):
         deps: set[int] = set()
         oracle = self.order
         if oracle is None:
+            columnar = columnar_enabled()
             for eqset in sets:
                 self.meter.count("eqsets_visited")
                 self.meter.touch(("eqset", eqset.uid,
@@ -75,24 +77,38 @@ class EqSetAlgorithmBase(CoherenceAlgorithm):
                 if track:
                     led.set_source(("eqset",)
                                    + prov.domain_desc(eqset.space))
-                for entry in eqset.history:
-                    self.meter.count("entries_scanned")
+                hist = eqset.history
+                if columnar:
+                    # the eqset invariant makes the overlap test implicit
+                    # (every entry is relevant to every element), so the
+                    # whole scan is one vectorized interference mask; the
+                    # residual loop replays the growing-deps skip over the
+                    # interfering entries only
+                    n = len(hist)
+                    if n:
+                        self.meter.count("entries_scanned", n)
+                    scan = (hist.entries[i] for i in np.flatnonzero(
+                        interference_mask(privilege, hist.kinds,
+                                          hist.redops)))
+                else:
+                    scan = (e for e in hist
+                            if privilege.interferes(e.privilege))
+                    for entry in hist:
+                        self.meter.count("entries_scanned")
+                for entry in scan:
                     if entry.task_id in deps and not entry.collapsed_ids:
                         continue
-                    # the eqset invariant makes the overlap test implicit:
-                    # every entry is relevant to every element
-                    if privilege.interferes(entry.privilege):
-                        deps.add(entry.task_id)
-                        if entry.collapsed_ids:
-                            deps.update(entry.collapsed_ids)
-                        if track:
-                            led.edge(
-                                entry.task_id,
-                                "summary" if entry.collapsed_ids
-                                else "eqset",
-                                prov.privilege_label(entry.privilege),
-                                prov.domain_desc(eqset.space),
-                                collapsed=entry.collapsed_ids)
+                    deps.add(entry.task_id)
+                    if entry.collapsed_ids:
+                        deps.update(entry.collapsed_ids)
+                    if track:
+                        led.edge(
+                            entry.task_id,
+                            "summary" if entry.collapsed_ids
+                            else "eqset",
+                            prov.privilege_label(entry.privilege),
+                            prov.domain_desc(eqset.space),
+                            collapsed=entry.collapsed_ids)
         else:
             # Oracle path: precedence is a property of the global task
             # graph, not of any one set, so gather every candidate and

@@ -1,0 +1,80 @@
+"""Differential harness: the columnar scan path is observationally invisible.
+
+Mirror of ``test_cache_differential.py`` for the structure-of-arrays
+histories: the same program analyzed with the columnar sweep enabled and
+disabled — for every coherence algorithm, plain and sharded across every
+backend — must produce bit-identical analysis fingerprints (dependence
+graph, structure tokens, *and* meter counts).  Any vectorized
+interference verdict, batched overlap answer, or bulk meter charge that
+diverges from the object walk lands here.
+"""
+
+import os
+
+import pytest
+
+from repro import ALGORITHMS, Runtime
+from repro.distributed import BACKENDS, ShardedRuntime
+from repro.distributed.verify import analysis_fingerprint
+from repro.visibility.history import (ENV_DISABLE, columnar_disabled,
+                                      columnar_enabled,
+                                      set_columnar_enabled)
+
+from tests.conftest import fig1_initial, fig1_stream, make_fig1_tree
+
+
+@pytest.fixture(autouse=True)
+def clean_columnar_env():
+    """Each test starts from the env-default columnar state and restores
+    it (the env var must not leak into other tests' forked workers)."""
+    os.environ.pop(ENV_DISABLE, None)
+    set_columnar_enabled(None)
+    yield
+    os.environ.pop(ENV_DISABLE, None)
+    set_columnar_enabled(None)
+
+
+def _plain_fingerprint(algo: str, oracle: bool = False) -> str:
+    tree, P, G = make_fig1_tree()
+    rt = Runtime(tree, fig1_initial(tree), algorithm=algo,
+                 precedence_oracle=oracle)
+    rt.replay(fig1_stream(tree, P, G, 2))
+    return analysis_fingerprint(rt)
+
+
+def _sharded_fingerprints(algo: str, backend: str, shards: int = 4) -> set:
+    tree, P, G = make_fig1_tree()
+    with ShardedRuntime(tree, fig1_initial(tree), shards=shards,
+                        algorithm=algo, backend=backend) as srt:
+        reports = srt.analyze(fig1_stream(tree, P, G, 2))
+    return {r.fingerprint for r in reports}
+
+
+class TestColumnarDifferential:
+    @pytest.mark.parametrize("algo", list(ALGORITHMS))
+    def test_plain_runtime_bit_identical(self, algo):
+        assert columnar_enabled(), "differential needs the default on"
+        on = _plain_fingerprint(algo)
+        with columnar_disabled():
+            off = _plain_fingerprint(algo)
+        assert on == off, algo
+
+    @pytest.mark.parametrize("algo", list(ALGORITHMS))
+    def test_plain_runtime_bit_identical_with_oracle(self, algo):
+        """The oracle-pruned scan batches its survivors — same bar."""
+        on = _plain_fingerprint(algo, oracle=True)
+        with columnar_disabled():
+            off = _plain_fingerprint(algo, oracle=True)
+        assert on == off, algo
+
+    @pytest.mark.parametrize("backend", list(BACKENDS))
+    @pytest.mark.parametrize("algo", list(ALGORITHMS))
+    def test_sharded_bit_identical(self, algo, backend):
+        on = _sharded_fingerprints(algo, backend)
+        assert len(on) == 1, (algo, backend, sorted(on))
+        # REPRO_NO_COLUMNAR propagates into forked workers, so this
+        # disables the columnar path on every backend, not just in-process
+        os.environ[ENV_DISABLE] = "1"
+        set_columnar_enabled(None)
+        off = _sharded_fingerprints(algo, backend)
+        assert on == off, (algo, backend)

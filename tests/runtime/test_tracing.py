@@ -39,6 +39,16 @@ class TestSignature:
         b.append("t", [RegionRequirement(P[1], "up", READ_WRITE)])
         assert trace_signature(a) != trace_signature(b)
 
+    def test_different_point_changes_signature(self):
+        """Launch points are part of the observable shape: sharded
+        runtimes route tasks by point, so two streams differing only in
+        points must not share a signature."""
+        tree, P, G = make_fig1_tree()
+        a, b = TaskStream(), TaskStream()
+        a.append("t", [RegionRequirement(P[0], "up", READ_WRITE)], point=0)
+        b.append("t", [RegionRequirement(P[0], "up", READ_WRITE)], point=1)
+        assert trace_signature(a) != trace_signature(b)
+
 
 @pytest.mark.parametrize("algo", list(ALGORITHMS))
 class TestTracedExecution:
@@ -141,6 +151,36 @@ class TestTraceManagement:
         rt.execute_trace("loop", other)    # shape change: untraced, re-arm
         assert rt.meter.counters["traces_captured"] == 1
         rt.execute_trace("loop", other)    # recapture with the new shape
+        assert rt.meter.counters["traces_captured"] == 2
+        assert "traces_replayed" not in rt.meter.counters
+
+    def test_point_change_does_not_replay_foreign_template(self):
+        """Regression: two streams identical except for their launch
+        points used to share a signature, so the second replayed the
+        first's memoized template — even though the point drives shard
+        assignment in ``ShardedRuntime``.  A point change must restart
+        the trace protocol like any other shape change."""
+        tree, P, G = make_fig1_tree()
+        rt = Runtime(tree, fig1_initial(tree))
+
+        def make(points):
+            s = TaskStream()
+
+            def w(arr):
+                arr[:] = 1
+            for p in points:
+                s.append("t", [RegionRequirement(P[0], "up", READ_WRITE)],
+                         w, point=p)
+            return s
+
+        a, b = make((0, 1)), make((2, 3))
+        rt.execute_trace("loop", a)       # arm
+        rt.execute_trace("loop", a)       # capture
+        assert rt.meter.counters["traces_captured"] == 1
+        rt.execute_trace("loop", b)       # different points: re-arm
+        assert "traces_replayed" not in rt.meter.counters
+        assert rt.meter.counters["traces_captured"] == 1
+        rt.execute_trace("loop", b)       # recapture with the new points
         assert rt.meter.counters["traces_captured"] == 2
         assert "traces_replayed" not in rt.meter.counters
 

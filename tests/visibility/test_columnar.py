@@ -1,0 +1,376 @@
+"""Columnar histories: the vectorized scan is observationally invisible.
+
+The tentpole property: for any privilege mix (reads, writes, reductions
+with distinct operators, collapsed summaries), any query space, and any
+pre-collected dependence set, the columnar sweep and the object walk
+produce the same dependences, the same meter totals, and the same
+provenance edge/prune records.  Plus the scan-path regressions the
+refactor's audit surfaced:
+
+* the oracle-pruned scan must feed its post-coverage-mask survivors
+  through ``batch_overlaps`` instead of scalar ``overlaps`` calls;
+* entries already collected in ``deps`` at scan start must not reach the
+  batched kernel at all.
+"""
+
+from contextlib import nullcontext
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+import repro.visibility.history as hist_mod
+from repro.geometry.index_space import IndexSpace
+from repro.obs import provenance as prov
+from repro.privileges import READ, READ_WRITE, reduce
+from repro.runtime.order import OrderMaintainer, PrecedenceOracle
+from repro.visibility.history import (ColumnarHistory, HistoryEntry,
+                                      PrivilegeColumns, RegionValues,
+                                      columnar_disabled, columnar_enabled,
+                                      interference_mask, scan_dependences,
+                                      set_columnar_enabled)
+from repro.visibility.meter import CostMeter
+
+from tests.conftest import index_spaces
+
+PRIVILEGES = [READ, READ_WRITE, reduce("sum"), reduce("max")]
+
+
+def make_entry(privilege, indices, task_id, collapsed=frozenset()):
+    domain = IndexSpace.from_indices(indices)
+    if privilege.is_read:
+        values = None
+    else:
+        values = RegionValues(domain,
+                              np.arange(domain.size, dtype=np.float64))
+    return HistoryEntry(privilege, domain, values, task_id, collapsed)
+
+
+def run_scan(entries, privilege, space, columnar, seed_deps=(),
+             oracle=None):
+    """One scan under a fresh meter and ledger; returns every observable."""
+    history = ColumnarHistory(entries)
+    deps = set(seed_deps)
+    meter = CostMeter()
+    led = prov.ProvenanceLedger(enabled=True)
+    prev = prov.set_ledger(led)
+    try:
+        led.begin_access(10**6, "x", "test", privilege, space)
+        with (nullcontext() if columnar else columnar_disabled()):
+            scan_dependences(privilege, space, history, deps, meter,
+                             oracle=oracle)
+        led.end_access()
+    finally:
+        prov.set_ledger(prev)
+    (record,) = led.snapshot()
+    return deps, meter.snapshot(), record.edges, record.pruned
+
+
+# ----------------------------------------------------------------------
+# the equivalence property (satellite: hypothesis coverage)
+# ----------------------------------------------------------------------
+entry_specs = st.lists(
+    st.tuples(st.integers(0, len(PRIVILEGES) - 1),
+              st.lists(st.integers(0, 40), min_size=0, max_size=10),
+              st.booleans(),   # collapsed summary?
+              st.booleans()),  # reuse the previous task id?
+    min_size=0, max_size=24)
+
+
+def build_history(specs):
+    entries = []
+    for i, (pk, indices, collapsed, dup) in enumerate(specs):
+        task_id = max(0, i - 1) if dup else i
+        if collapsed and indices:
+            entries.append(make_entry(
+                READ_WRITE, indices, task_id,
+                frozenset({1000 + 2 * i, 1001 + 2 * i})))
+        else:
+            entries.append(make_entry(PRIVILEGES[pk], indices, task_id))
+    return entries
+
+
+class TestColumnarEquivalence:
+    @given(specs=entry_specs,
+           pk=st.integers(0, len(PRIVILEGES) - 1),
+           space=index_spaces(max_index=48, min_size=0, max_size=16),
+           seed=st.lists(st.integers(0, 23), max_size=4))
+    def test_scan_matches_object_walk(self, specs, pk, space, seed):
+        entries = build_history(specs)
+        privilege = PRIVILEGES[pk]
+        on = run_scan(entries, privilege, space, columnar=True,
+                      seed_deps=seed)
+        off = run_scan(entries, privilege, space, columnar=False,
+                       seed_deps=seed)
+        assert on == off
+
+    @given(specs=entry_specs,
+           pk=st.integers(0, len(PRIVILEGES) - 1),
+           space=index_spaces(max_index=48, min_size=0, max_size=16),
+           seed=st.lists(st.integers(0, 23), max_size=4))
+    def test_pruned_scan_matches_object_walk(self, specs, pk, space, seed):
+        """The oracle path too (unlabelled oracle: coverage never hits,
+        so its deps must equal the unpruned scan's order-insensitively)."""
+        entries = build_history(specs)
+        privilege = PRIVILEGES[pk]
+        on = run_scan(entries, privilege, space, columnar=True,
+                      seed_deps=seed,
+                      oracle=PrecedenceOracle(OrderMaintainer()))
+        off = run_scan(entries, privilege, space, columnar=False,
+                       seed_deps=seed,
+                       oracle=PrecedenceOracle(OrderMaintainer()))
+        assert on == off
+
+    def test_empty_history(self):
+        space = IndexSpace.from_indices([1, 2, 3])
+        for columnar in (True, False):
+            deps, counts, edges, pruned = run_scan(
+                [], READ_WRITE, space, columnar)
+            assert deps == set()
+            assert counts == {}
+            assert edges == [] and pruned == []
+
+    def test_single_entry(self):
+        space = IndexSpace.from_indices([1, 2, 3])
+        entry = make_entry(READ_WRITE, [2, 5], 7)
+        for columnar in (True, False):
+            deps, counts, edges, pruned = run_scan(
+                [entry], READ, space, columnar)
+            assert deps == {7}
+            assert counts == {"entries_scanned": 1,
+                              "intersection_tests": 1}
+            assert len(edges) == 1 and pruned == []
+
+    def test_single_disjoint_entry(self):
+        space = IndexSpace.from_indices([10, 11])
+        entry = make_entry(READ_WRITE, [2, 5], 7)
+        for columnar in (True, False):
+            deps, counts, edges, pruned = run_scan(
+                [entry], READ, space, columnar)
+            assert deps == set()
+            assert counts == {"entries_scanned": 1,
+                              "intersection_tests": 1}
+            assert edges == [] and len(pruned) == 1
+
+    def test_empty_query_space(self):
+        space = IndexSpace.from_indices([])
+        entries = [make_entry(READ_WRITE, [1, 2], i) for i in range(3)]
+        on = run_scan(entries, READ, space, columnar=True)
+        off = run_scan(entries, READ, space, columnar=False)
+        assert on == off
+        assert on[0] == set()
+
+
+# ----------------------------------------------------------------------
+# the container itself
+# ----------------------------------------------------------------------
+class TestColumnarHistory:
+    def test_list_protocol_and_columns(self):
+        entries = [make_entry(READ, [1], 0),
+                   make_entry(reduce("sum"), [2, 3], 1),
+                   make_entry(READ_WRITE, [4], 2,
+                              frozenset({10, 11}))]
+        hist = ColumnarHistory(entries)
+        assert len(hist) == 3 and bool(hist)
+        assert list(hist) == entries
+        assert hist[1] is entries[1]
+        assert hist[-1] is entries[2]
+        assert hist == entries  # list equality
+        assert hist.kinds.tolist() == [hist_mod.KIND_READ,
+                                       hist_mod.KIND_REDUCE,
+                                       hist_mod.KIND_WRITE]
+        assert hist.task_ids.tolist() == [0, 1, 2]
+        assert hist.collapsed_flags.tolist() == [False, False, True]
+        assert hist.los.tolist() == [1, 2, 4]
+        assert hist.his.tolist() == [1, 3, 4]
+
+    def test_append_grows_and_reset_keeps_capacity(self):
+        hist = ColumnarHistory()
+        for i in range(50):
+            hist.append(make_entry(READ_WRITE, [i], i))
+        assert len(hist) == 50
+        assert hist.task_ids.tolist() == list(range(50))
+        hist.reset([make_entry(READ, [3], 99)])
+        assert len(hist) == 1
+        assert hist.task_ids.tolist() == [99]
+        assert hist.kinds.tolist() == [hist_mod.KIND_READ]
+
+    def test_pickle_roundtrip_rebuilds_columns(self):
+        import pickle
+
+        entries = [make_entry(reduce("sum"), [1, 2], 0),
+                   make_entry(READ, [3], 1)]
+        hist = ColumnarHistory(entries)
+        clone = pickle.loads(pickle.dumps(hist))
+        assert isinstance(clone, ColumnarHistory)
+        assert len(clone) == 2
+        assert clone.kinds.tolist() == hist.kinds.tolist()
+        assert clone.task_ids.tolist() == hist.task_ids.tolist()
+        # the rebuilt redop column must still match the live operator
+        mask = interference_mask(reduce("sum"), clone.kinds, clone.redops)
+        assert mask.tolist() == [False, True]
+
+    def test_interference_mask_matches_scalar(self):
+        hist = ColumnarHistory([make_entry(READ, [1], 0),
+                                make_entry(READ_WRITE, [1], 1),
+                                make_entry(reduce("sum"), [1], 2),
+                                make_entry(reduce("max"), [1], 3)])
+        for privilege in PRIVILEGES:
+            mask = interference_mask(privilege, hist.kinds, hist.redops)
+            expected = [privilege.interferes(e.privilege) for e in hist]
+            assert mask.tolist() == expected, privilege
+
+    def test_flag_plumbing(self):
+        assert columnar_enabled()  # default on
+        with columnar_disabled():
+            assert not columnar_enabled()
+        assert columnar_enabled()
+        set_columnar_enabled(False)
+        try:
+            assert not columnar_enabled()
+        finally:
+            set_columnar_enabled(None)
+        assert columnar_enabled()
+
+
+# ----------------------------------------------------------------------
+# regression: the oracle-pruned scan batches its survivors (satellite 1)
+# ----------------------------------------------------------------------
+def _spy_kernel(monkeypatch):
+    calls = []
+    real = hist_mod.batch_overlaps
+
+    def spy(query, candidates, **kw):
+        calls.append(len(candidates))
+        return real(query, candidates, **kw)
+
+    monkeypatch.setattr(hist_mod, "batch_overlaps", spy)
+    return calls
+
+
+def _spy_scalar(monkeypatch):
+    calls = []
+    real = IndexSpace.overlaps
+
+    def spy(self, other):
+        calls.append(1)
+        return real(self, other)
+
+    monkeypatch.setattr(IndexSpace, "overlaps", spy)
+    return calls
+
+
+class TestPrunedScanBatching:
+    @pytest.mark.parametrize("columnar", (True, False))
+    def test_survivors_go_through_the_kernel(self, monkeypatch, columnar):
+        """With the oracle on, every surviving candidate's overlap answer
+        must come from one ``batch_overlaps`` call — zero scalar
+        ``overlaps`` calls (pre-fix: zero kernel calls, one scalar call
+        per survivor)."""
+        entries = [make_entry(READ_WRITE, [i, i + 1], i) for i in range(6)]
+        history = ColumnarHistory(entries) if columnar else entries
+        space = IndexSpace.from_indices([2, 3, 4])
+        oracle = PrecedenceOracle(OrderMaintainer())  # nothing covered
+        deps: set = set()
+        kernel = _spy_kernel(monkeypatch)
+        scalar = _spy_scalar(monkeypatch)
+        ctx = nullcontext() if columnar else columnar_disabled()
+        with ctx:
+            scan_dependences(READ, space, history, deps, CostMeter(),
+                             oracle=oracle)
+        assert kernel == [6], "survivors must be batched in one kernel call"
+        assert scalar == [], "no per-candidate scalar overlap tests"
+        assert deps == {1, 2, 3, 4}
+
+    def test_oracle_stats_unchanged_by_precompute(self):
+        """The candidate precompute must not inflate the oracle's
+        hit/miss statistics — only the loop's real coverage tests count."""
+        entries = [make_entry(READ_WRITE, [i], i) for i in range(4)]
+        space = IndexSpace.from_indices([0, 1, 2, 3])
+
+        def run(history):
+            oracle = PrecedenceOracle(OrderMaintainer())
+            deps: set = set()
+            scan_dependences(READ, space, history, deps, CostMeter(),
+                             oracle=oracle)
+            return oracle.hits + oracle.misses
+
+        # the loop coverage-tests each of the 4 interfering entries once;
+        # the precompute must add zero
+        assert run(ColumnarHistory(entries)) == 4
+        with columnar_disabled():
+            assert run(list(entries)) == 4
+
+
+# ----------------------------------------------------------------------
+# regression: pre-collected deps never reach the kernel (satellite 2)
+# ----------------------------------------------------------------------
+class TestDepsAtStartMasking:
+    @pytest.mark.parametrize("columnar", (True, False))
+    def test_kernel_sees_only_untested_entries(self, monkeypatch, columnar):
+        """Entries whose task is already a dependence at scan start are
+        skipped by the loop, so precomputing their verdicts is pure
+        waste — the kernel input must exclude them (pre-fix: all six
+        interfering entries were batched)."""
+        entries = [make_entry(READ_WRITE, [i, i + 1], i) for i in range(6)]
+        history = ColumnarHistory(entries) if columnar else entries
+        space = IndexSpace.from_indices([0, 1, 2, 3, 4, 5, 6])
+        deps = {0, 1, 2, 3}
+        kernel = _spy_kernel(monkeypatch)
+        meter = CostMeter()
+        ctx = nullcontext() if columnar else columnar_disabled()
+        with ctx:
+            scan_dependences(READ, space, history, deps, meter)
+        assert kernel == [2], "pre-collected deps must be masked out"
+        assert deps == {0, 1, 2, 3, 4, 5}
+        # meter counts replay the unmasked control flow bit-identically
+        assert meter.snapshot() == {"entries_scanned": 6,
+                                    "intersection_tests": 2}
+
+    def test_collapsed_summaries_still_tested(self, monkeypatch):
+        """A summary whose max id is already a dependence still carries
+        other collapsed ids, so it must stay in the kernel input."""
+        summary = make_entry(READ_WRITE, [1, 2], 5, frozenset({3, 4, 5}))
+        other = make_entry(READ_WRITE, [2, 3], 7)
+        third = make_entry(READ_WRITE, [3, 4], 8)
+        space = IndexSpace.from_indices([1, 2, 3, 4])
+        deps = {5}
+        kernel = _spy_kernel(monkeypatch)
+        scan_dependences(READ, space,
+                         ColumnarHistory([summary, other, third]), deps,
+                         CostMeter())
+        assert kernel == [3]
+        assert deps == {3, 4, 5, 7, 8}
+
+
+# ----------------------------------------------------------------------
+# eqset-side columns
+# ----------------------------------------------------------------------
+class TestEqsetColumns:
+    def test_equivalence_set_history_is_columnar(self):
+        from repro.visibility.eqset import EquivalenceSet
+
+        s = EquivalenceSet(IndexSpace.from_indices([0, 1, 2]))
+        assert isinstance(s.history, PrivilegeColumns)
+        s.record(READ_WRITE, np.zeros(3), 1)
+        s.record(reduce("sum"), np.ones(3), 2)
+        assert s.history.task_ids.tolist() == [1, 2]
+        inside, outside = s.split(IndexSpace.from_indices([0]))
+        assert outside is not None
+        assert inside.history.task_ids.tolist() == [1, 2]
+        assert outside.history.kinds.tolist() == s.history.kinds.tolist()
+
+    def test_loose_set_history_is_columnar(self):
+        from repro.visibility.eqset import LooseEquivalenceSet
+
+        space = IndexSpace.from_indices([0, 1, 2, 3])
+        s = LooseEquivalenceSet(space)
+        assert isinstance(s.history, ColumnarHistory)
+        s.record(make_entry(READ_WRITE, [0, 1, 2, 3], 1))
+        s.record(make_entry(reduce("sum"), [1, 2], 2))
+        assert s.history.task_ids.tolist() == [1, 2]
+        assert s.history.los.tolist() == [0, 1]
+        remainder = s.minus(IndexSpace.from_indices([0, 1]))
+        assert remainder is not None
+        assert isinstance(remainder.history, ColumnarHistory)
+        assert remainder.history.task_ids.tolist() == [1, 2]
