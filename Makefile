@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test check chaos lint bench bench-quick report examples \
-	introspect-smoke service-smoke telemetry-smoke columnar-smoke clean help
+	introspect-smoke service-smoke telemetry-smoke columnar-smoke \
+	blackbox-smoke clean help
 
 help:
 	@echo "install      editable install (offline-friendly)"
@@ -18,6 +19,7 @@ help:
 	@echo "service-smoke  boot the analysis service, 3 tenants, chaos + verify"
 	@echo "telemetry-smoke  serve --telemetry-out -> validate stream -> top --once"
 	@echo "columnar-smoke  differential fingerprint check, columnar on vs off"
+	@echo "blackbox-smoke  chaos serve with flight recorder -> validate dump -> render"
 	@echo "clean        remove build/caches/results"
 
 install:
@@ -79,6 +81,24 @@ columnar-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro analyze --app stencil --pieces 4 \
 		--iterations 2 --shards 2 --parallel 2 --no-columnar --profile
 
+blackbox-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/obs/test_flight.py \
+		tests/obs/test_doctor.py tests/service/test_blackbox.py
+	rm -rf blackbox-out
+	PYTHONPATH=src $(PYTHON) -m repro serve --chaos 7 --fault-rate 0.3 \
+		--tenants 3 --sessions 24 --seed 2023 \
+		--max-inflight 32 --queue-limit 32 --rate 1000 --burst 64 \
+		--flight-out blackbox-out --flight-cooldown 0.1
+	PYTHONPATH=src $(PYTHON) -c "import glob, sys; \
+		from repro.obs.flight import load_blackbox; \
+		paths = sorted(glob.glob('blackbox-out/blackbox-*.json')); \
+		assert paths, 'chaos run produced no blackbox dump'; \
+		[load_blackbox(p) for p in paths]; \
+		print(f'blackbox-out: {len(paths)} repro.blackbox/1 dump(s) valid')"
+	PYTHONPATH=src $(PYTHON) -m repro doctor
+	PYTHONPATH=src sh -c '$(PYTHON) -m repro blackbox \
+		"$$(ls blackbox-out/blackbox-*.json | tail -1)" --top 3'
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -95,5 +115,5 @@ examples:
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis \
-		benchmarks/results telemetry-out census.json
+		benchmarks/results telemetry-out blackbox-out census.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

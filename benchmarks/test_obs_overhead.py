@@ -22,6 +22,7 @@ machine moments apart, and the primitive timing averages millions of
 calls.
 """
 
+import itertools
 import timeit
 
 import pytest
@@ -319,3 +320,93 @@ def test_enabled_1hz_sampler_overhead_is_below_budget():
     assert overhead < TELEMETRY_ENABLED_BUDGET, (
         f"1Hz telemetry sampling costs {overhead * 100:.2f}% "
         f">= {TELEMETRY_ENABLED_BUDGET * 100:.0f}% of sampled wall time")
+
+
+FLIGHT_DISARMED_BUDGET = 0.01
+FLIGHT_ARMED_BUDGET = 0.02
+
+
+def test_disarmed_recorder_overhead_is_below_budget():
+    """The always-installed flight recorder must be ~free until armed.
+
+    Its hot-path hook is one attribute check (``flight.armed``) per
+    finished span or instant, evaluated only on traced runs — untraced
+    runs never reach it at all.  Arithmetic bound, same technique as the
+    tracer proof with the tighter 1% budget: the disarmed-hook primitive
+    x the span entries one analysis iteration crosses, against the
+    iteration time."""
+    from repro.obs.flight import FlightRecorder, active_recorder
+
+    assert not active_recorder().armed, "benchmark requires default state"
+    rt, app = make_runtime()
+    iter_seconds = min(timeit.repeat(
+        lambda: rt.replay(app.iteration_stream()), repeat=5, number=1))
+
+    flight = FlightRecorder()  # disarmed: the hook reads one attribute
+    span = None
+
+    def hook():
+        if flight is not None and flight.armed:
+            flight.record_span(span)
+
+    calls = 200_000
+    per_hook = min(timeit.repeat(hook, repeat=5, number=calls)) / calls
+    entries = count_instrumentation_entries(rt, app)
+    assert entries > 0, "instrumentation did not fire — wrong workload?"
+
+    overhead = per_hook * entries / iter_seconds
+    print(f"\ndisarmed-recorder overhead: {entries} hooks x "
+          f"{per_hook * 1e9:.0f}ns = {per_hook * entries * 1e6:.1f}us "
+          f"over {iter_seconds * 1e3:.2f}ms -> {overhead * 100:.3f}%")
+    assert overhead < FLIGHT_DISARMED_BUDGET, (
+        f"disarmed flight recorder costs {overhead * 100:.2f}% "
+        f">= {FLIGHT_DISARMED_BUDGET * 100:.0f}% of analysis time")
+
+
+def test_armed_recorder_and_exemplars_at_1hz_are_below_budget():
+    """Worst-case armed cost: every completed session feeds the span
+    ring, every completion offers a latency exemplar to its reservoir,
+    and the 1 Hz hub tick ships the fresh exemplar rows alongside the
+    digests.  One second of that — a generous 200 sessions/s across 8
+    tenants — must stay under 2% of the second it instruments."""
+    from repro.distributed.faults import FakeClock
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.telemetry import TelemetryHub
+    from repro.obs.tracer import Span
+    from repro.service.metrics import LATENCY_BUCKETS
+
+    clock = FakeClock()
+    registry = MetricsRegistry()
+    hists = [registry.histogram("service.latency_seconds",
+                                buckets=LATENCY_BUCKETS, exemplars=4,
+                                exemplar_seed=2023, tenant=f"tenant{t}")
+             for t in range(8)]
+    recorder = FlightRecorder(clock=clock)  # in-memory: dumps are no-ops
+    recorder.armed = True  # arm directly; env probe is not under test
+    hub = TelemetryHub(registry, clock=clock, interval=1.0)
+
+    sessions = 200
+    ids = itertools.count(1)
+
+    def one_second():
+        for k in range(sessions):
+            n = next(ids)
+            recorder.record_span(Span(
+                "session", "service.session", 0.0, 0.001,
+                tid=k % 4, span_id=n))
+            hists[k % 8].observe(
+                0.001 * (k % 50 + 1),
+                {"trace": n, "tenant": f"tenant{k % 8}", "session": n})
+        clock.advance(1.0)
+        hub.sample()
+
+    seconds = 50
+    per_second = min(timeit.repeat(one_second, repeat=5,
+                                   number=seconds)) / seconds
+    overhead = per_second / 1.0  # instrumented cost per sampled second
+    print(f"\narmed recorder + exemplars at 1Hz: {sessions} sessions/s, "
+          f"{per_second * 1e6:.0f}us/s -> {overhead * 100:.3f}%")
+    assert overhead < FLIGHT_ARMED_BUDGET, (
+        f"armed flight recorder + exemplars cost {overhead * 100:.2f}% "
+        f">= {FLIGHT_ARMED_BUDGET * 100:.0f}% of sampled wall time")

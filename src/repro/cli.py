@@ -47,11 +47,21 @@ Commands
     ``--chaos SEED`` injects seeded worker faults while tenants are
     live; ``--bench-out FILE`` writes a ``BENCH_service.json``;
     ``--telemetry-out DIR`` streams windowed telemetry samples and SLO
-    burn-rate alerts as size-rotated ``repro.telemetry/1`` JSONL.
+    burn-rate alerts as size-rotated ``repro.telemetry/1`` JSONL;
+    ``--flight-out DIR`` arms the flight recorder, which dumps a
+    ``repro.blackbox/1`` incident file when an SLO fires, a breaker
+    opens, a deadline expires, or a worker fault recovers.
 ``top``
     Terminal dashboard over a telemetry stream (live-follow or
     ``--once`` snapshot): per-tenant QPS, queue depth, windowed latency
     percentiles, breaker/degradation state, and firing SLO alerts.
+``blackbox``
+    Render a flight-recorder dump as an incident report: trigger,
+    configuration, event timeline, critical path over the captured
+    spans, slowest exemplars, and ``repro explain`` cross-links.
+``doctor``
+    Print every ``REPRO_*`` escape hatch with its current in-effect
+    value and origin (environment override vs default).
 """
 
 from __future__ import annotations
@@ -250,6 +260,18 @@ def _build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--telemetry-interval", type=float, default=1.0,
                      metavar="SECONDS",
                      help="telemetry sampling period (default 1.0)")
+    srv.add_argument("--flight-out", default=None, metavar="DIR",
+                     help="arm the flight recorder: bounded rings of "
+                          "recent spans/instants/ledger events, dumped "
+                          "as repro.blackbox/1 JSON into DIR when an "
+                          "SLO fires, a breaker opens, a deadline "
+                          "expires, or a fault recovers (render with "
+                          "'repro blackbox FILE'; REPRO_NO_FLIGHT "
+                          "disables)")
+    srv.add_argument("--flight-cooldown", type=float, default=5.0,
+                     metavar="SECONDS",
+                     help="minimum seconds between flight-recorder "
+                          "dumps (default 5.0)")
 
     top = sub.add_parser("top",
                          help="terminal dashboard over a telemetry "
@@ -269,6 +291,21 @@ def _build_parser() -> argparse.ArgumentParser:
     top.add_argument("--refresh", type=float, default=1.0,
                      metavar="SECONDS",
                      help="live repaint period (default 1.0)")
+
+    bbx = sub.add_parser("blackbox",
+                         help="render a flight-recorder incident dump "
+                              "(timeline, critical path, exemplar "
+                              "offenders, explain cross-links)")
+    bbx.add_argument("dump", metavar="FILE",
+                     help="repro.blackbox/1 JSON written by "
+                          "serve --flight-out")
+    bbx.add_argument("--top", type=int, default=5, metavar="K",
+                     help="rows in the critical-path and exemplar "
+                          "tables (default 5)")
+
+    sub.add_parser("doctor",
+                   help="print every REPRO_* escape hatch with its "
+                        "in-effect value and origin")
     return parser
 
 
@@ -694,13 +731,18 @@ def _cmd_report(args) -> int:
 
 def _cmd_serve(args) -> int:
     import json
+    import os
     import time
 
     from repro.distributed.faults import FaultPlan
     from repro.errors import MachineError
+    from repro.obs.doctor import TRUTHY
     from repro.obs.metrics import MetricsRegistry
     from repro.service import verify_sessions
     from repro.service.loadgen import LoadSpec, run_load
+
+    def _env_on(name: str) -> bool:
+        return os.environ.get(name, "").strip().lower() in TRUTHY
 
     faults = None
     backend = args.backend
@@ -716,7 +758,10 @@ def _cmd_serve(args) -> int:
                     deadline=args.deadline)
     registry = MetricsRegistry()
     hub = None
-    if args.telemetry_out:
+    if args.telemetry_out and _env_on("REPRO_NO_TELEMETRY"):
+        print("telemetry: disabled by REPRO_NO_TELEMETRY",
+              file=sys.stderr)
+    elif args.telemetry_out:
         from repro.obs.slo import SloEvaluator, default_service_slos
         from repro.obs.telemetry import (TelemetryHub, TelemetrySink,
                                          WINDOWS)
@@ -730,13 +775,43 @@ def _cmd_serve(args) -> int:
             registry, interval=args.telemetry_interval, sink=sink,
             evaluator=SloEvaluator(default_service_slos(),
                                    registry=registry))
+
+    from repro.obs import flight as flight_mod
+    from repro.obs import provenance as prov
+    from repro.obs import tracer as tracing
+
+    recorder = None
+    previous_recorder = previous_tracer = previous_ledger = None
+    if args.flight_out:
+        recorder = flight_mod.FlightRecorder(
+            args.flight_out, cooldown=args.flight_cooldown,
+            exemplar_source=registry.exemplars)
+        previous_recorder = flight_mod.set_recorder(recorder)
+        if recorder.arm():
+            # an enabled, non-retaining tracer: session and task spans
+            # reach the recorder's rings without unbounded buffering
+            previous_tracer = tracing.set_tracer(
+                tracing.Tracer(enabled=True, retain=False))
+        else:
+            print("flight recorder: disabled by REPRO_NO_FLIGHT",
+                  file=sys.stderr)
+            recorder = None
+    if _env_on("REPRO_PROVENANCE"):
+        previous_ledger = prov.set_ledger(
+            prov.ProvenanceLedger(enabled=True))
+        print("provenance: ledger recording (REPRO_PROVENANCE)",
+              file=sys.stderr)
+    # exemplar reservoirs ride along whenever something will surface
+    # them: the telemetry stream (top's offender rows) or a dump
+    exemplar_seed = (args.seed if (hub is not None or recorder is not None)
+                     else None)
     t0 = time.perf_counter()
     try:
         results, summary = run_load(
             spec, backend=backend, shards=args.shards, rate=args.rate,
             burst=args.burst, max_inflight=args.max_inflight,
             queue_limit=args.queue_limit, faults=faults, registry=registry,
-            hub=hub,
+            hub=hub, recorder=recorder, exemplar_seed=exemplar_seed,
             recv_timeout=30.0 if args.chaos is not None else 10.0)
     except MachineError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -744,8 +819,21 @@ def _cmd_serve(args) -> int:
     finally:
         if hub is not None:
             hub.close()
+        if previous_tracer is not None:
+            tracing.set_tracer(previous_tracer)
+        if previous_recorder is not None:
+            flight_mod.set_recorder(previous_recorder)
+        if previous_ledger is not None:
+            prov.set_ledger(previous_ledger)
     wall = time.perf_counter() - t0
     summary["wall_seconds"] = round(wall, 6)
+    if recorder is not None:
+        last = (f" (last {recorder.last_dump.name})"
+                if recorder.last_dump is not None else "")
+        print(f"flight: {recorder.dumps_written} dump(s) from "
+              f"{recorder.triggers_seen} trigger(s), "
+              f"{recorder.dumps_suppressed} in cooldown -> "
+              f"{args.flight_out}{last}", file=sys.stderr)
     if hub is not None:
         firing = hub.firing_alerts()
         print(f"telemetry: {len(hub)} samples "
@@ -807,6 +895,34 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_blackbox(args) -> int:
+    import json
+
+    from repro.obs.flight import load_blackbox, render_blackbox
+
+    try:
+        data = load_blackbox(args.dump)
+    except FileNotFoundError:
+        print(f"error: no such blackbox file: {args.dump}",
+              file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.dump}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render_blackbox(data, top_k=args.top))
+    return 0
+
+
+def _cmd_doctor() -> int:
+    from repro.obs.doctor import render_doctor
+
+    print(render_doctor())
+    return 0
+
+
 def _cmd_top(args) -> int:
     from repro.obs.top import run_top
 
@@ -850,6 +966,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "top":
         return _cmd_top(args)
+    if args.command == "blackbox":
+        return _cmd_blackbox(args)
+    if args.command == "doctor":
+        return _cmd_doctor()
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

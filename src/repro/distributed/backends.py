@@ -954,8 +954,14 @@ class ProcessBackend(AnalysisBackend):
     def _analyze_replicas(self, stream, base, count):
         structure = encode_structure(self.tree, self._known_regions)
         self._known_regions = len(self.tree.regions)
+        # The trace flag also rides for an armed flight recorder: workers
+        # then record spans and ship them home in the reply, where
+        # Tracer.absorb clock-aligns them and offers them to the
+        # recorder's rings (no new wire messages).
+        from repro.obs.flight import active_recorder
         entry = ("analyze", structure, encode_tasks(stream),
-                 obs.active_tracer().enabled, prov.active_ledger().enabled)
+                 obs.active_tracer().enabled or active_recorder().armed,
+                 prov.active_ledger().enabled)
         if self.remote_handles:
             self._journal.append((entry, count))
         # phase 1: ship to every worker (failures recover later, in

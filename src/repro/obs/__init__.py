@@ -17,9 +17,15 @@ from repro.obs.census import (CENSUS_SCHEMA, census_diff, publish_census,
                               render_census, validate_census)
 from repro.obs.census import census as take_census
 from repro.obs.critpath import CritPathReport, critical_path, deps_from_spans
+from repro.obs.doctor import (HATCHES, Hatch, config_snapshot,
+                              render_doctor, resolve_hatches)
 from repro.obs.export import (load_trace, telemetry_counter_events,
                               telemetry_trace, to_chrome_trace,
                               trace_events, validate_trace, write_trace)
+from repro.obs.flight import (BLACKBOX_SCHEMA, FlightRecorder,
+                              active_recorder, blackbox_spans,
+                              load_blackbox, render_blackbox,
+                              set_recorder, validate_blackbox)
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                                DEFAULT_BUCKETS)
 from repro.obs.provenance import (AccessRecord, EdgeWitness, PruneRecord,
@@ -40,8 +46,13 @@ __all__ = [
     "CENSUS_SCHEMA", "take_census", "census_diff", "publish_census",
     "render_census", "validate_census",
     "CritPathReport", "critical_path", "deps_from_spans",
+    "HATCHES", "Hatch", "config_snapshot", "render_doctor",
+    "resolve_hatches",
     "load_trace", "telemetry_counter_events", "telemetry_trace",
     "to_chrome_trace", "trace_events", "validate_trace", "write_trace",
+    "BLACKBOX_SCHEMA", "FlightRecorder", "active_recorder",
+    "blackbox_spans", "load_blackbox", "render_blackbox", "set_recorder",
+    "validate_blackbox",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS",
     "AccessRecord", "EdgeWitness", "PruneRecord", "ProvenanceLedger",
     "active_ledger", "explain_task", "set_ledger",

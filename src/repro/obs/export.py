@@ -195,49 +195,60 @@ def validate_trace(data) -> list[str]:
     """Check one parsed trace object against the trace-event schema.
 
     Returns a list of human-readable problems — empty means valid.
-    Checks: the container shape, required keys per event, known phases,
-    numeric non-negative ``ts``/``dur``, and that complete events are
-    monotonically ordered by ``ts`` (the exporter sorts them, so a
-    violation means timestamps went backwards somewhere).
+    Every problem names the offending event's index *and* key path
+    (``traceEvents[3].ts: ...``), plus the event name when it has one,
+    so a violation in a multi-thousand-event file is findable without
+    bisecting.  Checks: the container shape, required keys per event,
+    known phases, numeric non-negative ``ts``/``dur``, and that complete
+    events are monotonically ordered by ``ts`` (the exporter sorts
+    them, so a violation means timestamps went backwards somewhere).
     """
     problems: list[str] = []
     if not isinstance(data, dict) or "traceEvents" not in data:
-        return ["top level must be an object with a 'traceEvents' list"]
+        return ["$: top level must be an object with a "
+                "'traceEvents' list"]
     events = data["traceEvents"]
     if not isinstance(events, list):
-        return ["'traceEvents' must be a list"]
+        return ["traceEvents: must be a list, got "
+                f"{type(events).__name__}"]
     last_ts = None
+    last_where = ""
     for k, event in enumerate(events):
         if not isinstance(event, dict):
-            problems.append(f"event {k}: not an object")
+            problems.append(f"traceEvents[{k}]: not an object, got "
+                            f"{type(event).__name__}")
             continue
+        name = event.get("name")
+        where = f"traceEvents[{k}]" + \
+            (f" ({name!r})" if isinstance(name, str) else "")
         for key in REQUIRED_KEYS:
             if key not in event:
-                problems.append(f"event {k}: missing required key {key!r}")
+                problems.append(f"{where}: missing required key {key!r}")
         ph = event.get("ph")
         if ph not in KNOWN_PHASES:
-            problems.append(f"event {k}: unknown phase {ph!r}")
+            problems.append(f"{where}.ph: unknown phase {ph!r}")
             continue
         if ph == "M":
             continue
         ts = event.get("ts")
         if not isinstance(ts, (int, float)) or ts < 0:
-            problems.append(f"event {k}: 'ts' must be a number >= 0, "
+            problems.append(f"{where}.ts: 'ts' must be a number >= 0, "
                             f"got {ts!r}")
             continue
         if last_ts is not None and ts < last_ts:
             problems.append(
-                f"event {k}: ts {ts} precedes previous event ts "
+                f"{where}.ts: ts {ts} precedes {last_where} ts "
                 f"{last_ts} (timestamps not monotonically ordered)")
         last_ts = ts
+        last_where = f"traceEvents[{k}]"
         if ph == "X":
             dur = event.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
-                problems.append(f"event {k}: complete event needs "
+                problems.append(f"{where}.dur: complete event needs "
                                 f"'dur' >= 0, got {dur!r}")
         if ph == "i" and event.get("s") not in ("g", "p", "t"):
-            problems.append(f"event {k}: instant needs scope 's' in "
-                            f"g/p/t")
+            problems.append(f"{where}.s: instant needs scope 's' in "
+                            f"g/p/t, got {event.get('s')!r}")
     return problems
 
 

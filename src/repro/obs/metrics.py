@@ -23,7 +23,9 @@ backend's workers.
 from __future__ import annotations
 
 import math
+import random
 import threading
+import zlib
 from typing import Iterator, Optional, Sequence
 
 #: Default histogram buckets (seconds): spans from microseconds to
@@ -116,12 +118,21 @@ class Histogram(Metric):
 
     ``buckets`` are inclusive upper bounds in increasing order; an
     implicit +inf bucket catches the overflow.
+
+    With ``exemplars > 0`` each bucket additionally keeps a bounded
+    **exemplar reservoir**: up to that many concrete observations
+    (value plus caller-supplied context: trace/span id, task, tenant,
+    shard) chosen by reservoir sampling.  Sampling is driven by a
+    private :class:`random.Random` seeded from ``exemplar_seed`` and the
+    instrument's full name — never the salted builtin ``hash`` — so the
+    same observation stream always yields byte-identical reservoirs.
     """
 
     kind = "histogram"
 
     def __init__(self, name: str, labels: dict,
-                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+                 buckets: Sequence[float] = DEFAULT_BUCKETS,
+                 exemplars: int = 0, exemplar_seed: int = 0) -> None:
         super().__init__(name, labels)
         bounds = tuple(float(b) for b in buckets)
         if list(bounds) != sorted(set(bounds)):
@@ -130,8 +141,20 @@ class Histogram(Metric):
         self.counts = [0] * len(self.bounds)
         self.sum = 0.0
         self.count = 0
+        self.exemplar_capacity = int(exemplars)
+        self.exemplar_seed = int(exemplar_seed)
+        if self.exemplar_capacity:
+            self._reservoirs: list[list[dict]] = \
+                [[] for _ in self.bounds]
+            self._reservoir_seen = [0] * len(self.bounds)
+            self._exemplar_seq = 0
+            # crc32 keeps the derivation stable across processes and
+            # PYTHONHASHSEED values (str hash is salted; crc32 is not)
+            self._rng = random.Random(
+                self.exemplar_seed ^ zlib.crc32(self.full_name.encode()))
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float,
+                exemplar: Optional[dict] = None) -> None:
         with self._lock:
             for k, bound in enumerate(self.bounds):
                 if value <= bound:
@@ -139,6 +162,46 @@ class Histogram(Metric):
                     break
             self.sum += value
             self.count += 1
+            if self.exemplar_capacity and exemplar is not None:
+                self._offer_exemplar(k, value, exemplar)
+
+    def _offer_exemplar(self, k: int, value: float,
+                        context: dict) -> None:
+        """Reservoir-sample (Algorithm R) into bucket ``k``'s reservoir.
+        Caller holds ``_lock``."""
+        self._exemplar_seq += 1
+        entry = dict(context)
+        entry["value"] = float(value)
+        entry["seq"] = self._exemplar_seq
+        reservoir = self._reservoirs[k]
+        self._reservoir_seen[k] += 1
+        if len(reservoir) < self.exemplar_capacity:
+            reservoir.append(entry)
+            return
+        j = self._rng.randrange(self._reservoir_seen[k])
+        if j < self.exemplar_capacity:
+            reservoir[j] = entry
+
+    def exemplars(self) -> list[dict]:
+        """Snapshot of every bucket reservoir, flattened.
+
+        Each entry carries the caller's context keys plus ``value``,
+        ``seq`` (monotone per-histogram offer number — lets the
+        telemetry hub ship only new-since-last-tick exemplars) and
+        ``bucket`` (the bucket's upper bound; ``None`` for +inf so the
+        payload stays JSON-clean).
+        """
+        if not self.exemplar_capacity:
+            return []
+        with self._lock:
+            out = []
+            for bound, reservoir in zip(self.bounds, self._reservoirs):
+                for entry in reservoir:
+                    row = dict(entry)
+                    row["bucket"] = None if math.isinf(bound) else bound
+                    out.append(row)
+        out.sort(key=lambda e: e["seq"])
+        return out
 
     def bucket_counts(self) -> tuple[list[int], int, float]:
         """Tear-free ``(counts, count, sum)`` snapshot — safe to read
@@ -230,8 +293,24 @@ class MetricsRegistry:
 
     def histogram(self, name: str,
                   buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  exemplars: int = 0, exemplar_seed: int = 0,
                   **labels) -> Histogram:
-        return self._get(Histogram, name, labels, buckets=buckets)
+        # get-or-create: exemplar settings (like buckets) only apply on
+        # first creation of a given (name, labels) instrument
+        return self._get(Histogram, name, labels, buckets=buckets,
+                         exemplars=exemplars, exemplar_seed=exemplar_seed)
+
+    def exemplars(self) -> list[dict]:
+        """Every exemplar across every histogram, each row tagged with
+        its instrument's ``metric`` full name (the flight recorder's
+        dump source)."""
+        out: list[dict] = []
+        for metric in self:
+            if isinstance(metric, Histogram) and metric.exemplar_capacity:
+                for row in metric.exemplars():
+                    row["metric"] = metric.full_name
+                    out.append(row)
+        return out
 
     # ------------------------------------------------------------------
     def __iter__(self) -> Iterator[Metric]:

@@ -212,7 +212,10 @@ class TelemetrySample:
     ``gauges`` hold current values, ``digests`` hold per-tick histogram
     deltas as :class:`QuantileDigest` records.  Keys are metric
     ``full_name`` strings (labels included), so per-tenant series stay
-    distinct.
+    distinct.  ``exemplars`` carry the histogram exemplar rows *offered
+    since the previous tick* (keyed like ``digests``; present only when
+    a histogram has exemplar reservoirs enabled), so a windowed p99 can
+    point at the concrete sessions behind it.
     """
 
     ts: float
@@ -220,9 +223,10 @@ class TelemetrySample:
     counters: dict[str, float] = field(default_factory=dict)
     gauges: dict[str, float] = field(default_factory=dict)
     digests: dict[str, QuantileDigest] = field(default_factory=dict)
+    exemplars: dict[str, list] = field(default_factory=dict)
 
     def to_line(self) -> dict:
-        return {
+        line = {
             "kind": "sample", "ts": round(self.ts, 6),
             "interval": round(self.interval, 6),
             "counters": {k: self.counters[k]
@@ -231,6 +235,10 @@ class TelemetrySample:
             "digests": {k: self.digests[k].to_dict()
                         for k in sorted(self.digests)},
         }
+        if self.exemplars:
+            line["exemplars"] = {k: self.exemplars[k]
+                                 for k in sorted(self.exemplars)}
+        return line
 
     @classmethod
     def from_line(cls, line: dict) -> "TelemetrySample":
@@ -241,7 +249,9 @@ class TelemetrySample:
             gauges={k: float(v)
                     for k, v in (line.get("gauges") or {}).items()},
             digests={k: QuantileDigest.from_dict(v)
-                     for k, v in (line.get("digests") or {}).items()})
+                     for k, v in (line.get("digests") or {}).items()},
+            exemplars={k: list(v)
+                       for k, v in (line.get("exemplars") or {}).items()})
 
     def base_totals(self) -> dict[str, float]:
         """Counter deltas folded by base name (labels stripped), built
@@ -373,6 +383,7 @@ class TelemetryHub:
         self._samplers: list[Callable] = []
         self._last_counters: dict[str, float] = {}
         self._last_hist: dict[str, tuple] = {}
+        self._last_exemplar_seq: dict[str, int] = {}
         self._last_ts: Optional[float] = None
 
     # -- sampling -------------------------------------------------------
@@ -417,6 +428,17 @@ class TelemetryHub:
                 self._last_hist[name] = (counts, total)
                 if digest.count:
                     sample.digests[name] = digest
+                if metric.exemplar_capacity:
+                    # ship only exemplars offered since the last tick
+                    # (monotone per-histogram seq), mirroring the delta
+                    # treatment of every other record kind
+                    last_seq = self._last_exemplar_seq.get(name, 0)
+                    fresh = [row for row in metric.exemplars()
+                             if row["seq"] > last_seq]
+                    if fresh:
+                        self._last_exemplar_seq[name] = \
+                            max(row["seq"] for row in fresh)
+                        sample.exemplars[name] = fresh
             elif isinstance(metric, Gauge):
                 sample.gauges[name] = metric.value
         self._derive_hit_rates(sample)
@@ -523,6 +545,16 @@ class TelemetryHub:
             return {f"p{round(q * 100) if q < 1 else 100}": math.nan
                     for q in qs}
         return digest.quantiles(qs)
+
+    def exemplars_in(self, name: str, window: str | float) -> list[dict]:
+        """Every exemplar row shipped for ``name`` inside the window,
+        slowest first — what ``repro top`` renders as the concrete
+        offenders behind the windowed p95/p99."""
+        rows: list[dict] = []
+        for sample in self.samples_in(window):
+            rows.extend(sample.exemplars.get(name, ()))
+        rows.sort(key=lambda r: -r.get("value", 0.0))
+        return rows
 
     def series_names(self) -> dict[str, set]:
         """Every key seen across the ring, by record kind."""
@@ -643,8 +675,17 @@ def validate_telemetry(source) -> list[str]:
                                 f"negative ({value})")
                 for name, digest in (line.get("digests") or {}).items():
                     problems.extend(
-                        f"{where}: digest {name!r}: {p}"
+                        f"{where}: digests[{name!r}]: {p}"
                         for p in _digest_problems(digest))
+                exemplars = line.get("exemplars", {})
+                if not isinstance(exemplars, dict):
+                    problems.append(
+                        f"{where}: 'exemplars' must be an object")
+                else:
+                    for name, rows in exemplars.items():
+                        problems.extend(
+                            f"{where}: exemplars[{name!r}]{p}"
+                            for p in _exemplar_problems(rows))
             elif kind == "alert":
                 if not isinstance(line.get("name"), str):
                     problems.append(f"{where}: alert needs a 'name'")
@@ -652,6 +693,24 @@ def validate_telemetry(source) -> list[str]:
                     problems.append(
                         f"{where}: alert state must be firing/resolved, "
                         f"got {line.get('state')!r}")
+    return problems
+
+
+def _exemplar_problems(rows) -> list[str]:
+    """Problems with one sample line's exemplar rows; each message is
+    suffix key-path form (``[k].value: ...``)."""
+    if not isinstance(rows, list):
+        return [": must be an array"]
+    problems = []
+    for k, row in enumerate(rows):
+        if not isinstance(row, dict):
+            problems.append(f"[{k}]: must be an object")
+            continue
+        if not isinstance(row.get("value"), (int, float)):
+            problems.append(f"[{k}].value: missing or not a number")
+        if not isinstance(row.get("seq"), int) or row.get("seq", 0) < 1:
+            problems.append(f"[{k}].seq: missing or not a positive "
+                            "integer")
     return problems
 
 

@@ -158,6 +158,19 @@ def render_top(hub: TelemetryHub, window="1m", width: int = 100) -> str:
             cells.append(f"{who} {hub.gauge(name) * 100:.0f}%")
         put("geometry cache hit rate: " + "   ".join(cells))
 
+    # concrete offenders behind the windowed percentiles: the exemplar
+    # rows shipped with the samples (only when exemplar reservoirs are
+    # enabled service-side)
+    offenders = hub.exemplars_in("service.latency_seconds", window)[:5]
+    if offenders:
+        put("")
+        put(f"slowest sessions ({window_name}):")
+        for row in offenders:
+            who = " ".join(
+                f"{key}={row[key]}" for key in
+                ("tenant", "session", "backend", "trace") if key in row)
+            put(f"  {_fmt_seconds(row.get('value')):>8}  {who}")
+
     put("")
     if firing:
         put("alerts:")

@@ -123,6 +123,18 @@ class TraceBuffer:
 
 _span_ids = itertools.count(1)
 
+#: Flight-recorder sink (:class:`repro.obs.flight.FlightRecorder`).
+#: Installed by :mod:`repro.obs.flight` at import; every finished span
+#: and instant is offered to it when armed.  The disarmed fast path is
+#: two attribute checks — see ``benchmarks/test_obs_overhead.py``.
+_FLIGHT = None
+
+
+def set_flight_sink(sink) -> None:
+    """Install the recorder finished spans/instants are offered to."""
+    global _FLIGHT
+    _FLIGHT = sink
+
 
 class _NoopSpan:
     """Shared do-nothing context manager: the disabled-tracer fast path."""
@@ -181,8 +193,12 @@ class _OpenSpan:
         finished = Span(self.name, self.category, self.start, end,
                         self.pid, self.tid, self.span_id, self.parent_id,
                         self.args)
-        with tracer._lock:
-            tracer._buffer.spans.append(finished)
+        if tracer.retain:
+            with tracer._lock:
+                tracer._buffer.spans.append(finished)
+        flight = _FLIGHT
+        if flight is not None and flight.armed:
+            flight.record_span(finished)
         return False
 
 
@@ -225,13 +241,20 @@ class Tracer:
     pid:
         Default process attribution for recorded events
         (:data:`DRIVER_PID` for the control process).
+    retain:
+        When False, finished spans/instants/counters are *not* kept in
+        the tracer's own buffer — they are still offered to the flight
+        recorder.  A long-lived service arms the recorder with a
+        ``retain=False`` tracer so span memory stays bounded by the
+        recorder's rings instead of growing for the process lifetime.
     """
 
     def __init__(self, clock=None, enabled: bool = True,
-                 pid: int = DRIVER_PID) -> None:
+                 pid: int = DRIVER_PID, retain: bool = True) -> None:
         self.clock = clock if clock is not None else _DEFAULT_CLOCK
         self.enabled = enabled
         self.pid = pid
+        self.retain = retain
         self._lock = threading.Lock()
         self._buffer = TraceBuffer()
         self._local = threading.local()
@@ -290,12 +313,18 @@ class Tracer:
         pid, tid = self._attribution()
         event = Instant(name, category, self.clock.monotonic(), pid, tid,
                         args)
-        with self._lock:
-            self._buffer.instants.append(event)
+        if self.retain:
+            with self._lock:
+                self._buffer.instants.append(event)
+        flight = _FLIGHT
+        if flight is not None and flight.armed:
+            flight.record_instant(event)
 
     def counter(self, name: str, value: float) -> None:
         """Record one timestamped sample of a counter series."""
         if not self.enabled:
+            return
+        if not self.retain:
             return
         pid, _ = self._attribution()
         sample = CounterSample(name, self.clock.monotonic(), float(value),
@@ -314,9 +343,15 @@ class Tracer:
         alignment."""
         spans = [s.shifted(offset) for s in spans]
         instants = [replace(i, ts=i.ts + offset) for i in instants]
-        with self._lock:
-            self._buffer.spans.extend(spans)
-            self._buffer.instants.extend(instants)
+        if self.retain:
+            with self._lock:
+                self._buffer.spans.extend(spans)
+                self._buffer.instants.extend(instants)
+        flight = _FLIGHT
+        if flight is not None and flight.armed:
+            flight.record_spans(spans)
+            for event in instants:
+                flight.record_instant(event)
 
     def snapshot(self) -> TraceBuffer:
         """Copy of everything recorded so far."""

@@ -81,6 +81,10 @@ class ServiceLedger:
         self._events: list[ServiceEvent] = []
         self._counts: dict[str, int] = {}
         self.capacity = max(2, capacity)
+        #: Optional observer called with every recorded event, *outside*
+        #: the ledger lock (it may do IO — the flight recorder dumps its
+        #: rings on alert/breaker/deadline events).
+        self.listener = None
 
     def record(self, kind: str, tenant: str, session: int = -1,
                detail: str = "", at: float = 0.0) -> None:
@@ -90,6 +94,9 @@ class ServiceLedger:
             if len(self._events) >= self.capacity:
                 del self._events[:self.capacity // 2]
             self._events.append(event)
+        listener = self.listener
+        if listener is not None:
+            listener(event)
 
     def snapshot(self) -> list[ServiceEvent]:
         with self._lock:

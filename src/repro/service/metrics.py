@@ -35,10 +35,19 @@ LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
 
 
 class ServiceMetrics:
-    """Publishes service control-plane state; no-op without a registry."""
+    """Publishes service control-plane state; no-op without a registry.
 
-    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+    ``exemplars``/``exemplar_seed`` configure the latency histograms'
+    per-bucket exemplar reservoirs (see
+    :class:`repro.obs.metrics.Histogram`); zero keeps the histograms
+    exemplar-free, exactly as before.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 exemplars: int = 0, exemplar_seed: int = 0) -> None:
         self.registry = registry
+        self.exemplars = int(exemplars)
+        self.exemplar_seed = int(exemplar_seed)
 
     @property
     def enabled(self) -> bool:
@@ -57,18 +66,22 @@ class ServiceMetrics:
                               reason=reason).inc()
 
     # -- completion -----------------------------------------------------
-    def completed(self, tenant: str, seconds: float) -> None:
+    def completed(self, tenant: str, seconds: float,
+                  exemplar: Optional[dict] = None) -> None:
         if self.registry is None:
             return
         self.registry.counter("service.completed", tenant=tenant).inc()
         # global and per-tenant latency series: the telemetry hub's
         # windowed digests need the tenant label to answer "what is
         # tenant X's p99 right now" without storing raw samples
-        self.registry.histogram("service.latency_seconds",
-                                buckets=LATENCY_BUCKETS).observe(seconds)
-        self.registry.histogram("service.latency_seconds",
-                                buckets=LATENCY_BUCKETS,
-                                tenant=tenant).observe(seconds)
+        self.registry.histogram(
+            "service.latency_seconds", buckets=LATENCY_BUCKETS,
+            exemplars=self.exemplars,
+            exemplar_seed=self.exemplar_seed).observe(seconds, exemplar)
+        self.registry.histogram(
+            "service.latency_seconds", buckets=LATENCY_BUCKETS,
+            exemplars=self.exemplars, exemplar_seed=self.exemplar_seed,
+            tenant=tenant).observe(seconds, exemplar)
 
     def expired(self, tenant: str) -> None:
         if self.registry is None:

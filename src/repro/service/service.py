@@ -54,6 +54,7 @@ from repro.distributed.sharded import ShardedRuntime
 from repro.errors import MachineError
 from repro.geometry.fastpath import GeometryCache, tenant_geometry_cache
 from repro.obs import provenance as prov
+from repro.obs import tracer as tracing
 from repro.runtime.task import TaskStream
 from repro.service.admission import DeadlineBudget, TokenBucket, WatermarkGate
 from repro.service.breaker import HALF_OPEN, STATE_CODES, CircuitBreaker
@@ -151,7 +152,10 @@ class AnalysisService:
                  recv_timeout: float = 10.0,
                  checkpoint_interval: int = 2,
                  max_threads: int = 4,
-                 analyze_fn: Optional[Callable] = None) -> None:
+                 analyze_fn: Optional[Callable] = None,
+                 exemplar_seed: Optional[int] = None,
+                 exemplar_capacity: int = 4,
+                 recorder=None) -> None:
         if backend not in ("serial", "thread", "process"):
             raise MachineError(f"unknown service backend {backend!r}")
         if max_inflight < 1 or queue_limit < 1:
@@ -172,8 +176,20 @@ class AnalysisService:
         self.checkpoint_interval = checkpoint_interval
         self._clock = clock if clock is not None else SystemClock()
         self._real_time = isinstance(self._clock, SystemClock)
-        self.metrics = ServiceMetrics(registry)
+        # exemplar_seed opts the latency histograms into per-bucket
+        # exemplar reservoirs (seeded-deterministic; see obs.metrics)
+        self.metrics = ServiceMetrics(
+            registry,
+            exemplars=exemplar_capacity if exemplar_seed is not None else 0,
+            exemplar_seed=exemplar_seed or 0)
         self.ledger = ServiceLedger()
+        self.recorder = recorder
+        if recorder is not None:
+            # every control-plane event reaches the flight recorder; the
+            # listener trips blackbox dumps on alert/breaker/deadline
+            self.ledger.listener = recorder.record_event
+            if registry is not None and recorder.exemplar_source is None:
+                recorder.exemplar_source = registry.exemplars
         self.breaker = CircuitBreaker(
             failure_threshold=breaker_threshold,
             reset_timeout=breaker_reset, clock=self._clock,
@@ -360,7 +376,8 @@ class AnalysisService:
                 return self._fail(tenant, pending, None, exc)
         start = self._clock.monotonic()
         try:
-            fingerprint = await self._analyze(tenant, slot, pending)
+            fingerprint, trace_ref = await self._analyze(tenant, slot,
+                                                         pending)
         except asyncio.TimeoutError:
             # the executor thread is still analyzing; hand it runtime
             # teardown (it checks this flag on the way out)
@@ -386,7 +403,12 @@ class AnalysisService:
                                f"served on {slot.backend} backend",
                                at=self._clock.monotonic())
         self.counts["completed"] += 1
-        self.metrics.completed(tenant.name, seconds)
+        exemplar = None
+        if self.metrics.exemplars:
+            exemplar = {"trace": trace_ref, "tenant": tenant.name,
+                        "session": pending.session,
+                        "backend": slot.backend}
+        self.metrics.completed(tenant.name, seconds, exemplar)
         return SessionResult(
             request=request, session=pending.session, status=OK,
             fingerprint=fingerprint, backend=slot.backend,
@@ -435,28 +457,48 @@ class AnalysisService:
         tenant.slots[request.slot_key] = slot
         return slot
 
+    def _session_span(self, tenant: _Tenant, slot: _Slot,
+                      pending: _Pending):
+        """The per-session trace span: its id is the exemplar trace
+        reference, and its args let ``repro blackbox`` replay the exact
+        analysis (``repro explain`` cross-links).  No-op (span_id 0)
+        when the tracer is disabled."""
+        request = pending.request
+        return tracing.span(
+            "session", "service.session", tenant=tenant.name,
+            session=pending.session, app=request.app,
+            pieces=request.pieces, iterations=request.iterations,
+            algorithm=request.algorithm, backend=slot.backend)
+
     async def _analyze(self, tenant: _Tenant, slot: _Slot,
-                       pending: _Pending) -> str:
+                       pending: _Pending) -> tuple:
+        """Returns ``(fingerprint, trace_ref)`` — the session span's id
+        (0 when tracing is off), threaded into the latency exemplar."""
         request = pending.request
         if self._analyze_fn is not None:
             # injected analysis (FakeClock unit tests): run inline so
             # the control plane stays single-threaded and sleep-free
-            return self._analyze_fn(request, slot.backend, tenant.name)
+            with self._session_span(tenant, slot, pending) as sp:
+                fingerprint = self._analyze_fn(request, slot.backend,
+                                               tenant.name)
+            return fingerprint, getattr(sp, "span_id", 0)
         runtime = slot.runtime
         app = slot.app
         iterations = request.iterations
         include_init = slot.windows == 0
 
-        def work() -> str:
+        def work() -> tuple:
             try:
                 ledger = prov.active_ledger()
-                with tenant_geometry_cache(tenant.cache), \
+                with self._session_span(tenant, slot, pending) as sp, \
+                        tenant_geometry_cache(tenant.cache), \
                         ledger.scope(tenant=tenant.name):
                     # stream construction builds tasks and region
                     # requirements — tenant-cache traffic as well
                     stream = session_stream(app, iterations, include_init)
                     reports = runtime.analyze(stream)
-                return reports[0].fingerprint
+                return (reports[0].fingerprint,
+                        getattr(sp, "span_id", 0))
             finally:
                 if pending.abandoned.is_set():
                     # deadline fired while we were analyzing; the slot

@@ -213,3 +213,36 @@ class TestTelemetryBridge:
         path = tmp_path / "telemetry-trace.json"
         path.write_text(json.dumps(trace, separators=(",", ":")))
         assert validate_trace(json.loads(path.read_text())) == []
+
+
+def test_validate_reports_offending_index_and_key_path():
+    events = [
+        {"name": "ok", "ph": "X", "pid": 0, "tid": 0, "ts": 10.0,
+         "dur": 1.0},
+        {"name": "bad-dur", "ph": "X", "pid": 0, "tid": 0, "ts": 12.0,
+         "dur": -5},
+        {"name": "rewind", "ph": "X", "pid": 0, "tid": 0, "ts": 4.0,
+         "dur": 0.0},
+        {"ph": "i", "pid": 0, "tid": 0, "ts": 20.0, "s": "q"},
+    ]
+    problems = validate_trace({"traceEvents": events})
+    # the bad duration names the event and the key
+    assert any(p.startswith("traceEvents[1] ('bad-dur').dur:")
+               for p in problems)
+    # the ordering violation names BOTH events involved
+    rewind = [p for p in problems if p.startswith("traceEvents[2]")]
+    assert rewind and "precedes traceEvents[1] ts 12.0" in rewind[0]
+    # the instant is missing 'name' (indexed, nameless prefix) and has
+    # a bad scope
+    assert "traceEvents[3]: missing required key 'name'" in problems
+    assert any(p.startswith("traceEvents[3].s:") and "'q'" in p
+               for p in problems)
+
+
+def test_validate_reports_container_shape_with_path():
+    assert validate_trace([]) \
+        == ["$: top level must be an object with a 'traceEvents' list"]
+    assert validate_trace({"traceEvents": "nope"}) \
+        == ["traceEvents: must be a list, got str"]
+    problems = validate_trace({"traceEvents": [17]})
+    assert problems == ["traceEvents[0]: not an object, got int"]

@@ -1,0 +1,341 @@
+"""Flight recorder: rings, triggers, cooldown, rotation, size cap,
+schema validation, and the incident report.  Everything runs on a
+FakeClock — no sleeps, no real incidents required."""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.distributed.faults import FakeClock
+from repro.obs import tracer as tracing
+from repro.obs.flight import (BLACKBOX_SCHEMA, ENV_DISABLE, FlightRecorder,
+                              active_recorder, blackbox_spans,
+                              load_blackbox, render_blackbox, set_recorder,
+                              validate_blackbox)
+from repro.obs.tracer import Instant, Span
+
+
+def make_span(n, tid=0, start=0.0, dur=0.01, category="task", **args):
+    return Span(name=f"s{n}", category=category, start=start,
+                end=start + dur, pid=tid + 1, tid=tid, span_id=n,
+                parent_id=None, args=args)
+
+
+def make_instant(name="crash", category="recovery", ts=1.0, tid=0):
+    return Instant(name=name, category=category, ts=ts, pid=tid + 1,
+                   tid=tid, args={})
+
+
+def make_event(kind, tenant="t0", session=0, detail="", at=1.0):
+    return SimpleNamespace(kind=kind, tenant=tenant, session=session,
+                           detail=detail, at=at)
+
+
+def make_recorder(directory=None, **kw):
+    kw.setdefault("clock", FakeClock())
+    kw.setdefault("armed", True)
+    return FlightRecorder(directory, **kw)
+
+
+# ----------------------------------------------------------------------
+# rings
+# ----------------------------------------------------------------------
+def test_disarmed_recorder_records_nothing():
+    rec = make_recorder(armed=False)
+    rec.record_span(make_span(0))
+    rec.record_instant(make_instant())
+    rec.record_event(make_event("alert", detail="x firing"))
+    snap = rec.snapshot()
+    assert snap["shards"] == {}
+    assert snap["instants"] == []
+    assert snap["tenants"] == {}
+    assert rec.triggers_seen == 0
+
+
+def test_rings_are_bounded_per_shard():
+    rec = make_recorder(span_capacity=4)
+    for n in range(10):
+        rec.record_span(make_span(n, tid=n % 2))
+    snap = rec.snapshot()
+    assert set(snap["shards"]) == {"0", "1"}
+    for shard in snap["shards"].values():
+        assert len(shard["spans"]) == 4
+    # the ring kept the newest spans, oldest evicted
+    assert snap["shards"]["0"]["spans"][-1]["span_id"] == 8
+
+
+def test_event_rings_are_keyed_per_tenant():
+    rec = make_recorder(event_capacity=2)
+    for k in range(5):
+        rec.record_event(make_event("rejected", tenant="a", session=k))
+    rec.record_event(make_event("rejected", tenant="b"))
+    snap = rec.snapshot()
+    assert [e["session"] for e in snap["tenants"]["a"]["events"]] == [3, 4]
+    assert len(snap["tenants"]["b"]["events"]) == 1
+
+
+# ----------------------------------------------------------------------
+# triggers + cooldown
+# ----------------------------------------------------------------------
+def test_anomaly_events_trigger_dumps(tmp_path):
+    cases = [
+        (make_event("alert", detail="availability[fast] firing: ..."),
+         "slo"),
+        (make_event("breaker", detail="closed->open"), "breaker"),
+        (make_event("expired", detail="expired in queue"), "deadline"),
+        (make_event("cancelled", detail="finished past deadline"),
+         "deadline"),
+    ]
+    for event, kind in cases:
+        rec = make_recorder(tmp_path / kind, cooldown=0.0)
+        rec.record_event(event)
+        assert rec.dumps_written == 1, kind
+        data = load_blackbox(rec.last_dump)
+        assert data["trigger"]["kind"] == kind
+        assert data["trigger"]["tenant"] == "t0"
+
+
+def test_benign_events_do_not_trigger(tmp_path):
+    rec = make_recorder(tmp_path)
+    rec.record_event(make_event("alert", detail="x resolved"))
+    rec.record_event(make_event("breaker", detail="open->half_open"))
+    rec.record_event(make_event("rejected", detail="rate"))
+    rec.record_event(make_event("errored", detail="boom"))
+    assert rec.dumps_written == 0
+    assert rec.triggers_seen == 0
+
+
+def test_recovery_instant_triggers(tmp_path):
+    rec = make_recorder(tmp_path, cooldown=0.0)
+    rec.record_instant(make_instant("respawn", "recovery", ts=2.0))
+    assert rec.dumps_written == 1
+    data = load_blackbox(rec.last_dump)
+    assert data["trigger"]["kind"] == "recovery"
+    assert data["trigger"]["name"] == "respawn"
+    # non-recovery instants land in the ring without dumping
+    rec.record_instant(make_instant("note", "service", ts=3.0))
+    assert rec.dumps_written == 1
+
+
+def test_cooldown_debounces_alert_storms(tmp_path):
+    clock = FakeClock()
+    rec = make_recorder(tmp_path, clock=clock, cooldown=5.0)
+    for _ in range(4):
+        rec.record_event(make_event("expired"))
+    assert rec.dumps_written == 1
+    assert rec.dumps_suppressed == 3
+    assert rec.triggers_seen == 4
+    clock.advance(6.0)
+    rec.record_event(make_event("expired"))
+    assert rec.dumps_written == 2
+
+
+def test_manual_dump_ignores_cooldown(tmp_path):
+    rec = make_recorder(tmp_path, cooldown=1e9)
+    rec.record_event(make_event("expired"))
+    path = rec.dump("operator requested")
+    assert rec.dumps_written == 2
+    assert load_blackbox(path)["trigger"]["detail"] \
+        == "operator requested"
+
+
+# ----------------------------------------------------------------------
+# files: rotation + size cap
+# ----------------------------------------------------------------------
+def test_rotation_keeps_newest_max_dumps(tmp_path):
+    rec = make_recorder(tmp_path, max_dumps=3)
+    for _ in range(7):
+        rec.dump()
+    names = sorted(p.name for p in tmp_path.iterdir())
+    assert names == ["blackbox-00004.json", "blackbox-00005.json",
+                     "blackbox-00006.json"]
+
+
+def test_size_cap_sheds_oldest_evidence_and_accounts(tmp_path):
+    rec = make_recorder(tmp_path, span_capacity=512, max_bytes=4096)
+    for n in range(200):
+        rec.record_span(make_span(n, note="x" * 64))
+    path = rec.dump()
+    assert path.stat().st_size <= 4096 + 2  # trailing newline
+    data = load_blackbox(path)
+    assert data["dropped"]["spans"] > 0
+    kept = data["shards"]["0"]["spans"]
+    assert kept  # newest spans survive the shedding
+    assert kept[-1]["span_id"] == 199
+
+
+# ----------------------------------------------------------------------
+# schema validation
+# ----------------------------------------------------------------------
+def valid_dump():
+    rec = make_recorder()
+    rec.record_span(make_span(0))
+    rec.record_instant(make_instant())
+    rec.record_event(make_event("expired"))
+    return rec.snapshot()
+
+
+def test_snapshot_validates():
+    data = valid_dump()
+    assert data["schema"] == BLACKBOX_SCHEMA
+    assert validate_blackbox(data) == []
+
+
+def test_validator_reports_key_paths():
+    data = valid_dump()
+    del data["shards"]["0"]["spans"][0]["end"]
+    data["instants"][0]["ts"] = "late"
+    data["tenants"]["t0"]["events"][0]["session"] = None
+    data["trigger"]["kind"] = "gremlins"
+    problems = validate_blackbox(data)
+    assert "shards.0.spans[0]: missing key 'end'" in problems
+    assert any(p.startswith("instants[0].ts:") for p in problems)
+    assert any(p.startswith("tenants.t0.events[0].session:")
+               for p in problems)
+    assert "trigger.kind: unknown kind 'gremlins'" in problems
+
+
+def test_validator_rejects_wrong_schema_and_shapes():
+    assert validate_blackbox([]) \
+        == ["$: expected object, got list"]
+    assert "$: missing key 'shards'" in validate_blackbox({})
+    data = valid_dump()
+    data["schema"] = "repro.blackbox/9"
+    assert any("expected 'repro.blackbox/1'" in p
+               for p in validate_blackbox(data))
+    data = valid_dump()
+    data["exemplars"] = [{"metric": 3}]
+    problems = validate_blackbox(data)
+    assert "exemplars[0].value: missing or not a number" in problems
+    assert "exemplars[0].metric: missing or not a string" in problems
+
+
+def test_load_blackbox_raises_with_problem_list(tmp_path):
+    data = valid_dump()
+    del data["shards"]["0"]["spans"][0]["end"]
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(data))
+    with pytest.raises(ValueError, match=r"shards\.0\.spans\[0\]"):
+        load_blackbox(path)
+
+
+def test_snapshot_survives_a_raising_exemplar_source():
+    def broken():
+        raise RuntimeError("registry gone")
+
+    rec = make_recorder(exemplar_source=broken)
+    rec.record_span(make_span(0))
+    data = rec.snapshot()
+    assert data["exemplars"] == []
+    assert validate_blackbox(data) == []
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def test_render_blackbox_sections():
+    rec = make_recorder()
+    base = 0.0
+    for n in range(3):
+        rec.record_span(make_span(n, start=base + n * 0.01,
+                                  task_id=n, deps=[]))
+    rec.record_span(make_span(99, category="service.session",
+                              start=base, dur=0.05, tenant="t0",
+                              session=4, app="stencil", pieces=4,
+                              iterations=1, algorithm="raycast",
+                              backend="process"))
+    rec.record_instant(make_instant("fault.crash", "recovery", ts=0.02))
+    rec.record_event(make_event("expired", tenant="t0", session=4,
+                                detail="expired in queue", at=0.03))
+    rec.exemplar_source = lambda: [
+        {"metric": "service.latency_seconds", "value": 0.05, "seq": 1,
+         "trace": 99, "tenant": "t0", "session": 4, "bucket": 0.1},
+        {"metric": "service.latency_seconds", "value": 0.01, "seq": 2,
+         "trace": 12345, "tenant": "t0", "session": 5, "bucket": 0.1},
+    ]
+    data = rec.snapshot({"kind": "deadline", "name": "expired",
+                         "detail": "expired in queue", "tenant": "t0",
+                         "session": 4, "ts": 0.03})
+    assert validate_blackbox(data) == []
+    report = render_blackbox(data)
+    assert "trigger    : deadline" in report
+    assert "tenant=t0 session=4" in report
+    assert "fault.crash" in report
+    assert "critical path" in report
+    assert "-> span in dump" in report
+    assert "(span evicted from ring)" in report
+    assert "repro explain" in report
+    assert "--app stencil" in report
+
+
+def test_render_config_section_names_overrides():
+    rec = make_recorder(
+        config_source=lambda: {"REPRO_NO_COLUMNAR":
+                               {"value": "disabled", "origin": "env"}})
+    report = render_blackbox(rec.snapshot())
+    assert "REPRO_NO_COLUMNAR=disabled" in report
+    rec = make_recorder(
+        config_source=lambda: {"REPRO_NO_COLUMNAR":
+                               {"value": "enabled", "origin": "default"}})
+    report = render_blackbox(rec.snapshot())
+    assert "all escape hatches at defaults" in report
+
+
+def test_blackbox_spans_round_trip():
+    rec = make_recorder()
+    original = make_span(7, tid=3, start=1.0, task_id=7)
+    rec.record_span(original)
+    spans = blackbox_spans(rec.snapshot())
+    assert len(spans) == 1
+    assert spans[0] == original
+
+
+# ----------------------------------------------------------------------
+# arming + global plumbing
+# ----------------------------------------------------------------------
+def test_env_hatch_refuses_arming(monkeypatch):
+    monkeypatch.setenv(ENV_DISABLE, "1")
+    rec = FlightRecorder(armed=True)
+    assert not rec.armed
+    assert rec.arm() is False
+    rec.record_span(make_span(0))
+    assert rec.snapshot()["shards"] == {}
+    monkeypatch.delenv(ENV_DISABLE)
+    assert rec.arm() is True
+
+
+def test_tracer_hooks_feed_the_installed_recorder():
+    rec = make_recorder()
+    previous = set_recorder(rec)
+    prev_tracer = tracing.set_tracer(
+        tracing.Tracer(enabled=True, retain=False))
+    try:
+        assert active_recorder() is rec
+        with tracing.span("work", "task", task_id=3):
+            pass
+        tracing.instant("note", "service")
+    finally:
+        tracing.set_tracer(prev_tracer)
+        set_recorder(previous)
+    snap = rec.snapshot()
+    spans = [s for shard in snap["shards"].values()
+             for s in shard["spans"]]
+    assert [s["name"] for s in spans] == ["work"]
+    assert spans[0]["args"]["task_id"] == 3
+    assert [i["name"] for i in snap["instants"]] == ["note"]
+
+
+def test_absorb_feeds_flight_even_without_retention():
+    rec = make_recorder()
+    previous = set_recorder(rec)
+    tracer = tracing.Tracer(enabled=True, retain=False)
+    try:
+        tracer.absorb([make_span(0, tid=5)],
+                      [make_instant("respawn", "recovery", ts=1.0)])
+    finally:
+        set_recorder(previous)
+    snap = rec.snapshot()
+    assert set(snap["shards"]) == {"5"}
+    assert snap["instants"][0]["name"] == "respawn"
+    assert tracer.snapshot().spans == []  # retain=False buffers nothing

@@ -169,3 +169,63 @@ class TestPublishBridges:
         assert reg.find("recovery.fault.crash").value == 1
         assert reg.find("recovery.respawns").value == 2
         assert reg.find("recovery.seconds").value == 0.25
+
+
+class TestExemplars:
+    def test_reservoir_collects_values_with_context(self):
+        h = Histogram("lat", {}, buckets=(0.1, 1.0), exemplars=2,
+                      exemplar_seed=7)
+        h.observe(0.05, {"trace": 1, "tenant": "a"})
+        h.observe(0.5, {"trace": 2, "tenant": "b"})
+        h.observe(5.0)  # no exemplar offered: counted, not sampled
+        rows = h.exemplars()
+        assert [r["trace"] for r in rows] == [1, 2]
+        assert rows[0]["bucket"] == 0.1 and rows[1]["bucket"] == 1.0
+        assert rows[0]["value"] == 0.05
+        assert [r["seq"] for r in rows] == [1, 2]
+        assert h.count == 3
+
+    def test_reservoir_is_bounded_and_seed_deterministic(self):
+        def fill(seed):
+            h = Histogram("lat", {}, buckets=(1.0,), exemplars=4,
+                          exemplar_seed=seed)
+            for n in range(200):
+                h.observe(0.5, {"trace": n})
+            return h.exemplars()
+
+        a, b = fill(3), fill(3)
+        assert len(a) == 4
+        assert a == b  # same seed + same stream -> identical reservoirs
+        assert fill(4) != a  # a different seed samples differently
+
+    def test_seed_derivation_ignores_pythonhashseed(self):
+        # the RNG is seeded from crc32(full_name), not builtin hash():
+        # two instruments with the same name and seed must make the
+        # same replacement decisions in any interpreter
+        import zlib
+        h = Histogram("lat", {"t": "x"}, buckets=(1.0,), exemplars=1,
+                      exemplar_seed=9)
+        assert h._rng.getstate() == __import__("random").Random(
+            9 ^ zlib.crc32(b'lat{t="x"}')).getstate()
+
+    def test_zero_capacity_histogram_has_no_reservoirs(self):
+        h = Histogram("lat", {})
+        h.observe(0.5, {"trace": 1})
+        assert h.exemplars() == []
+
+    def test_registry_exemplars_add_the_metric_name(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0,), exemplars=2,
+                          exemplar_seed=1, tenant="t0")
+        h.observe(0.5, {"trace": 9})
+        assert reg.exemplars() == [
+            {"trace": 9, "value": 0.5, "seq": 1, "bucket": 1.0,
+             "metric": 'lat{tenant="t0"}'}]
+
+    def test_exemplar_histogram_pickles(self):
+        h = Histogram("lat", {}, buckets=(1.0,), exemplars=2)
+        h.observe(0.5, {"trace": 1})
+        clone = pickle.loads(pickle.dumps(h))
+        assert clone.exemplars() == h.exemplars()
+        clone.observe(0.6, {"trace": 2})  # still usable after transit
+        assert len(clone.exemplars()) == 2

@@ -176,3 +176,66 @@ def test_default_service_slos_cover_the_service_counters():
     for spec in specs:
         assert 0.0 < spec.objective < 1.0
         assert spec.fast_factor > spec.slow_factor
+
+
+def test_alert_resolves_when_the_metric_stops_reporting():
+    """Silence is 'no data', not an outage: when a source stops
+    publishing mid-window the firing alert must resolve as the bad
+    deltas age out — never page on the silence itself."""
+    ledger = ServiceLedger()
+    registry = MetricsRegistry()
+    clock = FakeClock()
+    evaluator = SloEvaluator([AVAIL], ledger=ledger, registry=registry)
+    hub = TelemetryHub(registry, clock=clock, interval=1.0,
+                       windows=WINDOWS, evaluator=evaluator)
+    errs = registry.counter("service.errors")
+    for _ in range(12):
+        errs.inc(10)
+        tick(hub, clock)
+    assert "availability[fast]" in evaluator.firing()
+
+    # the source goes dark: no completions, no errors, only empty ticks
+    for _ in range(70):
+        tick(hub, clock)
+    assert evaluator.firing() == []
+    assert AVAIL.bad_fraction(hub, "1m") is None
+    assert AVAIL.burn_rate(hub, "1m") == 0.0
+    states = [line["state"] for line in hub.alerts
+              if line["name"] == "availability[fast]"]
+    assert states == ["firing", "resolved"]
+    resolved = [e for e in ledger.events(kind="alert")
+                if "availability[fast] resolved" in e.detail]
+    assert resolved
+    assert clock.sleeps == []
+
+
+def test_burn_rate_survives_a_counter_reset():
+    """A restarted source republishes totals from zero; the hub's
+    reset-aware deltas must keep the burn math finite and correct —
+    no negative deltas, no phantom outage from the missing history."""
+    hub, registry, clock = make_hub()
+    evaluator = SloEvaluator([AVAIL])
+    hub.evaluator = evaluator
+    done = registry.counter("service.completed")
+    errs = registry.counter("service.errors")
+    for _ in range(10):
+        done.inc(98)
+        errs.inc(2)
+        tick(hub, clock)
+    assert AVAIL.burn_rate(hub, "10s") == pytest.approx(2.0)
+
+    # the serving process restarts: cumulative totals fall back to zero
+    done.value = 0.0
+    errs.value = 0.0
+    for _ in range(10):
+        done.inc(98)
+        errs.inc(2)
+        tick(hub, clock)
+    # every post-reset delta is non-negative and the window holds
+    # exactly the post-restart traffic
+    assert hub.delta("service.completed", "10s") \
+        == pytest.approx(10 * 98.0)
+    assert hub.delta("service.errors", "10s") >= 0
+    assert AVAIL.bad_fraction(hub, "10s") == pytest.approx(0.02)
+    assert AVAIL.burn_rate(hub, "10s") == pytest.approx(2.0)
+    assert evaluator.firing() == []  # 2x burn is under the 14x fast gate

@@ -353,3 +353,72 @@ def test_digest_agrees_with_offline_histogram_on_seeded_load():
     assert merged.sum == pytest.approx(total)
     for q in (0.5, 0.95, 0.99):
         assert merged.quantile(q) == offline.quantile_bound(q)
+
+
+# ----------------------------------------------------------------------
+# exemplar shipping
+# ----------------------------------------------------------------------
+def test_hub_ships_only_fresh_exemplars_per_tick():
+    hub, registry, clock = make_hub()
+    hist = registry.histogram("service.latency_seconds",
+                              buckets=(0.1, 1.0), exemplars=4,
+                              exemplar_seed=1)
+    hist.observe(0.05, {"trace": 1})
+    clock.advance(1.0)
+    first = hub.sample()
+    assert [r["trace"] for r in
+            first.exemplars["service.latency_seconds"]] == [1]
+    clock.advance(1.0)
+    second = hub.sample()  # nothing new offered: no exemplar block
+    assert second.exemplars == {}
+    hist.observe(0.5, {"trace": 2})
+    clock.advance(1.0)
+    third = hub.sample()
+    assert [r["trace"] for r in
+            third.exemplars["service.latency_seconds"]] == [2]
+    # window query folds the shipped rows, slowest first
+    rows = hub.exemplars_in("service.latency_seconds", "10s")
+    assert [r["trace"] for r in rows] == [2, 1]
+
+
+def test_exemplars_round_trip_through_the_sink(tmp_path):
+    sink = TelemetrySink(tmp_path, meta={"interval": 1.0})
+    hub, registry, clock = make_hub(sink=sink)
+    hist = registry.histogram("service.latency_seconds",
+                              buckets=(0.1,), exemplars=2,
+                              exemplar_seed=3)
+    hist.observe(0.02, {"trace": 7, "tenant": "t0"})
+    clock.advance(1.0)
+    hub.sample()
+    hub.close()
+    assert validate_telemetry(tmp_path) == []
+    replay = load_telemetry(tmp_path)
+    rows = replay.exemplars_in("service.latency_seconds", "10s")
+    assert rows == [{"trace": 7, "tenant": "t0", "value": 0.02,
+                     "seq": 1, "bucket": 0.1}]
+
+
+def test_validate_reports_exemplar_key_paths():
+    bad = _sample(1.0, exemplars={"h": [{"seq": 1},
+                                        {"value": 0.5, "seq": 0}]})
+    problems = validate_telemetry([_meta(), bad])
+    assert "<lines> line 1: exemplars['h'][0].value: " \
+        "missing or not a number" in problems
+    assert "<lines> line 1: exemplars['h'][1].seq: " \
+        "missing or not a positive integer" in problems
+    shapeless = _sample(1.0, exemplars=[1, 2])
+    assert any("'exemplars' must be an object" in p
+               for p in validate_telemetry([_meta(), shapeless]))
+
+
+def test_validate_reports_digest_key_path():
+    bad = _sample(1.0, digests={"service.latency_seconds":
+                                {"centroids": [1.0, None],
+                                 "counts": [0]}})
+    problems = validate_telemetry([_meta(), bad])
+    assert problems == ["<lines> line 1: "
+                        "digests['service.latency_seconds']: "
+                        "1 centroids vs 2 counts"] \
+        or problems == ["<lines> line 1: "
+                        "digests['service.latency_seconds']: "
+                        "2 centroids vs 1 counts"]
